@@ -1,0 +1,41 @@
+"""Benchmark: Section V ablation — compress only the aggregators.
+
+Paper reference: compressing both phases maximises the compression ratio, but
+compressing only the aggregation-phase matrices keeps the accuracy drop below
+0.5%.  The benchmark trains the three variants (dense, fully compressed,
+aggregator-only) on the synthetic Reddit stand-in and reports the trade-off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import render_aggregator_only, run_aggregator_only_ablation
+
+
+def _run():
+    return run_aggregator_only_ablation(
+        model_name="GS-Pool",
+        block_size=8,
+        dataset="reddit",
+        dataset_scale=0.004,
+        num_features=64,
+        hidden_features=64,
+        epochs=5,
+        fanouts=(10, 5),
+        seed=0,
+    )
+
+
+def test_aggregator_only_compression(benchmark, save_result):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_result("ablation_aggregator_only", render_aggregator_only(result))
+
+    chance = 1.0 / 41.0
+    assert result.accuracy_uncompressed > chance
+    # The trade-off direction the paper describes: aggregator-only keeps more
+    # parameters than full compression (less storage saving) ...
+    assert result.stored_parameters_aggregator_only > result.stored_parameters_full
+    # ... while both compressed variants remain usable classifiers.
+    assert result.accuracy_full_compression > chance * 0.8
+    assert result.accuracy_aggregator_only > chance * 0.8

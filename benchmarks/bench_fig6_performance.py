@@ -1,0 +1,56 @@
+"""Benchmark: regenerate Figure 6 — performance comparison of the four architectures.
+
+Paper reference (Section IV-C): normalised to the Xeon Gold 5220 CPU,
+BlockGNN-opt achieves on average 2.3x speedup over the CPU and 4.2x over the
+FPGA-scaled HyGCN, with a maximum of 8.3x over HyGCN (G-GCN on Reddit);
+BlockGNN-base trails BlockGNN-opt; the GCN tasks show the smallest gains
+because their aggregation is not compute-intensive; Reddit is processed as
+two graph partitions.
+
+The reproduced quantities are the orderings and rough factors (the baselines
+are analytical roofline models, see EXPERIMENTS.md for the calibration notes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import render_figure6, run_figure6
+
+
+def _run():
+    return run_figure6()
+
+
+def test_figure6_performance_comparison(benchmark, save_result):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = render_figure6(result)
+    summary = (
+        f"mean BlockGNN-opt vs CPU   : {result.mean_speedup_vs_cpu:.2f}x (paper 2.3x)\n"
+        f"mean BlockGNN-opt vs HyGCN : {result.mean_speedup_vs_hygcn:.2f}x (paper 4.2x)\n"
+        f"max  BlockGNN-opt vs HyGCN : {result.max_speedup_vs_hygcn[0]:.2f}x on "
+        f"{result.max_speedup_vs_hygcn[1]}/{result.max_speedup_vs_hygcn[2]} (paper 8.3x on G-GCN/reddit)"
+    )
+    save_result("figure6_performance", text + "\n\n" + summary)
+
+    # Who wins: BlockGNN-opt beats both baselines on every compute-heavy task.
+    for entry in result.entries:
+        if entry.model != "GCN":
+            assert entry.speedups_vs_cpu["BlockGNN-opt"] > 1.0
+            assert entry.speedup_opt_vs_hygcn > 1.0
+        # The tuned configuration never loses to the fixed one.
+        assert entry.speedup_opt_vs_base >= 1.0 - 1e-9
+
+    # GCN shows the smallest gains (Section IV-C's explicit observation).
+    for dataset in ("cora", "citeseer", "pubmed", "reddit"):
+        gcn = result.entry("GCN", dataset).speedups_vs_cpu["BlockGNN-opt"]
+        others = [
+            result.entry(model, dataset).speedups_vs_cpu["BlockGNN-opt"]
+            for model in ("GS-Pool", "G-GCN", "GAT")
+        ]
+        assert gcn < min(others)
+
+    # Rough factors: the averages land within ~3x of the paper's headline numbers.
+    assert 1.5 < result.mean_speedup_vs_cpu < 7.0
+    assert 2.0 < result.mean_speedup_vs_hygcn < 13.0
+    assert result.max_speedup_vs_hygcn[0] > 4.0

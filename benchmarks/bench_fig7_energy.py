@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 7 — energy-efficiency (Nodes per Joule) comparison.
+
+Paper reference (Section IV-D): BlockGNN-opt draws about 4.6 W against the
+CPU's 125 W and saves 33.9x-111.9x energy (68.9x on average) across the
+4 models x 4 datasets, i.e. one to two orders of magnitude better Nodes/J.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import render_figure7, run_figure7
+from repro.hardware import BLOCKGNN_POWER_WATTS, CPU_POWER_WATTS
+
+
+def test_figure7_energy_efficiency(benchmark, save_result):
+    result = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    text = render_figure7(result)
+    summary = (
+        f"energy reduction: min {result.min_energy_reduction:.1f}x, "
+        f"mean {result.mean_energy_reduction:.1f}x, max {result.max_energy_reduction:.1f}x "
+        f"(paper: 33.9x / 68.9x / 111.9x)"
+    )
+    save_result("figure7_energy", text + "\n\n" + summary)
+
+    power_ratio = CPU_POWER_WATTS / BLOCKGNN_POWER_WATTS
+    for entry in result.entries:
+        # BlockGNN is always the more energy-efficient platform ...
+        assert entry.energy_reduction > 1.0
+        # ... and the reduction decomposes into speedup x power ratio.
+        speedup = entry.cpu.latency_seconds / entry.blockgnn.latency_seconds
+        assert entry.energy_reduction == pytest.approx(speedup * power_ratio, rel=1e-6)
+
+    # One to two orders of magnitude, as in the paper.
+    assert 10.0 < result.mean_energy_reduction < 400.0
+    assert result.min_energy_reduction > 5.0

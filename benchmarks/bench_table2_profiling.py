@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Table II — GNN profiling on Reddit.
+
+Paper reference (Table II, MAC counted as one operation):
+
+    GCN      aggregation 3.7e9  FLOPs / AI 0.5,   combination 7.5e10 / 256.3
+    GS-Pool  aggregation 1.9e12 FLOPs / AI 257.5, combination 1.5e11 / 512.2
+    G-GCN    aggregation 3.7e12 FLOPs / AI 256.0, combination 7.5e10 / 256.3
+    GAT      aggregation 1.9e12 FLOPs / AI 512.8, combination 7.5e10 / 256.3
+
+This repository counts 2 FLOPs per MAC, so absolute totals are ~2x the paper;
+the reproduced quantities are the cross-model and cross-phase ratios and the
+"GCN aggregation is memory-bound, everything else is compute-bound" split.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import PAPER_TABLE2, render_table2, run_table2
+
+
+def test_table2_profiling(benchmark, save_result):
+    rows = benchmark(run_table2)
+    save_result("table2_profiling", render_table2(rows))
+
+    measured = {row.model: row for row in rows}
+    # Shape checks mirroring the paper's observations.
+    assert measured["GCN"].aggregation_intensity < 1.0
+    for model in ("GS-Pool", "G-GCN", "GAT"):
+        assert measured[model].aggregation_intensity > 50.0
+    ggcn_over_gs = measured["G-GCN"].aggregation_flops / measured["GS-Pool"].aggregation_flops
+    paper_ratio = PAPER_TABLE2["G-GCN"]["agg_flops"] / PAPER_TABLE2["GS-Pool"]["agg_flops"]
+    assert ggcn_over_gs == pytest.approx(paper_ratio, rel=0.15)
+
+
+def test_table2_compressed_headroom(benchmark, save_result):
+    """Table II extended with the n = 128 compressed aggregation FLOPs."""
+    from repro.profiling import profile_table
+
+    text = benchmark(profile_table, block_size=128)
+    save_result("table2_compressed_headroom", text)
+    assert "n=128" in text

@@ -1,0 +1,62 @@
+"""Benchmark: regenerate Table III — compression ratio vs. accuracy.
+
+Paper reference (Reddit node classification, 2-layer models, hidden 512):
+
+    n = 1    TCR  1.0x  SR   1.0x   GCN 0.924  GS-Pool 0.948  G-GCN 0.950  GAT 0.926
+    n = 16   TCR  4.0x  SR  16.0x   GCN 0.922  GS-Pool 0.941  G-GCN 0.944  GAT 0.922
+    n = 32   TCR  6.4x  SR  32.0x   GCN 0.920  GS-Pool 0.939  G-GCN 0.942  GAT 0.921
+    n = 64   TCR 10.7x  SR  64.0x   GCN 0.920  GS-Pool 0.938  G-GCN 0.938  GAT 0.919
+    n = 128  TCR 18.3x  SR 128.0x   GCN 0.919  GS-Pool 0.938  G-GCN 0.935  GAT 0.920
+
+The real Reddit graph is unavailable offline, so the sweep trains on the
+synthetic Reddit stand-in (scaled down).  The TCR/SR columns are exact; the
+accuracy columns reproduce the *trend* (compression costs only a small
+accuracy drop), not the paper's absolute values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compression import storage_reduction, theoretical_computation_reduction
+from repro.experiments import render_table3, run_table3
+
+BLOCK_SIZES = (1, 8, 16)
+MODELS = ("GCN", "GS-Pool", "G-GCN", "GAT")
+
+
+def _run_sweep():
+    return run_table3(
+        block_sizes=BLOCK_SIZES,
+        models=MODELS,
+        dataset="reddit",
+        dataset_scale=0.004,
+        num_features=64,
+        hidden_features=64,
+        epochs=6,
+        fanouts=(10, 5),
+        batch_size=64,
+        seed=0,
+    )
+
+
+def test_table3_compression_vs_accuracy(benchmark, save_result):
+    result = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    save_result("table3_accuracy", render_table3(result))
+
+    # TCR / SR columns are exact closed forms.
+    assert theoretical_computation_reduction(16) == pytest.approx(4.0, abs=0.05)
+    assert storage_reduction(16) == 16.0
+
+    chance = 1.0 / 41.0
+    for model in MODELS:
+        # Uncompressed models learn the task well.
+        assert result.accuracy(model, 1) > 10 * chance
+        # Compression keeps the models usable classifiers: every compressed
+        # variant stays an order of magnitude above chance and the degradation
+        # is bounded.  (On the paper's full-size Reddit graph with 512-dim
+        # hidden layers the drop is under 1.5%; the scaled-down synthetic
+        # stand-in exaggerates it, see EXPERIMENTS.md.)
+        for block_size in BLOCK_SIZES[1:]:
+            assert result.accuracy(model, block_size) > 10 * chance
+            assert result.accuracy_drop(model, block_size) < 0.5

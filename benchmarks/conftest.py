@@ -1,0 +1,33 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+section, prints it (run ``pytest benchmarks/ --benchmark-only -s`` to see the
+tables inline) and saves the rendered text under ``benchmarks/results/`` so the
+numbers quoted in EXPERIMENTS.md can be refreshed with a single command.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """Persist a rendered table/figure under ``benchmarks/results/<name>.txt``."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name}]\n{text}\n(saved to {path})")
+
+    return _save

@@ -1,0 +1,65 @@
+"""Quickstart: train a block-circulant-compressed GNN and inspect the savings.
+
+This is the 5-minute tour of the library:
+
+1. load a (synthetic stand-in for a) benchmark graph,
+2. build a GraphSAGE-Pool model whose weight matrices are block-circulant,
+3. train it with neighbour sampling and report accuracy,
+4. compare parameter counts and theoretical FLOPs against the dense baseline.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.compression import CompressionConfig, model_compression_report
+from repro.graph import load_dataset
+from repro.models import Trainer, TrainingConfig, create_model
+from repro.profiling import profile_model
+
+BLOCK_SIZE = 8
+
+
+def main() -> None:
+    # 1. Data: a scaled-down synthetic stand-in for Cora (offline environment).
+    graph = load_dataset("cora", scale=0.2, seed=0, num_features=128)
+    print("Dataset:", graph.summary())
+
+    # 2. Model: 2-layer GS-Pool with block-circulant weights (n = 8).
+    compression = CompressionConfig(block_size=BLOCK_SIZE)
+    model = create_model(
+        "GS-Pool",
+        in_features=graph.num_features,
+        hidden_features=64,
+        num_classes=graph.num_classes,
+        compression=compression,
+        seed=0,
+    )
+    report = model_compression_report(model)
+    print(
+        f"Model: GS-Pool, block size n={BLOCK_SIZE}  "
+        f"({report['stored']} stored parameters vs {report['dense_equivalent']} dense, "
+        f"{report['dense_equivalent'] / report['stored']:.1f}x storage reduction)"
+    )
+    print(
+        f"Theoretical computation reduction (Table III): "
+        f"{compression.theoretical_computation_reduction:.1f}x"
+    )
+
+    # 3. Train with GraphSAGE-style neighbour sampling (S1=10, S2=5 here).
+    config = TrainingConfig(epochs=5, batch_size=64, fanouts=(10, 5), learning_rate=0.01, seed=0)
+    trainer = Trainer(model, graph, config)
+    trainer.fit(verbose=True)
+    print(f"Test accuracy: {trainer.test_accuracy():.3f}")
+
+    # 4. Why compress?  The Table II profile of GS-Pool on full-scale Reddit.
+    profile = profile_model("GS-Pool")
+    print(
+        "\nGS-Pool on full-scale Reddit needs "
+        f"{profile.aggregation.flops:.2e} aggregation FLOPs per layer pass — "
+        f"block-circulant compression with n=128 cuts the mat-vec work by ~18.3x."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml`` (PEP 621).  This file exists
+only so that ``pip install -e .`` can fall back to the legacy
+``setup.py develop`` code path in offline environments that lack the
+``wheel`` package required by PEP 660 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

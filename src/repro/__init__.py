@@ -1,0 +1,41 @@
+"""BlockGNN reproduction: block-circulant GNN compression + accelerator co-design.
+
+This package reproduces *BlockGNN: Towards Efficient GNN Acceleration Using
+Block-Circulant Weight Matrices* (Zhou et al., DAC 2021) end-to-end in pure
+Python/NumPy:
+
+* ``repro.tensor`` / ``repro.nn`` — a small autograd + layer library used to
+  train the GNN models (the environment has no PyTorch);
+* ``repro.compression`` — block-circulant weight matrices, FFT kernels
+  (Algorithm 1), compression ratios and the model-conversion API;
+* ``repro.graph`` — graph data structures, synthetic stand-ins for the
+  Cora/Citeseer/Pubmed/Reddit datasets, neighbour sampling and partitioning;
+* ``repro.models`` — GCN, GraphSAGE-Pool, G-GCN and GAT with dense or
+  block-circulant weights, plus a mini-batch trainer;
+* ``repro.workloads`` / ``repro.profiling`` — analytical workload models and
+  the Table II profiling study;
+* ``repro.hardware`` — the CirCore pipeline, VPU, buffers, the BlockGNN
+  accelerator (functional + analytical), and the HyGCN / CPU baselines;
+* ``repro.perfmodel`` — the performance & resource model (Equations 3–8) and
+  the design-space exploration behind Tables V/VI;
+* ``repro.experiments`` — one harness per paper table/figure, shared by the
+  ``benchmarks/`` suite and the ``examples/`` scripts.
+"""
+
+from . import compression, experiments, graph, hardware, models, nn, perfmodel, profiling, tensor, workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "tensor",
+    "nn",
+    "compression",
+    "graph",
+    "models",
+    "workloads",
+    "profiling",
+    "hardware",
+    "perfmodel",
+    "experiments",
+    "__version__",
+]

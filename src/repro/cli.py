@@ -1,0 +1,213 @@
+"""Command-line interface for regenerating the paper's tables and figures.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli table2
+    python -m repro.cli table3 --scale 0.004 --epochs 6
+    python -m repro.cli table5
+    python -m repro.cli table6
+    python -m repro.cli figure6
+    python -m repro.cli figure7
+    python -m repro.cli ablation-rfft
+    python -m repro.cli ablation-agg-only
+    python -m repro.cli profile --model GS-Pool
+    python -m repro.cli search --model GS-Pool --dataset reddit
+
+Each sub-command prints the regenerated table next to the paper's reference
+numbers (where applicable).  The same code paths back the ``benchmarks/``
+suite; the CLI exists so individual experiments can be re-run and tweaked
+without going through pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Regenerate the BlockGNN paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("table2", help="GNN profiling on Reddit (Table II)")
+
+    table3 = subparsers.add_parser("table3", help="compression ratio vs. accuracy (Table III)")
+    table3.add_argument("--scale", type=float, default=0.004, help="fraction of the Reddit graph to synthesise")
+    table3.add_argument("--epochs", type=int, default=6)
+    table3.add_argument("--hidden", type=int, default=64)
+    table3.add_argument("--block-sizes", type=int, nargs="+", default=[1, 8, 16])
+    table3.add_argument("--models", nargs="+", default=["GCN", "GS-Pool", "G-GCN", "GAT"])
+
+    subparsers.add_parser("table5", help="searched optimal hardware parameters (Table V)")
+    subparsers.add_parser("table6", help="FPGA resource utilisation (Table VI)")
+    subparsers.add_parser("figure6", help="performance comparison (Figure 6)")
+    subparsers.add_parser("figure7", help="energy-efficiency comparison (Figure 7)")
+    subparsers.add_parser("ablation-rfft", help="Section V ablation: real-valued FFT")
+
+    agg_only = subparsers.add_parser(
+        "ablation-agg-only", help="Section V ablation: compress only the aggregators"
+    )
+    agg_only.add_argument("--scale", type=float, default=0.004)
+    agg_only.add_argument("--epochs", type=int, default=5)
+    agg_only.add_argument("--block-size", type=int, default=8)
+
+    profile = subparsers.add_parser("profile", help="profile a single GNN model (Table II row)")
+    profile.add_argument("--model", default="GS-Pool", help="GCN | GS-Pool | G-GCN | GAT")
+    profile.add_argument("--sample-size", type=int, default=25)
+    profile.add_argument("--feature-dim", type=int, default=512)
+
+    search = subparsers.add_parser("search", help="design-space exploration for one task")
+    search.add_argument("--model", default="GS-Pool")
+    search.add_argument("--dataset", default="reddit")
+    search.add_argument("--hidden", type=int, default=512)
+    search.add_argument("--block-size", type=int, default=128)
+
+    return parser
+
+
+def _run_table2() -> str:
+    from .experiments import render_table2
+
+    return render_table2()
+
+
+def _run_table3(args: argparse.Namespace) -> str:
+    from .experiments import render_table3, run_table3
+
+    result = run_table3(
+        block_sizes=tuple(args.block_sizes),
+        models=tuple(args.models),
+        dataset="reddit",
+        dataset_scale=args.scale,
+        num_features=args.hidden,
+        hidden_features=args.hidden,
+        epochs=args.epochs,
+    )
+    return render_table3(result)
+
+
+def _run_table5() -> str:
+    from .experiments import render_table5, run_table5
+
+    return render_table5(run_table5())
+
+
+def _run_table6() -> str:
+    from .experiments import render_table6, run_table6
+
+    return render_table6(run_table6())
+
+
+def _run_figure6() -> str:
+    from .experiments import render_figure6, run_figure6
+
+    result = run_figure6()
+    summary = (
+        f"\nmean BlockGNN-opt vs CPU: {result.mean_speedup_vs_cpu:.2f}x (paper 2.3x)   "
+        f"mean vs HyGCN: {result.mean_speedup_vs_hygcn:.2f}x (paper 4.2x)"
+    )
+    return render_figure6(result) + summary
+
+
+def _run_figure7() -> str:
+    from .experiments import render_figure7, run_figure7
+
+    result = run_figure7()
+    summary = (
+        f"\nenergy reduction: min {result.min_energy_reduction:.1f}x, "
+        f"mean {result.mean_energy_reduction:.1f}x, max {result.max_energy_reduction:.1f}x "
+        f"(paper 33.9x / 68.9x / 111.9x)"
+    )
+    return render_figure7(result) + summary
+
+
+def _run_ablation_rfft() -> str:
+    from .experiments import run_rfft_ablation
+    from .experiments.tables import format_table
+
+    result = run_rfft_ablation()
+    return format_table(
+        ["quantity", "complex FFT", "RFFT"],
+        [
+            ["FLOPs per mat-vec", f"{result.complex_flops:.3e}", f"{result.rfft_flops:.3e}"],
+            ["estimated cycles", f"{result.complex_cycles:.3e}", f"{result.rfft_cycles:.3e}"],
+            ["max output difference", "-", f"{result.max_output_difference:.2e}"],
+        ],
+    )
+
+
+def _run_ablation_agg_only(args: argparse.Namespace) -> str:
+    from .experiments import render_aggregator_only, run_aggregator_only_ablation
+
+    result = run_aggregator_only_ablation(
+        block_size=args.block_size,
+        dataset_scale=args.scale,
+        epochs=args.epochs,
+    )
+    return render_aggregator_only(result)
+
+
+def _run_profile(args: argparse.Namespace) -> str:
+    from .profiling import profile_model
+
+    profile = profile_model(args.model, sample_size=args.sample_size, feature_dim=args.feature_dim)
+    return (
+        f"{profile.model}: aggregation {profile.aggregation.flops:.3e} FLOPs "
+        f"(AI {profile.aggregation.arithmetic_intensity:.1f}), "
+        f"combination {profile.combination.flops:.3e} FLOPs "
+        f"(AI {profile.combination.arithmetic_intensity:.1f})"
+    )
+
+
+def _run_search(args: argparse.Namespace) -> str:
+    from .perfmodel import estimate_resources, search_optimal_config
+    from .workloads import build_workload
+
+    workload = build_workload(args.model, args.dataset, hidden_features=args.hidden)
+    point = search_optimal_config(workload, block_size=args.block_size)
+    params = ", ".join(f"{key}={value}" for key, value in point.config.describe().items())
+    usage = estimate_resources(point.config).utilization()
+    utilisation = ", ".join(f"{key} {value * 100:.1f}%" for key, value in usage.items())
+    return (
+        f"{workload.model} on {workload.dataset}: optimal {params}\n"
+        f"  {point.total_cycles / 1e6:.1f}M cycles = {point.latency_seconds * 1e3:.1f} ms @ 100 MHz\n"
+        f"  utilisation: {utilisation}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table2":
+        output = _run_table2()
+    elif args.command == "table3":
+        output = _run_table3(args)
+    elif args.command == "table5":
+        output = _run_table5()
+    elif args.command == "table6":
+        output = _run_table6()
+    elif args.command == "figure6":
+        output = _run_figure6()
+    elif args.command == "figure7":
+        output = _run_figure7()
+    elif args.command == "ablation-rfft":
+        output = _run_ablation_rfft()
+    elif args.command == "ablation-agg-only":
+        output = _run_ablation_agg_only(args)
+    elif args.command == "profile":
+        output = _run_profile(args)
+    elif args.command == "search":
+        output = _run_search(args)
+    else:  # pragma: no cover - argparse enforces the choices
+        raise SystemExit(f"unknown command {args.command}")
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

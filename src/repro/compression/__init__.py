@@ -1,0 +1,69 @@
+"""Block-circulant weight-matrix compression — the core contribution of BlockGNN."""
+
+from .circulant import (
+    BlockCirculantSpec,
+    circulant_from_first_column,
+    circulant_from_first_row,
+    expand_block_circulant,
+    num_blocks,
+    pad_to_multiple,
+    project_to_block_circulant,
+    random_block_circulant,
+)
+from .compress import (
+    CompressionConfig,
+    CompressionReport,
+    compress_model,
+    compress_module,
+    model_compression_report,
+)
+from .ratios import (
+    CompressionSummary,
+    layer_computation_reduction,
+    layer_storage_reduction,
+    storage_reduction,
+    summarize_block_sizes,
+    theoretical_computation_reduction,
+)
+from .spectral import (
+    block_circulant_matmul,
+    block_circulant_matmul_rfft,
+    block_circulant_matvec,
+    block_circulant_matvec_spatial,
+    block_circulant_operation_count,
+    circulant_linear,
+    dense_operation_count,
+    fft_operation_count,
+    spectral_weights,
+)
+
+__all__ = [
+    "BlockCirculantSpec",
+    "circulant_from_first_column",
+    "circulant_from_first_row",
+    "expand_block_circulant",
+    "project_to_block_circulant",
+    "random_block_circulant",
+    "pad_to_multiple",
+    "num_blocks",
+    "spectral_weights",
+    "block_circulant_matmul",
+    "block_circulant_matvec",
+    "block_circulant_matvec_spatial",
+    "block_circulant_matmul_rfft",
+    "circulant_linear",
+    "fft_operation_count",
+    "dense_operation_count",
+    "block_circulant_operation_count",
+    "CompressionConfig",
+    "CompressionReport",
+    "compress_module",
+    "compress_model",
+    "model_compression_report",
+    "storage_reduction",
+    "theoretical_computation_reduction",
+    "layer_storage_reduction",
+    "layer_computation_reduction",
+    "CompressionSummary",
+    "summarize_block_sizes",
+]

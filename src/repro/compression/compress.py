@@ -1,0 +1,182 @@
+"""Model-level compression API.
+
+The paper applies block-circulant compression to the weight matrices of a
+GNN's aggregation and combination phases.  Section V additionally observes
+that compressing *only* the aggregators keeps the accuracy drop below 0.5%.
+:class:`CompressionConfig` captures exactly that choice, and
+:func:`compress_module` / :func:`compress_model` convert trained dense models
+layer-by-layer using the circulant projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..nn.linear import BlockCirculantLinear, Linear
+from ..nn.module import Module
+from .ratios import storage_reduction, theoretical_computation_reduction
+
+__all__ = [
+    "CompressionConfig",
+    "CompressionReport",
+    "compress_module",
+    "compress_model",
+    "model_compression_report",
+]
+
+
+@dataclass(frozen=True)
+class CompressionConfig:
+    """How a GNN model should be compressed.
+
+    Attributes
+    ----------
+    block_size:
+        Circulant block size ``n``.  ``1`` means uncompressed (dense layers).
+    compress_aggregation:
+        Compress the weight matrices used inside aggregators (GS-Pool's
+        pooling matrix, G-GCN's gate matrices, GAT's shared projection).
+    compress_combination:
+        Compress the combination (fully-connected update) matrices.
+    use_rfft:
+        Use the real-valued FFT kernels (Section V ablation); numerically
+        identical, only the operation count differs.
+    """
+
+    block_size: int = 1
+    compress_aggregation: bool = True
+    compress_combination: bool = True
+    use_rfft: bool = False
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise ValueError("block size must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any compression is applied at all."""
+        return self.block_size > 1 and (self.compress_aggregation or self.compress_combination)
+
+    def applies_to(self, phase: str) -> bool:
+        """Whether a layer belonging to ``phase`` ('aggregation'/'combination') is compressed."""
+        if self.block_size <= 1:
+            return False
+        if phase == "aggregation":
+            return self.compress_aggregation
+        if phase == "combination":
+            return self.compress_combination
+        raise ValueError(f"unknown phase '{phase}'")
+
+    def linear(self, in_features: int, out_features: int, phase: str, bias: bool = True, rng=None):
+        """Create a dense or block-circulant layer according to this config."""
+        if self.applies_to(phase):
+            return BlockCirculantLinear(in_features, out_features, self.block_size, bias=bias, rng=rng)
+        return Linear(in_features, out_features, bias=bias, rng=rng)
+
+    @property
+    def theoretical_computation_reduction(self) -> float:
+        return theoretical_computation_reduction(self.block_size)
+
+    @property
+    def storage_reduction(self) -> float:
+        return storage_reduction(self.block_size)
+
+
+@dataclass
+class CompressionReport:
+    """Summary of converting a model: per-layer and aggregate parameter counts."""
+
+    block_size: int
+    dense_parameters: int
+    compressed_parameters: int
+    converted_layers: List[str] = field(default_factory=list)
+    skipped_layers: List[str] = field(default_factory=list)
+
+    @property
+    def storage_reduction(self) -> float:
+        if self.compressed_parameters == 0:
+            return 1.0
+        return self.dense_parameters / self.compressed_parameters
+
+
+def _iter_linear_children(module: Module) -> Iterable[Tuple[str, Module, str, Linear]]:
+    """Yield ``(path, parent, attribute, layer)`` for every dense Linear in the tree."""
+    for path, owner in module.named_modules():
+        for attribute, child in list(owner._modules.items()):
+            if isinstance(child, Linear) and not isinstance(child, BlockCirculantLinear):
+                full = f"{path}.{attribute}" if path else attribute
+                yield full, owner, attribute, child
+
+
+def compress_module(
+    module: Module,
+    block_size: int,
+    skip: Optional[Iterable[str]] = None,
+) -> CompressionReport:
+    """Replace every dense :class:`Linear` inside ``module`` with a projected circulant layer.
+
+    Conversion swaps layer objects in place on their parent modules, so any
+    optimiser built before the conversion still references the old dense
+    parameters — rebuild optimisers (or :class:`repro.models.Trainer`
+    instances) after compressing if you intend to fine-tune.
+
+    Parameters
+    ----------
+    module:
+        Model to convert in place.
+    block_size:
+        Circulant block size ``n``; ``1`` leaves the model untouched.
+    skip:
+        Layer paths (as reported by ``named_modules``) to leave dense, e.g. a
+        final classifier head.
+    """
+    skip_set = set(skip or ())
+    report = CompressionReport(block_size=block_size, dense_parameters=0, compressed_parameters=0)
+    for path, owner, attribute, layer in _iter_linear_children(module):
+        dense_params = layer.weight.size + (layer.bias.size if layer.bias is not None else 0)
+        if block_size <= 1 or path in skip_set:
+            report.skipped_layers.append(path)
+            report.dense_parameters += dense_params
+            report.compressed_parameters += dense_params
+            continue
+        compressed = BlockCirculantLinear.from_dense(layer, block_size)
+        setattr(owner, attribute, compressed)
+        report.converted_layers.append(path)
+        report.dense_parameters += dense_params
+        report.compressed_parameters += compressed.weight.size + (
+            compressed.bias.size if compressed.bias is not None else 0
+        )
+    return report
+
+
+def compress_model(model: Module, config: CompressionConfig) -> CompressionReport:
+    """Compress a GNN model according to ``config``.
+
+    Models from :mod:`repro.models` tag their layers with a ``phase``
+    attribute (``"aggregation"`` or ``"combination"``); layers whose phase is
+    excluded by the config are skipped.  Models without phase tags are treated
+    as combination-only (the GCN case).
+    """
+    skip: List[str] = []
+    for path, module in model.named_modules():
+        phase = getattr(module, "phase", None)
+        if isinstance(module, Linear) and phase is not None and not config.applies_to(phase):
+            skip.append(path)
+    if not config.enabled:
+        return compress_module(model, 1)
+    return compress_module(model, config.block_size, skip=skip)
+
+
+def model_compression_report(model: Module) -> Dict[str, int]:
+    """Count dense vs. circulant parameters of an already-built model."""
+    dense = 0
+    circulant = 0
+    for _, module in model.named_modules():
+        if isinstance(module, BlockCirculantLinear):
+            circulant += module.weight.size
+            dense += module.spec.dense_parameters
+        elif isinstance(module, Linear):
+            circulant += module.weight.size
+            dense += module.weight.size
+    return {"dense_equivalent": dense, "stored": circulant}

@@ -1,0 +1,80 @@
+"""Compression-ratio formulas reported in Table III of the paper.
+
+Two headline numbers are attached to a block size ``n``:
+
+* **SR (Storage Reduction)** — only the first row/column of each ``n x n``
+  block is stored, so storage shrinks by a factor of ``n``.
+* **TCR (Theoretical Computation Reduction)** — an ``O(n^2)`` block mat-vec is
+  replaced by ``O(n log n)`` FFT work, giving ``n / log2(n)``.  This matches
+  the paper's Table III values: 4.0x (n=16), 6.4x (n=32), 10.7x (n=64),
+  18.3x (n=128), and 1.0x for the uncompressed ``n = 1`` case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+from .circulant import BlockCirculantSpec
+
+__all__ = [
+    "storage_reduction",
+    "theoretical_computation_reduction",
+    "CompressionSummary",
+    "summarize_block_sizes",
+    "layer_storage_reduction",
+    "layer_computation_reduction",
+]
+
+
+def storage_reduction(block_size: int) -> float:
+    """Storage reduction SR = n (1.0 for the uncompressed n=1 case)."""
+    if block_size < 1:
+        raise ValueError("block size must be >= 1")
+    return float(block_size)
+
+
+def theoretical_computation_reduction(block_size: int) -> float:
+    """Theoretical computation reduction TCR = n / log2(n) (1.0 when n <= 2)."""
+    if block_size < 1:
+        raise ValueError("block size must be >= 1")
+    if block_size == 1:
+        return 1.0
+    return float(block_size / np.log2(block_size))
+
+
+def layer_storage_reduction(spec: BlockCirculantSpec) -> float:
+    """Exact storage reduction of one layer, accounting for zero padding."""
+    return spec.dense_parameters / spec.circulant_parameters
+
+
+def layer_computation_reduction(spec: BlockCirculantSpec, use_rfft: bool = False) -> float:
+    """Exact FLOP reduction of one layer's mat-vec, accounting for padding."""
+    from .spectral import block_circulant_operation_count, dense_operation_count
+
+    dense = dense_operation_count(spec.out_features, spec.in_features)
+    compressed = block_circulant_operation_count(spec, use_rfft=use_rfft)
+    return dense / compressed
+
+
+@dataclass(frozen=True)
+class CompressionSummary:
+    """One row of Table III (ratios only; accuracy comes from training runs)."""
+
+    block_size: int
+    theoretical_computation_reduction: float
+    storage_reduction: float
+
+
+def summarize_block_sizes(block_sizes: Iterable[int]) -> List[CompressionSummary]:
+    """Build the TCR / SR columns of Table III for the given block sizes."""
+    return [
+        CompressionSummary(
+            block_size=n,
+            theoretical_computation_reduction=theoretical_computation_reduction(n),
+            storage_reduction=storage_reduction(n),
+        )
+        for n in block_sizes
+    ]

@@ -1,0 +1,66 @@
+"""Experiment harnesses for every table and figure in the paper's evaluation."""
+
+from .ablations import (
+    AggregatorOnlyResult,
+    RFFTAblationResult,
+    render_aggregator_only,
+    run_aggregator_only_ablation,
+    run_rfft_ablation,
+)
+from .figure6 import (
+    PAPER_FIGURE6_SUMMARY,
+    Figure6Entry,
+    Figure6Result,
+    render_figure6,
+    run_figure6,
+)
+from .figure7 import (
+    PAPER_FIGURE7_SUMMARY,
+    Figure7Entry,
+    Figure7Result,
+    render_figure7,
+    run_figure7,
+)
+from .table2 import PAPER_TABLE2, Table2Row, render_table2, run_table2
+from .table3 import PAPER_TABLE3, Table3Cell, Table3Result, render_table3, run_table3
+from .table5 import PAPER_TABLE5, Table5Row, render_table5, run_table5
+from .table6 import PAPER_TABLE6, Table6Row, render_table6, run_table6
+from .tables import format_float, format_scientific, format_table
+
+__all__ = [
+    "format_table",
+    "format_float",
+    "format_scientific",
+    "PAPER_TABLE2",
+    "Table2Row",
+    "run_table2",
+    "render_table2",
+    "PAPER_TABLE3",
+    "Table3Cell",
+    "Table3Result",
+    "run_table3",
+    "render_table3",
+    "PAPER_TABLE5",
+    "Table5Row",
+    "run_table5",
+    "render_table5",
+    "PAPER_TABLE6",
+    "Table6Row",
+    "run_table6",
+    "render_table6",
+    "PAPER_FIGURE6_SUMMARY",
+    "Figure6Entry",
+    "Figure6Result",
+    "run_figure6",
+    "render_figure6",
+    "PAPER_FIGURE7_SUMMARY",
+    "Figure7Entry",
+    "Figure7Result",
+    "run_figure7",
+    "render_figure7",
+    "RFFTAblationResult",
+    "run_rfft_ablation",
+    "AggregatorOnlyResult",
+    "run_aggregator_only_ablation",
+    "render_aggregator_only",
+]

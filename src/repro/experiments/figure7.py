@@ -1,0 +1,109 @@
+"""Experiment harness for Figure 7 — energy-efficiency comparison.
+
+Figure 7 reports Nodes-per-Joule of BlockGNN-opt (measured at about 4.6 W)
+against the Xeon Gold 5220 CPU baseline (125 W) on every (model, dataset)
+task; Section IV-D summarises the result as 33.9x–111.9x energy savings,
+68.9x on average.  This harness derives the same metric from the Figure 6
+latency estimates and the published power numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.datasets import dataset_stats
+from ..hardware.energy import BLOCKGNN_POWER_WATTS, CPU_POWER_WATTS, EnergyResult
+from .figure6 import DEFAULT_DATASETS, DEFAULT_MODELS, Figure6Result, run_figure6
+from .tables import format_scientific, format_table
+
+__all__ = ["PAPER_FIGURE7_SUMMARY", "Figure7Entry", "Figure7Result", "run_figure7", "render_figure7"]
+
+#: Headline numbers quoted in Section IV-D for Figure 7.
+PAPER_FIGURE7_SUMMARY = {
+    "min_energy_reduction": 33.9,
+    "max_energy_reduction": 111.9,
+    "mean_energy_reduction": 68.9,
+}
+
+
+@dataclass(frozen=True)
+class Figure7Entry:
+    """Energy efficiency of BlockGNN-opt and the CPU on one task."""
+
+    model: str
+    dataset: str
+    blockgnn: EnergyResult
+    cpu: EnergyResult
+
+    @property
+    def energy_reduction(self) -> float:
+        return self.blockgnn.nodes_per_joule / self.cpu.nodes_per_joule
+
+
+@dataclass
+class Figure7Result:
+    """All Figure 7 entries plus the aggregate reduction statistics."""
+
+    entries: List[Figure7Entry] = field(default_factory=list)
+
+    @property
+    def min_energy_reduction(self) -> float:
+        return min(e.energy_reduction for e in self.entries)
+
+    @property
+    def max_energy_reduction(self) -> float:
+        return max(e.energy_reduction for e in self.entries)
+
+    @property
+    def mean_energy_reduction(self) -> float:
+        values = [e.energy_reduction for e in self.entries]
+        return sum(values) / len(values)
+
+
+def run_figure7(
+    figure6: Optional[Figure6Result] = None,
+    models: Sequence[str] = DEFAULT_MODELS,
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    blockgnn_power: float = BLOCKGNN_POWER_WATTS,
+    cpu_power: float = CPU_POWER_WATTS,
+    **figure6_kwargs,
+) -> Figure7Result:
+    """Compute Nodes/J for BlockGNN-opt and the CPU on every task."""
+    figure6 = figure6 if figure6 is not None else run_figure6(models, datasets, **figure6_kwargs)
+    result = Figure7Result()
+    for entry in figure6.entries:
+        num_nodes = dataset_stats(entry.dataset).num_nodes
+        blockgnn = EnergyResult(
+            platform="BlockGNN-opt",
+            num_nodes=num_nodes,
+            latency_seconds=entry.blockgnn_opt_seconds,
+            power_watts=blockgnn_power,
+        )
+        cpu = EnergyResult(
+            platform="CPU",
+            num_nodes=num_nodes,
+            latency_seconds=entry.cpu_seconds,
+            power_watts=cpu_power,
+        )
+        result.entries.append(
+            Figure7Entry(model=entry.model, dataset=entry.dataset, blockgnn=blockgnn, cpu=cpu)
+        )
+    return result
+
+
+def render_figure7(result: Figure7Result) -> str:
+    """Render the Nodes/J series of Figure 7 as a table."""
+    rows = []
+    for entry in result.entries:
+        rows.append(
+            [
+                entry.model,
+                entry.dataset,
+                format_scientific(entry.blockgnn.nodes_per_joule),
+                format_scientific(entry.cpu.nodes_per_joule),
+                f"{entry.energy_reduction:.1f}x",
+            ]
+        )
+    headers = ["Model", "Dataset", "BlockGNN Nodes/J", "CPU Nodes/J", "Energy reduction"]
+    return format_table(headers, rows)

@@ -1,0 +1,93 @@
+"""Experiment harness for Table V — searched optimal parameters for GS-Pool.
+
+Runs the Section III-D design-space exploration for the GS-Pool model on each
+benchmark dataset (block size 128, ZC706 DSP budget, S1 = 25, S2 = 10,
+512-dim hidden vectors) and reports the chosen ``x, y, r, c, l, m`` and the
+estimated minimum cycles, next to the paper's reported configuration.
+
+The paper states that the aggregation phase dominates GS-Pool, so its model
+only counts aggregation cycles; ``phases`` defaults to the same approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.datasets import dataset_stats
+from ..perfmodel.search import DesignPoint, SearchSpace, search_optimal_config
+from ..workloads.builder import build_workload
+from .tables import format_table
+
+__all__ = ["PAPER_TABLE5", "Table5Row", "run_table5", "render_table5"]
+
+#: The configurations reported in the paper's Table V (GS-Pool, n = 128).
+PAPER_TABLE5: Dict[str, Dict[str, float]] = {
+    "cora": {"x": 18, "y": 7, "r": 6, "c": 4, "l": 1, "m": 1, "min_cycles": 24.9e6},
+    "citeseer": {"x": 21, "y": 4, "r": 6, "c": 4, "l": 1, "m": 1, "min_cycles": 64.4e6},
+    "pubmed": {"x": 14, "y": 15, "r": 4, "c": 4, "l": 1, "m": 1, "min_cycles": 95.4e6},
+    "reddit": {"x": 15, "y": 13, "r": 5, "c": 4, "l": 1, "m": 1, "min_cycles": 1240.3e6},
+}
+
+DEFAULT_DATASETS = ("cora", "citeseer", "pubmed", "reddit")
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    """The searched configuration for one dataset."""
+
+    dataset: str
+    design: DesignPoint
+    paper: Dict[str, float]
+
+    @property
+    def parameters(self) -> Dict[str, int]:
+        return self.design.config.describe()
+
+    @property
+    def min_cycles(self) -> float:
+        return self.design.total_cycles
+
+
+def run_table5(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    model: str = "GS-Pool",
+    block_size: int = 128,
+    hidden_features: int = 512,
+    sample_sizes: Tuple[int, int] = (25, 10),
+    phases: Sequence[str] = ("aggregation",),
+    space: Optional[SearchSpace] = None,
+) -> List[Table5Row]:
+    """Run the DSE for every dataset and pair the result with the paper's row."""
+    rows: List[Table5Row] = []
+    for dataset in datasets:
+        stats = dataset_stats(dataset)
+        workload = build_workload(
+            model, stats, hidden_features=hidden_features, sample_sizes=sample_sizes
+        )
+        design = search_optimal_config(workload, block_size=block_size, phases=phases, space=space)
+        rows.append(Table5Row(dataset=stats.name, design=design, paper=PAPER_TABLE5.get(stats.name, {})))
+    return rows
+
+
+def render_table5(rows: Sequence[Table5Row]) -> str:
+    """Render the searched parameters in the paper's Table V layout."""
+    table_rows = []
+    for row in rows:
+        params = row.parameters
+        paper_cycles = row.paper.get("min_cycles")
+        table_rows.append(
+            [
+                row.dataset,
+                params["x"],
+                params["y"],
+                params["r"],
+                params["c"],
+                params["l"],
+                params["m"],
+                f"{row.min_cycles / 1e6:.1f}M",
+                f"{paper_cycles / 1e6:.1f}M" if paper_cycles else "n/a",
+            ]
+        )
+    headers = ["Dataset", "x", "y", "r", "c", "l", "m", "min cycles", "paper cycles"]
+    return format_table(headers, table_rows)

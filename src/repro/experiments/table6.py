@@ -1,0 +1,74 @@
+"""Experiment harness for Table VI — FPGA resource utilisation for GS-Pool.
+
+For every dataset's searched BlockGNN-opt configuration (Table V), report the
+estimated BRAM / DSP / FF / LUT utilisation on the ZC706 next to the paper's
+measured post-implementation numbers.  The DSP column uses the published
+Equation 8 coefficients; the other columns use the calibrated per-component
+costs documented in :class:`repro.hardware.config.HardwareConstants`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..hardware.config import HardwareConstants, ZC706
+from ..perfmodel.resources import ResourceUsage, estimate_resources
+from ..perfmodel.search import SearchSpace
+from .table5 import Table5Row, run_table5
+from .tables import format_table
+
+__all__ = ["PAPER_TABLE6", "Table6Row", "run_table6", "render_table6"]
+
+#: Utilisation percentages reported in the paper's Table VI.
+PAPER_TABLE6: Dict[str, Dict[str, float]] = {
+    "cora": {"BRAM_18K": 0.393, "DSP48": 0.998, "FF": 0.277, "LUT": 0.346},
+    "citeseer": {"BRAM_18K": 0.418, "DSP48": 0.998, "FF": 0.353, "LUT": 0.448},
+    "pubmed": {"BRAM_18K": 0.422, "DSP48": 0.936, "FF": 0.361, "LUT": 0.322},
+    "reddit": {"BRAM_18K": 0.429, "DSP48": 0.987, "FF": 0.391, "LUT": 0.453},
+}
+
+#: Device totals quoted in Table VI.
+DEVICE_TOTALS = {"BRAM_18K": 1090, "DSP48": 900, "FF": 437_200, "LUT": 218_600}
+
+
+@dataclass(frozen=True)
+class Table6Row:
+    """Resource utilisation of one dataset's BlockGNN-opt configuration."""
+
+    dataset: str
+    resources: ResourceUsage
+    paper: Dict[str, float]
+
+    @property
+    def utilization(self) -> Dict[str, float]:
+        return self.resources.utilization()
+
+
+def run_table6(
+    table5_rows: Optional[Sequence[Table5Row]] = None,
+    constants: HardwareConstants = ZC706,
+    space: Optional[SearchSpace] = None,
+) -> List[Table6Row]:
+    """Compute the utilisation of every searched configuration."""
+    rows = table5_rows if table5_rows is not None else run_table5(space=space)
+    results: List[Table6Row] = []
+    for row in rows:
+        usage = estimate_resources(row.design.config, constants)
+        results.append(Table6Row(dataset=row.dataset, resources=usage, paper=PAPER_TABLE6.get(row.dataset, {})))
+    return results
+
+
+def render_table6(rows: Sequence[Table6Row]) -> str:
+    """Render the utilisation table (measured% / paper%)."""
+    table_rows = []
+    for row in rows:
+        utilization = row.utilization
+        cells = [row.dataset]
+        for key in ("BRAM_18K", "DSP48", "FF", "LUT"):
+            measured = utilization[key] * 100.0
+            paper = row.paper.get(key)
+            cells.append(f"{measured:.1f}%" + (f" ({paper * 100.0:.1f}%)" if paper is not None else ""))
+        table_rows.append(cells)
+    headers = ["Dataset", "BRAM_18K", "DSP48", "FF", "LUT"]
+    return format_table(headers, table_rows)

@@ -1,0 +1,39 @@
+"""Small helpers for rendering experiment results as ASCII tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_float", "format_scientific"]
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Format a float compactly (NaN-safe)."""
+    if value != value:  # NaN
+        return "n/a"
+    return f"{value:.{digits}f}"
+
+
+def format_scientific(value: float, digits: int = 2) -> str:
+    """Format a float in scientific notation (NaN-safe)."""
+    if value != value:
+        return "n/a"
+    return f"{value:.{digits}e}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render ``rows`` under ``headers`` with column-wise alignment."""
+    string_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    header_line = "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers))
+    separator = "-" * len(header_line)
+    body = [
+        "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+        for row in string_rows
+    ]
+    return "\n".join([header_line, separator, *body])

@@ -1,0 +1,168 @@
+"""GraphSAGE-style neighbour sampling and mini-batch construction.
+
+The paper adopts the sampling-based aggregation strategy of GraphSAGE for all
+four GNN variants with sample sizes ``S1 = 25`` and ``S2 = 10`` (Section IV-A).
+A :class:`MiniBatch` bundles, for every layer, the sampled neighbourhood of
+the nodes whose representations that layer must produce, already translated
+to *local* row indices so that models can aggregate with plain fancy
+indexing on dense feature tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["SampledBlock", "MiniBatch", "NeighborSampler", "minibatch_iterator"]
+
+
+@dataclass
+class SampledBlock:
+    """Sampled neighbourhood for one GNN layer.
+
+    ``self_index`` and ``neighbor_index`` are row indices into the *previous*
+    layer's node array (``MiniBatch.layer_nodes[k]``), so a layer's forward
+    pass is ``h_self = h[self_index]`` and ``h_neigh = h[neighbor_index]``
+    with ``h_neigh`` of shape ``(num_dst, fanout, features)``.
+    """
+
+    dst_nodes: np.ndarray          # global node ids whose output this layer produces
+    self_index: np.ndarray         # (num_dst,) rows of dst nodes in the previous layer's array
+    neighbor_index: np.ndarray     # (num_dst, fanout) rows of sampled neighbours
+
+    @property
+    def num_dst(self) -> int:
+        return len(self.dst_nodes)
+
+    @property
+    def fanout(self) -> int:
+        return self.neighbor_index.shape[1]
+
+
+@dataclass
+class MiniBatch:
+    """A sampled computation graph for a batch of seed nodes.
+
+    Attributes
+    ----------
+    seeds:
+        Global ids of the target nodes (the batch).
+    layer_nodes:
+        ``layer_nodes[0]`` is the input-layer node set; ``layer_nodes[k]`` is
+        the node set whose hidden features layer ``k`` produces
+        (``layer_nodes[-1] == seeds``).
+    blocks:
+        One :class:`SampledBlock` per layer, input-most first.
+    """
+
+    seeds: np.ndarray
+    layer_nodes: List[np.ndarray]
+    blocks: List[SampledBlock]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.blocks)
+
+    def input_nodes(self) -> np.ndarray:
+        """Global ids whose raw features must be gathered before layer 1."""
+        return self.layer_nodes[0]
+
+    def labels(self, graph: Graph) -> np.ndarray:
+        """Labels of the seed nodes."""
+        return graph.labels[self.seeds]
+
+    def input_features(self, graph: Graph) -> np.ndarray:
+        """Raw features of the input-layer nodes."""
+        return graph.features[self.input_nodes()]
+
+
+class NeighborSampler:
+    """Uniform neighbour sampler with replacement (fixed fanout per layer).
+
+    ``fanouts`` are listed from the *first* (input-side) layer to the last,
+    matching the paper's ``S1 = 25, S2 = 10`` convention: layer 1 aggregates
+    25 sampled neighbours per node, layer 2 aggregates 10.
+    """
+
+    def __init__(self, graph: Graph, fanouts: Sequence[int], seed: Optional[int] = None) -> None:
+        if not fanouts or any(f <= 0 for f in fanouts):
+            raise ValueError("fanouts must be positive")
+        self.graph = graph
+        self.fanouts = list(fanouts)
+        self.rng = np.random.default_rng(seed)
+
+    def _sample_neighbors(self, nodes: np.ndarray, fanout: int) -> np.ndarray:
+        """Sample ``fanout`` neighbours (with replacement) for each node.
+
+        Isolated nodes fall back to self-loops so every row is fully
+        populated, mirroring the padding behaviour of GraphSAGE.
+        """
+        graph = self.graph
+        result = np.empty((len(nodes), fanout), dtype=np.int64)
+        for row, node in enumerate(nodes):
+            start, stop = graph.indptr[node], graph.indptr[node + 1]
+            neighborhood = graph.indices[start:stop]
+            if len(neighborhood) == 0:
+                result[row, :] = node
+            else:
+                result[row, :] = self.rng.choice(neighborhood, size=fanout, replace=True)
+        return result
+
+    def sample(self, seeds: Sequence[int]) -> MiniBatch:
+        """Build the sampled computation graph for ``seeds``.
+
+        Sampling proceeds from the output layer inwards: the last layer needs
+        the seeds' neighbours, the layer before needs the neighbours of that
+        union, and so on.
+        """
+        seeds = np.asarray(seeds, dtype=np.int64)
+        if seeds.ndim != 1 or len(seeds) == 0:
+            raise ValueError("seeds must be a non-empty 1-D sequence of node ids")
+
+        dst_per_layer: List[np.ndarray] = [None] * len(self.fanouts)
+        neighbors_per_layer: List[np.ndarray] = [None] * len(self.fanouts)
+        current = seeds
+        for layer in reversed(range(len(self.fanouts))):
+            sampled = self._sample_neighbors(current, self.fanouts[layer])
+            dst_per_layer[layer] = current
+            neighbors_per_layer[layer] = sampled
+            current = np.unique(np.concatenate([current, sampled.reshape(-1)]))
+
+        layer_nodes: List[np.ndarray] = [current]
+        blocks: List[SampledBlock] = []
+        for layer in range(len(self.fanouts)):
+            previous = layer_nodes[-1]
+            lookup = {int(node): row for row, node in enumerate(previous)}
+            dst = dst_per_layer[layer]
+            neighbors = neighbors_per_layer[layer]
+            self_index = np.fromiter((lookup[int(n)] for n in dst), dtype=np.int64, count=len(dst))
+            neighbor_index = np.fromiter(
+                (lookup[int(n)] for n in neighbors.reshape(-1)), dtype=np.int64, count=neighbors.size
+            ).reshape(neighbors.shape)
+            blocks.append(SampledBlock(dst_nodes=dst, self_index=self_index, neighbor_index=neighbor_index))
+            layer_nodes.append(dst)
+        return MiniBatch(seeds=seeds, layer_nodes=layer_nodes, blocks=blocks)
+
+
+def minibatch_iterator(
+    sampler: NeighborSampler,
+    nodes: Sequence[int],
+    batch_size: int,
+    shuffle: bool = True,
+    seed: Optional[int] = None,
+) -> Iterator[MiniBatch]:
+    """Yield :class:`MiniBatch` objects covering ``nodes`` in batches."""
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if batch_size <= 0:
+        raise ValueError("batch size must be positive")
+    order = np.arange(len(nodes))
+    if shuffle:
+        np.random.default_rng(seed).shuffle(order)
+    for start in range(0, len(nodes), batch_size):
+        batch = nodes[order[start: start + batch_size]]
+        if len(batch):
+            yield sampler.sample(batch)

@@ -1,0 +1,68 @@
+"""Hardware models: the BlockGNN accelerator, its components and the baselines."""
+
+from .accelerator import BlockGNNAccelerator, Command, CommandType
+from .buffers import BufferOverflowError, GlobalBuffer, NodeFeatureBuffer, WeightBuffer
+from .circore import CirCore
+from .config import BLOCKGNN_BASE, HYGCN_FPGA_CONFIG, ZC706, CirCoreConfig, HardwareConstants
+from .cpu import XEON_GOLD_5220, CPUConfig, CPUEstimate, CPURooflineModel
+from .energy import (
+    BLOCKGNN_POWER_WATTS,
+    CPU_POWER_WATTS,
+    EnergyResult,
+    compare_energy,
+    energy_joules,
+    nodes_per_joule,
+)
+from .fft_unit import FFTUnit, IFFTUnit
+from .hygcn import HyGCNConfig, HyGCNEstimate, HyGCNModel
+from .quantize import (
+    Q16_8,
+    Q32_16,
+    FixedPointFormat,
+    evaluate_quantized_matvec,
+    quantization_error,
+    quantize,
+    quantize_layer_weights,
+)
+from .systolic import SystolicArray
+from .vpu import VectorProcessingUnit
+
+__all__ = [
+    "CirCoreConfig",
+    "HardwareConstants",
+    "ZC706",
+    "BLOCKGNN_BASE",
+    "HYGCN_FPGA_CONFIG",
+    "FFTUnit",
+    "IFFTUnit",
+    "SystolicArray",
+    "VectorProcessingUnit",
+    "WeightBuffer",
+    "NodeFeatureBuffer",
+    "GlobalBuffer",
+    "BufferOverflowError",
+    "CirCore",
+    "BlockGNNAccelerator",
+    "Command",
+    "CommandType",
+    "HyGCNModel",
+    "HyGCNConfig",
+    "HyGCNEstimate",
+    "CPURooflineModel",
+    "CPUConfig",
+    "CPUEstimate",
+    "XEON_GOLD_5220",
+    "EnergyResult",
+    "nodes_per_joule",
+    "energy_joules",
+    "compare_energy",
+    "BLOCKGNN_POWER_WATTS",
+    "CPU_POWER_WATTS",
+    "FixedPointFormat",
+    "Q32_16",
+    "Q16_8",
+    "quantize",
+    "quantization_error",
+    "quantize_layer_weights",
+    "evaluate_quantized_matvec",
+]

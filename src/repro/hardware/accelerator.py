@@ -1,0 +1,212 @@
+"""The BlockGNN accelerator (Figure 3).
+
+The accelerator follows the vertex-centric workflow of the paper: the host
+CPU samples a batch of neighbour nodes and pushes their features plus control
+commands; the accelerator runs the aggregation/combination compute on its
+CirCore + VPU, reading spectral weights from the Weight Buffer and staging
+features in the double-buffered Node Feature Buffer; updated features flow
+back to host DRAM.
+
+Two complementary views are provided:
+
+* a **functional simulator** that executes compressed layers on real data
+  (used by the equivalence tests and the ``accelerator_simulation`` example);
+* an **analytical estimator** that evaluates the Section III-D performance
+  model for full-scale workloads (used by the Figure 6/7 benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..compression.circulant import BlockCirculantSpec
+from ..compression.spectral import spectral_weights
+from ..nn.linear import BlockCirculantLinear
+from ..nn.module import Module
+from .buffers import GlobalBuffer
+from .circore import CirCore
+from .config import CirCoreConfig, HardwareConstants, ZC706
+from .vpu import VectorProcessingUnit
+
+__all__ = ["CommandType", "Command", "BlockGNNAccelerator"]
+
+
+class CommandType(Enum):
+    """Control commands issued by the host CPU (Figure 3's Cmd. FIFO)."""
+
+    LOAD_WEIGHTS = auto()
+    LOAD_FEATURES = auto()
+    AGGREGATE = auto()
+    COMBINE = auto()
+    STORE_FEATURES = auto()
+
+
+@dataclass(frozen=True)
+class Command:
+    """One entry of the command FIFO."""
+
+    kind: CommandType
+    operand: str = ""
+
+
+@dataclass
+class _StoredLayer:
+    """A compressed layer resident in the Weight Buffer."""
+
+    name: str
+    spec: BlockCirculantSpec
+    spectral: np.ndarray
+    bias: Optional[np.ndarray]
+    activation: Optional[str]
+
+
+class BlockGNNAccelerator:
+    """Functional + analytical model of the BlockGNN accelerator."""
+
+    def __init__(
+        self,
+        config: CirCoreConfig,
+        constants: HardwareConstants = ZC706,
+    ) -> None:
+        self.config = config
+        self.constants = constants
+        self.circore = CirCore(config, constants)
+        self.vpu = VectorProcessingUnit(lanes=config.vpu_lanes, constants=constants)
+        self.buffers = GlobalBuffer(constants)
+        self.command_log: List[Command] = []
+        self._layers: Dict[str, _StoredLayer] = {}
+
+    # -- weight management -------------------------------------------------------
+
+    def load_layer(
+        self,
+        name: str,
+        layer: BlockCirculantLinear,
+        activation: Optional[str] = None,
+    ) -> None:
+        """Pre-compute ``FFT(W)`` for a compressed layer and park it in the WB."""
+        if layer.block_size != self.config.block_size:
+            raise ValueError(
+                f"layer block size {layer.block_size} does not match the accelerator "
+                f"({self.config.block_size})"
+            )
+        w_hat = spectral_weights(layer.weight.data)
+        self.buffers.weight_buffer.store(name, w_hat)
+        bias = layer.bias.data.copy() if layer.bias is not None else None
+        self._layers[name] = _StoredLayer(name, layer.spec, w_hat, bias, activation)
+        self.command_log.append(Command(CommandType.LOAD_WEIGHTS, name))
+
+    def load_model(self, model: Module, activation: str = "relu") -> List[str]:
+        """Load every compressed layer of ``model`` into the Weight Buffer.
+
+        Returns the stored layer names in model order.  Dense layers are
+        skipped (they would run on the host in a mixed deployment).
+        """
+        stored: List[str] = []
+        for path, module in model.named_modules():
+            if isinstance(module, BlockCirculantLinear):
+                self.load_layer(path, module, activation=activation)
+                stored.append(path)
+        return stored
+
+    def stored_layers(self) -> List[str]:
+        return list(self._layers)
+
+    # -- functional execution --------------------------------------------------------
+
+    def execute_linear(self, name: str, features: np.ndarray, apply_activation: bool = False) -> np.ndarray:
+        """Run one stored compressed layer on a batch of feature vectors.
+
+        The datapath is: NFB load -> FFT channels -> systolic spectral MAC ->
+        IFFT channels -> VPU bias add (and optional activation) -> NFB store.
+        """
+        if name not in self._layers:
+            raise KeyError(f"layer '{name}' is not loaded; call load_layer() first")
+        stored = self._layers[name]
+        features = np.asarray(features, dtype=np.float64)
+        batch = features[None, :] if features.ndim == 1 else features
+
+        self.command_log.append(Command(CommandType.LOAD_FEATURES, name))
+        self.buffers.feature_buffer.load_batch(batch)
+
+        self.circore.load_spectral_weights(stored.spectral, stored.spec)
+        outputs = self.circore.matvec(batch)
+        if stored.bias is not None:
+            outputs = self.vpu.add_bias(outputs, stored.bias)
+        if apply_activation and stored.activation == "relu":
+            outputs = self.vpu.relu(outputs)
+        elif apply_activation and stored.activation == "elu":
+            outputs = self.vpu.elu(outputs)
+
+        self.buffers.feature_buffer.store_batch(outputs)
+        self.command_log.append(Command(CommandType.STORE_FEATURES, name))
+        return outputs[0] if features.ndim == 1 else outputs
+
+    def execute_sequence(self, features: np.ndarray, names: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Chain stored layers (with their activations) over a feature batch."""
+        names = list(names) if names is not None else self.stored_layers()
+        current = np.asarray(features, dtype=np.float64)
+        for index, name in enumerate(names):
+            apply_activation = index < len(names) - 1
+            current = self.execute_linear(name, current, apply_activation=apply_activation)
+        return current
+
+    # -- GS-Pool style aggregation (max pooling over sampled neighbours) ----------------
+
+    def aggregate_max_pool(self, name: str, neighbor_features: np.ndarray) -> np.ndarray:
+        """Pooling aggregation: FC every neighbour through CirCore, ReLU + max on the VPU.
+
+        ``neighbor_features`` has shape ``(num_nodes, fanout, in_features)``;
+        the result has shape ``(num_nodes, pool_features)``.
+        """
+        neighbor_features = np.asarray(neighbor_features, dtype=np.float64)
+        if neighbor_features.ndim != 3:
+            raise ValueError("neighbor_features must be (num_nodes, fanout, in_features)")
+        num_nodes, fanout, in_features = neighbor_features.shape
+        self.command_log.append(Command(CommandType.AGGREGATE, name))
+        flat = neighbor_features.reshape(num_nodes * fanout, in_features)
+        projected = self.execute_linear(name, flat)
+        projected = self.vpu.relu(projected)
+        pooled = self.vpu.max_pool(projected.reshape(num_nodes, fanout, -1), axis=1)
+        return pooled
+
+    # -- analytical estimation ------------------------------------------------------------
+
+    def estimate_latency(self, workload, phases: Sequence[str] = ("aggregation", "combination")):
+        """Evaluate the Section III-D performance model for ``workload``.
+
+        Returns a :class:`repro.perfmodel.PerformanceEstimate`.  Imported
+        lazily to keep the hardware package importable on its own.
+        """
+        from ..perfmodel.model import estimate_performance
+
+        return estimate_performance(workload, self.config, self.constants, phases)
+
+    def estimate_resources(self):
+        """Evaluate the Equation 8 resource model for this configuration."""
+        from ..perfmodel.resources import estimate_resources
+
+        return estimate_resources(self.config, self.constants)
+
+    # -- statistics -------------------------------------------------------------------------
+
+    def utilization_report(self) -> Dict[str, float]:
+        """Busy-cycle and buffer statistics accumulated by the functional units."""
+        return {
+            "fft_busy_cycles": float(self.circore.fft_unit.busy_cycles),
+            "mac_busy_cycles": float(self.circore.systolic.busy_cycles),
+            "ifft_busy_cycles": float(self.circore.ifft_unit.busy_cycles),
+            "vpu_busy_cycles": float(self.vpu.busy_cycles),
+            "weight_buffer_utilization": self.buffers.weight_buffer.utilization,
+            "feature_traffic_bytes": float(self.buffers.feature_buffer.total_traffic_bytes),
+        }
+
+    def reset_stats(self) -> None:
+        self.circore.reset_stats()
+        self.vpu.reset_stats()
+        self.buffers.feature_buffer.reset_stats()
+        self.command_log.clear()

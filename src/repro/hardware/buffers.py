@@ -1,0 +1,142 @@
+"""On-chip Global Buffer: Weight Buffer (WB) and Node Feature Buffer (NFB).
+
+Section III-C: the global buffer is partitioned into a 256 KB Weight Buffer
+holding the pre-computed spectral weights ``W_hat`` of every layer, and a
+512 KB Node Feature Buffer that double-buffers (ping-pong) input/updated
+features so DRAM transfers overlap with compute.  This module models
+capacities, occupancy and traffic, and raises when a model or batch does not
+fit — the same check the prototype's designers had to satisfy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .config import HardwareConstants, ZC706
+
+__all__ = ["BufferOverflowError", "WeightBuffer", "NodeFeatureBuffer", "GlobalBuffer"]
+
+
+class BufferOverflowError(RuntimeError):
+    """Raised when data does not fit into an on-chip buffer."""
+
+
+@dataclass
+class WeightBuffer:
+    """Holds the spectral weights of all layers (read-only during inference)."""
+
+    capacity_bytes: int = ZC706.weight_buffer_bytes
+    bytes_per_value: int = ZC706.bytes_per_value
+    _entries: Dict[str, np.ndarray] = field(default_factory=dict, init=False, repr=False)
+
+    def store(self, name: str, spectral_weights: np.ndarray) -> None:
+        """Store one matrix's spectral weights (complex values count twice)."""
+        spectral_weights = np.asarray(spectral_weights)
+        new_bytes = self._nbytes(spectral_weights)
+        if self.used_bytes - self._entry_bytes(name) + new_bytes > self.capacity_bytes:
+            raise BufferOverflowError(
+                f"weight buffer overflow: storing '{name}' needs {new_bytes} bytes, "
+                f"only {self.capacity_bytes - self.used_bytes} free"
+            )
+        self._entries[name] = spectral_weights
+
+    def load(self, name: str) -> np.ndarray:
+        if name not in self._entries:
+            raise KeyError(f"weight '{name}' not present in the weight buffer")
+        return self._entries[name]
+
+    def _nbytes(self, array: np.ndarray) -> int:
+        complex_factor = 2 if np.iscomplexobj(array) else 1
+        return int(array.size) * self.bytes_per_value * complex_factor
+
+    def _entry_bytes(self, name: str) -> int:
+        return self._nbytes(self._entries[name]) if name in self._entries else 0
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._nbytes(array) for array in self._entries.values())
+
+    @property
+    def utilization(self) -> float:
+        return self.used_bytes / self.capacity_bytes
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+@dataclass
+class NodeFeatureBuffer:
+    """Double-buffered feature store for one processing batch."""
+
+    capacity_bytes: int = ZC706.feature_buffer_bytes
+    bytes_per_value: int = ZC706.bytes_per_value
+    bytes_loaded: int = field(default=0, init=False)
+    bytes_stored: int = field(default=0, init=False)
+    _current: Optional[np.ndarray] = field(default=None, init=False, repr=False)
+
+    @property
+    def bank_bytes(self) -> int:
+        """Capacity of one ping-pong bank (half the buffer)."""
+        return self.capacity_bytes // 2
+
+    def max_nodes_per_batch(self, feature_dim: int) -> int:
+        """How many node feature vectors fit into one bank."""
+        per_node = feature_dim * self.bytes_per_value
+        return max(self.bank_bytes // per_node, 1)
+
+    def load_batch(self, features: np.ndarray) -> np.ndarray:
+        """Load a batch of node features from DRAM into the active bank."""
+        features = np.asarray(features, dtype=np.float64)
+        nbytes = features.size * self.bytes_per_value
+        if nbytes > self.bank_bytes:
+            raise BufferOverflowError(
+                f"feature batch of {nbytes} bytes exceeds the {self.bank_bytes}-byte NFB bank"
+            )
+        self.bytes_loaded += nbytes
+        self._current = features
+        return features
+
+    def store_batch(self, features: np.ndarray) -> None:
+        """Write updated features back towards DRAM (counts traffic only)."""
+        features = np.asarray(features)
+        self.bytes_stored += features.size * self.bytes_per_value
+
+    @property
+    def total_traffic_bytes(self) -> int:
+        return self.bytes_loaded + self.bytes_stored
+
+    def reset_stats(self) -> None:
+        self.bytes_loaded = 0
+        self.bytes_stored = 0
+        self._current = None
+
+
+@dataclass
+class GlobalBuffer:
+    """The partitioned global buffer of the BlockGNN accelerator."""
+
+    constants: HardwareConstants = ZC706
+    weight_buffer: WeightBuffer = field(default=None)  # type: ignore[assignment]
+    feature_buffer: NodeFeatureBuffer = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.weight_buffer is None:
+            self.weight_buffer = WeightBuffer(
+                capacity_bytes=self.constants.weight_buffer_bytes,
+                bytes_per_value=self.constants.bytes_per_value,
+            )
+        if self.feature_buffer is None:
+            self.feature_buffer = NodeFeatureBuffer(
+                capacity_bytes=self.constants.feature_buffer_bytes,
+                bytes_per_value=self.constants.bytes_per_value,
+            )
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "weight_buffer_used_bytes": self.weight_buffer.used_bytes,
+            "weight_buffer_utilization": self.weight_buffer.utilization,
+            "feature_traffic_bytes": self.feature_buffer.total_traffic_bytes,
+        }

@@ -1,0 +1,143 @@
+"""CirCore — the three-stage pipelined block-circulant compute core (Fig. 4).
+
+Stage 1: ``x`` FFT channels transform feature sub-vectors into the spectral
+domain.  Stage 2: an ``r x c`` weight-stationary systolic array performs the
+element-wise complex MACs against the pre-loaded spectral weights,
+accumulating over input blocks directly in the spectral domain.  Stage 3:
+``y`` IFFT channels transform the ``p`` accumulated sub-vectors back.
+
+The class provides both views used throughout the repository:
+
+* **functional** — :meth:`matvec` executes the datapath on real data and is
+  bit-wise (up to float tolerance) equivalent to
+  :func:`repro.compression.spectral.block_circulant_matmul`, which the test
+  suite asserts;
+* **analytical** — :meth:`cycles_for_vectors` evaluates Equations 3–5 plus the
+  pipeline-fill overhead and reports the bottleneck stage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..compression.circulant import BlockCirculantSpec, pad_to_multiple
+from ..compression.spectral import spectral_weights
+from .config import CirCoreConfig, HardwareConstants, ZC706
+from .fft_unit import FFTUnit, IFFTUnit
+from .systolic import SystolicArray
+
+__all__ = ["CirCore"]
+
+
+@dataclass
+class CirCore:
+    """The pipelined FFT -> spectral-MAC -> IFFT core."""
+
+    config: CirCoreConfig
+    constants: HardwareConstants = ZC706
+    fft_unit: FFTUnit = field(default=None)      # type: ignore[assignment]
+    systolic: SystolicArray = field(default=None)  # type: ignore[assignment]
+    ifft_unit: FFTUnit = field(default=None)     # type: ignore[assignment]
+    _spec: Optional[BlockCirculantSpec] = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        n = self.config.block_size
+        if self.fft_unit is None:
+            self.fft_unit = FFTUnit(self.config.fft_channels, n, self.constants)
+        if self.ifft_unit is None:
+            self.ifft_unit = IFFTUnit(self.config.ifft_channels, n, self.constants)
+        if self.systolic is None:
+            self.systolic = SystolicArray(
+                rows=self.config.systolic_rows,
+                cols=self.config.systolic_cols,
+                pe_parallelism=self.config.pe_parallelism,
+                block_size=n,
+                constants=self.constants,
+            )
+
+    # -- weight loading ---------------------------------------------------------
+
+    def load_weights(self, weights: np.ndarray, spec: BlockCirculantSpec) -> None:
+        """Pre-compute ``FFT(W)`` and park it in the systolic array (weight-stationary)."""
+        if spec.block_size != self.config.block_size:
+            raise ValueError(
+                f"weight block size {spec.block_size} does not match the core ({self.config.block_size})"
+            )
+        self._spec = spec
+        self.systolic.load_weights(spectral_weights(weights))
+
+    def load_spectral_weights(self, w_hat: np.ndarray, spec: BlockCirculantSpec) -> None:
+        """Load already-transformed spectral weights (as stored in the Weight Buffer)."""
+        if spec.block_size != self.config.block_size:
+            raise ValueError("weight block size mismatch")
+        self._spec = spec
+        self.systolic.load_weights(np.asarray(w_hat))
+
+    @property
+    def spec(self) -> BlockCirculantSpec:
+        if self._spec is None:
+            raise RuntimeError("no weights loaded")
+        return self._spec
+
+    # -- functional datapath -------------------------------------------------------
+
+    def matvec(self, features: np.ndarray) -> np.ndarray:
+        """Run a batch of feature vectors through the three pipeline stages.
+
+        ``features`` is ``(batch, in_features)`` (or a single vector); the
+        result is ``(batch, out_features)``.  Numerically equivalent to the
+        software kernel of Algorithm 1.
+        """
+        spec = self.spec
+        features = np.asarray(features, dtype=np.float64)
+        squeeze = features.ndim == 1
+        if squeeze:
+            features = features[None, :]
+        if features.shape[-1] != spec.in_features:
+            raise ValueError(
+                f"feature dimension {features.shape[-1]} does not match the loaded weights "
+                f"({spec.in_features})"
+            )
+        n = spec.block_size
+        padded = pad_to_multiple(features, n, axis=-1).reshape(features.shape[0], spec.q, n)
+        spectral_inputs = self.fft_unit.process(padded)
+        spectral_outputs = self.systolic.process(spectral_inputs)
+        spatial = np.real(self.ifft_unit.process(spectral_outputs))
+        outputs = spatial.reshape(features.shape[0], spec.padded_out)[:, : spec.out_features]
+        return outputs[0] if squeeze else outputs
+
+    # -- analytical timing -------------------------------------------------------------
+
+    def stage_cycles(self, num_vectors: int, spec: Optional[BlockCirculantSpec] = None) -> Dict[str, int]:
+        """Per-stage cycles for ``num_vectors`` feature vectors (Eqs. 3–5)."""
+        spec = spec if spec is not None else self.spec
+        fft = self.fft_unit.cycles_for(num_vectors * spec.q)
+        mac = self.systolic.cycles_for(num_vectors, p=spec.p, q=spec.q)
+        ifft = self.ifft_unit.cycles_for(num_vectors * spec.p)
+        return {"fft": fft, "mac": mac, "ifft": ifft}
+
+    def cycles_for_vectors(self, num_vectors: int, spec: Optional[BlockCirculantSpec] = None) -> int:
+        """Pipelined cycles: bottleneck stage plus the fill latency of the other stages."""
+        stages = self.stage_cycles(num_vectors, spec)
+        spec = spec if spec is not None else self.spec
+        bottleneck = max(stages.values())
+        # Pipeline fill: one transform through the FFT stage and one systolic pass.
+        fill = self.fft_unit.cycles_per_transform + self.systolic.cycles_for(1, p=spec.p, q=spec.q)
+        return bottleneck + fill
+
+    def bottleneck_stage(self, num_vectors: int, spec: Optional[BlockCirculantSpec] = None) -> str:
+        stages = self.stage_cycles(num_vectors, spec)
+        return max(stages, key=stages.get)
+
+    @property
+    def dsp_cost(self) -> int:
+        return self.fft_unit.dsp_cost + self.ifft_unit.dsp_cost + self.systolic.dsp_cost
+
+    def reset_stats(self) -> None:
+        self.fft_unit.reset_stats()
+        self.ifft_unit.reset_stats()
+        self.systolic.reset_stats()

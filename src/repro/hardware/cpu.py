@@ -1,0 +1,104 @@
+"""Intel Xeon Gold 5220 CPU baseline (Section IV-A, comparison point 3).
+
+The paper's CPU baseline runs the uncompressed GNN models in the
+TensorFlow-based GraphSAGE framework on a Xeon Gold 5220 server (125 W).
+We model it with a roofline: execution time per phase is the maximum of the
+compute time (peak FLOP/s scaled by an achievable-efficiency factor) and the
+memory time (feature traffic over the sustained DRAM bandwidth).
+
+The peak numbers come from the CPU's public specification (18 cores, 2.2 GHz,
+one AVX-512 FMA unit -> 32 FP32 FLOPs/cycle/core; 6 DDR4-2666 channels).  The
+``efficiency`` factor is a calibration constant: framework-level GNN
+inference with Python/TensorFlow overheads and gather-heavy aggregation
+achieves a few percent of peak, which is what places the CPU between
+BlockGNN-opt and HyGCN as in Figure 6.  The factor is exposed so users can
+explore other operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..workloads.spec import GNNWorkload, Phase
+
+__all__ = ["CPUConfig", "CPUEstimate", "CPURooflineModel", "XEON_GOLD_5220"]
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """Roofline parameters of a CPU platform."""
+
+    name: str
+    cores: int
+    frequency_hz: float
+    flops_per_cycle_per_core: float
+    memory_bandwidth_bytes_per_s: float
+    efficiency: float
+    power_watts: float
+
+    @property
+    def peak_flops(self) -> float:
+        return self.cores * self.frequency_hz * self.flops_per_cycle_per_core
+
+    @property
+    def effective_flops(self) -> float:
+        return self.peak_flops * self.efficiency
+
+
+#: Intel Xeon Gold 5220: 18 cores @ 2.2 GHz, single AVX-512 FMA pipe,
+#: 6-channel DDR4-2666, 125 W TDP.  ``efficiency`` calibrated for
+#: TensorFlow-GraphSAGE-style GNN inference (see module docstring).
+XEON_GOLD_5220 = CPUConfig(
+    name="Intel Xeon Gold 5220",
+    cores=18,
+    frequency_hz=2.2e9,
+    flops_per_cycle_per_core=32.0,
+    memory_bandwidth_bytes_per_s=128e9,
+    efficiency=0.06,
+    power_watts=125.0,
+)
+
+
+@dataclass(frozen=True)
+class CPUEstimate:
+    """Latency estimate of a workload on the CPU baseline."""
+
+    workload_model: str
+    dataset: str
+    config: CPUConfig
+    latency_seconds: float
+    num_nodes: int
+    per_phase_seconds: Dict[str, float]
+
+    @property
+    def throughput_nodes_per_second(self) -> float:
+        return self.num_nodes / self.latency_seconds if self.latency_seconds > 0 else float("inf")
+
+
+class CPURooflineModel:
+    """Roofline latency model of uncompressed GNN inference on a CPU."""
+
+    def __init__(self, config: CPUConfig = XEON_GOLD_5220) -> None:
+        self.config = config
+
+    def _phase_seconds(self, workload: GNNWorkload, phase: Phase) -> float:
+        flops = workload.total_flops(phase)
+        traffic = workload.total_bytes(phase)
+        compute_time = flops / self.config.effective_flops if flops else 0.0
+        memory_time = traffic / self.config.memory_bandwidth_bytes_per_s if traffic else 0.0
+        return max(compute_time, memory_time)
+
+    def estimate(self, workload: GNNWorkload, num_nodes: int | None = None) -> CPUEstimate:
+        per_phase = {
+            "aggregation": self._phase_seconds(workload, "aggregation"),
+            "combination": self._phase_seconds(workload, "combination"),
+        }
+        return CPUEstimate(
+            workload_model=workload.model,
+            dataset=workload.dataset,
+            config=self.config,
+            latency_seconds=sum(per_phase.values()),
+            num_nodes=num_nodes if num_nodes is not None else workload.num_nodes,
+            per_phase_seconds=per_phase,
+        )

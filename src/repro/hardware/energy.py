@@ -1,0 +1,70 @@
+"""Energy-efficiency model (Section IV-D, Figure 7).
+
+The paper measures the BlockGNN-opt prototype at about 4.6 W and estimates the
+Xeon Gold 5220 at 125 W, then compares the platforms with the
+Nodes-per-Joule metric: how many node representations each platform updates
+per joule of energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = [
+    "BLOCKGNN_POWER_WATTS",
+    "CPU_POWER_WATTS",
+    "EnergyResult",
+    "nodes_per_joule",
+    "energy_joules",
+    "compare_energy",
+]
+
+#: Measured power of the BlockGNN-opt FPGA prototype (Section IV-D).
+BLOCKGNN_POWER_WATTS = 4.6
+#: Estimated power of the Xeon Gold 5220 CPU baseline (Section IV-D).
+CPU_POWER_WATTS = 125.0
+
+
+def energy_joules(latency_seconds: float, power_watts: float) -> float:
+    """Energy consumed by a run: ``E = P * t``."""
+    if latency_seconds < 0 or power_watts < 0:
+        raise ValueError("latency and power must be non-negative")
+    return latency_seconds * power_watts
+
+
+def nodes_per_joule(num_nodes: int, latency_seconds: float, power_watts: float) -> float:
+    """The paper's energy-efficiency metric (Figure 7)."""
+    energy = energy_joules(latency_seconds, power_watts)
+    if energy == 0:
+        return float("inf")
+    return num_nodes / energy
+
+
+@dataclass(frozen=True)
+class EnergyResult:
+    """Energy-efficiency of one platform on one task."""
+
+    platform: str
+    num_nodes: int
+    latency_seconds: float
+    power_watts: float
+
+    @property
+    def energy_joules(self) -> float:
+        return energy_joules(self.latency_seconds, self.power_watts)
+
+    @property
+    def nodes_per_joule(self) -> float:
+        return nodes_per_joule(self.num_nodes, self.latency_seconds, self.power_watts)
+
+
+def compare_energy(blockgnn: EnergyResult, baseline: EnergyResult) -> Dict[str, float]:
+    """Energy-saving factor of BlockGNN over a baseline (the Figure 7 ratios)."""
+    if blockgnn.num_nodes != baseline.num_nodes:
+        raise ValueError("energy comparison requires the same number of processed nodes")
+    return {
+        "blockgnn_nodes_per_joule": blockgnn.nodes_per_joule,
+        "baseline_nodes_per_joule": baseline.nodes_per_joule,
+        "energy_reduction": blockgnn.nodes_per_joule / baseline.nodes_per_joule,
+    }

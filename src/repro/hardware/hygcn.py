@@ -1,0 +1,135 @@
+"""HyGCN baseline accelerator model (Section IV-A, comparison point 4).
+
+HyGCN (Yan et al., HPCA'20) is a two-engine accelerator: a SIMD aggregation
+engine and a systolic combination engine, processing the two GNN phases in a
+pipelined fashion.  The paper re-scales it to the same ZC706 FPGA as
+BlockGNN: a 6-lane SIMD-16 vector unit and a 4 x 32 systolic array at
+100 MHz, running the *uncompressed* GNN models.
+
+Mapping assumption (documented, since the original HyGCN only targets GCN):
+element-wise/reduction work executes on the SIMD engine; weight-matrix
+products execute on the systolic engine, *assisted* by any SIMD lanes that are
+not busy with element-wise work (HyGCN's two engines cooperate and overlap,
+so the baseline gets the benefit of its full multiplier budget — a charitable
+assumption that keeps the comparison conservative for BlockGNN).  A layer's
+cycles are the maximum of the two engines' residual work.  The end-to-end
+latency additionally respects the platform's DRAM bandwidth roofline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..workloads.spec import GNNWorkload, LayerWorkload, Phase
+from .config import HYGCN_FPGA_CONFIG
+
+__all__ = ["HyGCNConfig", "HyGCNEstimate", "HyGCNModel"]
+
+
+@dataclass(frozen=True)
+class HyGCNConfig:
+    """The FPGA-scaled HyGCN configuration used for comparison."""
+
+    vpu_lanes: int = HYGCN_FPGA_CONFIG["vpu_lanes"]
+    vpu_simd_width: int = HYGCN_FPGA_CONFIG["vpu_simd_width"]
+    systolic_rows: int = HYGCN_FPGA_CONFIG["systolic_rows"]
+    systolic_cols: int = HYGCN_FPGA_CONFIG["systolic_cols"]
+    frequency_hz: float = HYGCN_FPGA_CONFIG["frequency_hz"]
+
+    @property
+    def simd_width(self) -> int:
+        """Real-valued elements the aggregation engine processes per cycle."""
+        return self.vpu_lanes * self.vpu_simd_width
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """MACs the combination engine performs per cycle."""
+        return self.systolic_rows * self.systolic_cols
+
+
+@dataclass(frozen=True)
+class HyGCNEstimate:
+    """Cycle/latency estimate of a workload on the HyGCN baseline."""
+
+    workload_model: str
+    dataset: str
+    config: HyGCNConfig
+    cycles_per_node: float
+    num_nodes: int
+    per_layer: Tuple[Dict[str, float], ...]
+    dram_bytes: float = 0.0
+    dram_bandwidth: float = 12.8e9
+
+    @property
+    def total_cycles(self) -> float:
+        return self.cycles_per_node * self.num_nodes
+
+    @property
+    def compute_seconds(self) -> float:
+        return self.total_cycles / self.config.frequency_hz
+
+    @property
+    def memory_seconds(self) -> float:
+        if self.dram_bandwidth <= 0:
+            return 0.0
+        return self.dram_bytes / self.dram_bandwidth
+
+    @property
+    def latency_seconds(self) -> float:
+        return max(self.compute_seconds, self.memory_seconds)
+
+    @property
+    def throughput_nodes_per_second(self) -> float:
+        latency = self.latency_seconds
+        return self.num_nodes / latency if latency > 0 else float("inf")
+
+
+class HyGCNModel:
+    """Analytical latency model of the FPGA-scaled HyGCN baseline."""
+
+    def __init__(self, config: HyGCNConfig | None = None) -> None:
+        self.config = config if config is not None else HyGCNConfig()
+
+    def _layer_cycles(self, layer: LayerWorkload) -> Dict[str, float]:
+        macs = 0.0
+        for op in layer.matvecs:
+            macs += op.out_features * op.in_features * op.count_per_node
+        vector_elements = sum(op.elements_per_node for op in layer.vector_ops)
+        simd_cycles = math.ceil(vector_elements / self.config.simd_width) if vector_elements else 0.0
+        # Cooperative mapping: the systolic engine works on the matvecs for the
+        # whole layer; SIMD lanes join in once their element-wise work is done.
+        combined_rate = self.config.macs_per_cycle + self.config.simd_width
+        systolic_only_rate = self.config.macs_per_cycle
+        # Solve for the makespan T: SIMD is busy with vector work for
+        # ``simd_cycles``; during that time the systolic engine retires
+        # ``systolic_only_rate * simd_cycles`` MACs, the remainder is retired at
+        # the combined rate.
+        macs_during_simd = systolic_only_rate * simd_cycles
+        if macs <= macs_during_simd:
+            cycles = max(macs / systolic_only_rate if systolic_only_rate else 0.0, float(simd_cycles))
+        else:
+            cycles = simd_cycles + (macs - macs_during_simd) / combined_rate
+        return {
+            "systolic": macs / systolic_only_rate if systolic_only_rate else 0.0,
+            "simd": float(simd_cycles),
+            "cycles": float(cycles),
+        }
+
+    def estimate(self, workload: GNNWorkload, num_nodes: int | None = None) -> HyGCNEstimate:
+        """Estimate cycles/latency of the *uncompressed* ``workload`` on HyGCN."""
+        per_layer = tuple(self._layer_cycles(layer) for layer in workload.layers)
+        cycles_per_node = sum(entry["cycles"] for entry in per_layer)
+        nodes = num_nodes if num_nodes is not None else workload.num_nodes
+        scale = nodes / workload.num_nodes if workload.num_nodes else 1.0
+        traffic = (workload.total_bytes("aggregation") + workload.total_bytes("combination")) * scale
+        return HyGCNEstimate(
+            workload_model=workload.model,
+            dataset=workload.dataset,
+            config=self.config,
+            cycles_per_node=cycles_per_node,
+            num_nodes=nodes,
+            per_layer=per_layer,
+            dram_bytes=traffic,
+        )

@@ -1,0 +1,134 @@
+"""Fixed-point quantisation (the prototype's 32-bit fixed-point arithmetic).
+
+The ZC706 prototype computes with 32-bit fixed-point values (Section IV-B);
+the FFT latency and DSP coefficients used throughout the performance model
+were measured at that precision.  This module provides the quantisation used
+to study the numerical effect of that choice on the block-circulant datapath:
+
+* :class:`FixedPointFormat` — a signed Qm.f format with saturation;
+* :func:`quantize` — round-to-nearest quantisation of arrays;
+* :func:`quantization_error` — error statistics for a tensor;
+* :func:`quantize_layer_weights` — in-place quantisation of a model's weights;
+* :func:`evaluate_quantized_matvec` — end-to-end output error of the
+  compressed mat-vec when weights and activations are quantised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+import numpy as np
+
+from ..compression.circulant import BlockCirculantSpec
+from ..compression.spectral import block_circulant_matmul
+from ..nn.module import Module
+from ..nn.linear import BlockCirculantLinear, Linear
+
+__all__ = [
+    "FixedPointFormat",
+    "Q32_16",
+    "Q16_8",
+    "quantize",
+    "quantization_error",
+    "quantize_layer_weights",
+    "evaluate_quantized_matvec",
+]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed fixed-point format with ``total_bits`` bits, ``frac_bits`` fractional."""
+
+    total_bits: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if self.total_bits <= 1:
+            raise ValueError("need at least 2 bits (sign + magnitude)")
+        if not 0 <= self.frac_bits < self.total_bits:
+            raise ValueError("fractional bits must fit inside the word")
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def max_value(self) -> float:
+        return (2 ** (self.total_bits - 1) - 1) * self.scale
+
+    @property
+    def min_value(self) -> float:
+        return -(2 ** (self.total_bits - 1)) * self.scale
+
+    def describe(self) -> str:
+        return f"Q{self.total_bits - self.frac_bits}.{self.frac_bits}"
+
+
+#: The prototype's 32-bit fixed-point format (16 integer / 16 fractional bits).
+Q32_16 = FixedPointFormat(32, 16)
+#: A 16-bit format useful for studying more aggressive quantisation.
+Q16_8 = FixedPointFormat(16, 8)
+
+
+def quantize(values: np.ndarray, fmt: FixedPointFormat = Q32_16) -> np.ndarray:
+    """Round-to-nearest fixed-point quantisation with saturation."""
+    values = np.asarray(values, dtype=np.float64)
+    quantised = np.round(values / fmt.scale) * fmt.scale
+    return np.clip(quantised, fmt.min_value, fmt.max_value)
+
+
+def quantization_error(values: np.ndarray, fmt: FixedPointFormat = Q32_16) -> Dict[str, float]:
+    """Absolute and relative error statistics introduced by quantising ``values``."""
+    values = np.asarray(values, dtype=np.float64)
+    error = np.abs(values - quantize(values, fmt))
+    denominator = max(float(np.abs(values).max()), np.finfo(np.float64).tiny)
+    return {
+        "max_abs_error": float(error.max()) if error.size else 0.0,
+        "mean_abs_error": float(error.mean()) if error.size else 0.0,
+        "max_relative_error": float(error.max() / denominator),
+    }
+
+
+def quantize_layer_weights(model: Module, fmt: FixedPointFormat = Q32_16) -> Dict[str, float]:
+    """Quantise every Linear / BlockCirculantLinear weight in place.
+
+    Returns the per-layer maximum absolute quantisation error, which is what a
+    deployment flow checks before committing to a fixed-point format.
+    """
+    errors: Dict[str, float] = {}
+    for path, module in model.named_modules():
+        if isinstance(module, (Linear, BlockCirculantLinear)):
+            original = module.weight.data.copy()
+            module.weight.data[...] = quantize(original, fmt)
+            errors[path or module.__class__.__name__] = float(
+                np.abs(original - module.weight.data).max()
+            )
+            if module.bias is not None:
+                module.bias.data[...] = quantize(module.bias.data, fmt)
+    return errors
+
+
+def evaluate_quantized_matvec(
+    weights: np.ndarray,
+    spec: BlockCirculantSpec,
+    features: np.ndarray,
+    fmt: FixedPointFormat = Q32_16,
+) -> Dict[str, float]:
+    """Output error of the compressed mat-vec under weight+activation quantisation.
+
+    This is the software-level counterpart of running the CirCore datapath in
+    fixed point: quantise the defining vectors and the input features, run the
+    FFT kernel in double precision (the FFT core keeps wider intermediates),
+    and compare against the unquantised result.
+    """
+    reference = block_circulant_matmul(features, weights, spec)
+    quantized = block_circulant_matmul(quantize(features, fmt), quantize(weights, fmt), spec)
+    error = np.abs(reference - quantized)
+    denominator = max(float(np.abs(reference).max()), np.finfo(np.float64).tiny)
+    return {
+        "max_abs_error": float(error.max()),
+        "mean_abs_error": float(error.mean()),
+        "max_relative_error": float(error.max() / denominator),
+    }

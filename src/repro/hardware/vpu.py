@@ -1,0 +1,124 @@
+"""The Vector Processing Unit (VPU).
+
+Section III-C: an ``m``-lane SIMD unit, each lane processing 16 real-valued
+elements per cycle.  It provides the non-linear functions (ReLU, Sigmoid,
+Exp), vector-vector addition/multiplication, max/sum reductions across
+neighbour vectors (GCN / GS-Pool aggregation), and bias addition.
+
+Every functional method also charges the corresponding cycles
+(Eq. 6: ``ceil(elements / (m * 16))``) so the functional and analytical views
+stay consistent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .config import HardwareConstants, ZC706
+
+__all__ = ["VectorProcessingUnit"]
+
+
+@dataclass
+class VectorProcessingUnit:
+    """An ``m``-lane SIMD-16 vector unit."""
+
+    lanes: int = 1
+    constants: HardwareConstants = ZC706
+    elements_processed: int = field(default=0, init=False)
+    busy_cycles: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.lanes <= 0:
+            raise ValueError("lane count must be positive")
+
+    @property
+    def width(self) -> int:
+        """Real-valued elements processed per cycle."""
+        return self.lanes * self.constants.vpu_simd_width
+
+    def cycles_for(self, elements: float) -> int:
+        """Equation 6: cycles to stream ``elements`` element-wise operations."""
+        if elements <= 0:
+            return 0
+        return math.ceil(elements / self.width)
+
+    def _charge(self, elements: int) -> None:
+        self.elements_processed += elements
+        self.busy_cycles += self.cycles_for(elements)
+
+    # -- element-wise functions -----------------------------------------------------
+
+    def relu(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        self._charge(values.size)
+        return np.maximum(values, 0.0)
+
+    def sigmoid(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        self._charge(values.size)
+        return 1.0 / (1.0 + np.exp(-values))
+
+    def exp(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        self._charge(values.size)
+        return np.exp(values)
+
+    def elu(self, values: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        self._charge(values.size)
+        return np.where(values > 0.0, values, alpha * (np.exp(values) - 1.0))
+
+    def add(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        left = np.asarray(left, dtype=np.float64)
+        right = np.asarray(right, dtype=np.float64)
+        result = left + right
+        self._charge(result.size)
+        return result
+
+    def multiply(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        left = np.asarray(left, dtype=np.float64)
+        right = np.asarray(right, dtype=np.float64)
+        result = left * right
+        self._charge(result.size)
+        return result
+
+    def add_bias(self, values: np.ndarray, bias: np.ndarray) -> np.ndarray:
+        """Bias addition — the VPU's responsibility per Section III-C."""
+        return self.add(values, np.broadcast_to(bias, np.asarray(values).shape))
+
+    # -- reductions across neighbour vectors -----------------------------------------
+
+    def max_pool(self, vectors: np.ndarray, axis: int = 0) -> np.ndarray:
+        """Element-wise max across ``axis`` (GS-Pool aggregation)."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        self._charge(vectors.size)
+        return vectors.max(axis=axis)
+
+    def sum_reduce(self, vectors: np.ndarray, axis: int = 0) -> np.ndarray:
+        """Element-wise sum across ``axis`` (GCN / G-GCN aggregation)."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        self._charge(vectors.size)
+        return vectors.sum(axis=axis)
+
+    def scale_accumulate(self, vectors: np.ndarray, scales: np.ndarray, axis: int = 0) -> np.ndarray:
+        """Weighted sum ``sum_i scales[i] * vectors[i]`` (GCN normalisation, GAT attention)."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        scales = np.asarray(scales, dtype=np.float64)
+        shape = [1] * vectors.ndim
+        shape[axis] = -1
+        weighted = vectors * scales.reshape(shape)
+        self._charge(2 * vectors.size)
+        return weighted.sum(axis=axis)
+
+    def reset_stats(self) -> None:
+        self.elements_processed = 0
+        self.busy_cycles = 0
+
+    @property
+    def dsp_cost(self) -> int:
+        """DSPs consumed (``m * eta``)."""
+        return self.constants.vpu_dsps(self.lanes)

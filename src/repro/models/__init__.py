@@ -1,0 +1,37 @@
+"""The four GNN variants evaluated by the paper (Table I) and their trainer."""
+
+from .base import (
+    GNNLayer,
+    GNNModel,
+    apply_linear,
+    available_models,
+    create_model,
+    register_model,
+)
+from .gat import GAT, GATHead, GATLayer
+from .gcn import GCN, GCNLayer
+from .ggcn import GGCN, GGCNLayer
+from .graphsage import GraphSAGEPool, GraphSAGEPoolLayer
+from .trainer import Trainer, TrainingConfig, TrainingHistory, evaluate_accuracy
+
+__all__ = [
+    "GNNLayer",
+    "GNNModel",
+    "apply_linear",
+    "create_model",
+    "register_model",
+    "available_models",
+    "GCN",
+    "GCNLayer",
+    "GraphSAGEPool",
+    "GraphSAGEPoolLayer",
+    "GGCN",
+    "GGCNLayer",
+    "GAT",
+    "GATHead",
+    "GATLayer",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "evaluate_accuracy",
+]

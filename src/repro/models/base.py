@@ -1,0 +1,184 @@
+"""Shared infrastructure for the four GNN variants of Table I.
+
+Every model is a stack of :class:`GNNLayer` objects operating on sampled
+mini-batches (:class:`repro.graph.sampling.MiniBatch`).  A layer receives the
+previous layer's node representations and a :class:`SampledBlock` describing
+which rows are the targets and which rows are their sampled neighbours, and
+produces the targets' new representations — the Aggregate / Combine pattern
+of Equations (1)–(2) in the paper.
+
+Layers create their weight matrices through a
+:class:`repro.compression.CompressionConfig`, so a single flag switches the
+whole model between dense and block-circulant weights, and between
+compressing the aggregation phase, the combination phase, or both
+(the Section V ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+from ..compression.compress import CompressionConfig
+from ..graph.graph import Graph
+from ..graph.sampling import MiniBatch, SampledBlock
+from ..nn.dropout import Dropout
+from ..nn.module import Module
+from ..tensor.tensor import Tensor
+
+__all__ = ["GNNLayer", "GNNModel", "register_model", "create_model", "available_models", "apply_linear"]
+
+
+def apply_linear(layer: Module, x: Tensor) -> Tensor:
+    """Apply a (possibly block-circulant) linear layer to an N-D tensor.
+
+    The circulant kernel operates on ``(batch, features)`` inputs, so inputs
+    with extra leading dimensions (e.g. ``(num_dst, fanout, features)``
+    neighbour tensors) are flattened and restored around the call.
+    """
+    if x.ndim <= 2:
+        return layer(x)
+    leading = x.shape[:-1]
+    flat = x.reshape(int(np.prod(leading)), x.shape[-1])
+    out = layer(flat)
+    return out.reshape(*leading, out.shape[-1])
+
+
+class GNNLayer(Module):
+    """One Aggregate + Combine layer.
+
+    Sub-classes implement :meth:`forward` taking the previous representations
+    ``h`` (``(num_src, in_features)``) and the :class:`SampledBlock` of this
+    layer, and returning ``(num_dst, out_features)``.
+    """
+
+    #: set by sub-classes: does this layer contain weight matrices in its aggregator?
+    has_aggregation_weights: bool = False
+
+    def __init__(self, in_features: int, out_features: int, compression: CompressionConfig) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.compression = compression
+
+    def forward(self, h: Tensor, block: SampledBlock) -> Tensor:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class GNNModel(Module):
+    """A K-layer GNN for node classification on sampled mini-batches."""
+
+    def __init__(
+        self,
+        layers: List[GNNLayer],
+        dropout: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if not layers:
+            raise ValueError("a GNN model needs at least one layer")
+        self.layers = layers
+        for index, layer in enumerate(layers):
+            setattr(self, f"layer_{index}", layer)
+        self.dropout = Dropout(dropout, seed=seed) if dropout > 0 else None
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def forward(self, batch: MiniBatch, features: Optional[np.ndarray] = None, graph: Optional[Graph] = None) -> Tensor:
+        """Compute logits for the batch's seed nodes.
+
+        ``features`` may be passed directly (raw features of
+        ``batch.input_nodes()``); otherwise they are gathered from ``graph``.
+        """
+        if len(batch.blocks) != len(self.layers):
+            raise ValueError(
+                f"mini-batch has {len(batch.blocks)} blocks but the model has {len(self.layers)} layers"
+            )
+        if features is None:
+            if graph is None:
+                raise ValueError("either features or graph must be provided")
+            features = batch.input_features(graph)
+        h = Tensor(np.asarray(features, dtype=np.float64))
+        for index, (layer, block) in enumerate(zip(self.layers, batch.blocks)):
+            if self.dropout is not None and index > 0:
+                h = self.dropout(h)
+            h = layer(h, block)
+        return h
+
+    def predict(self, batch: MiniBatch, graph: Graph) -> np.ndarray:
+        """Arg-max class predictions for the batch's seed nodes (no autograd)."""
+        from ..tensor.tensor import no_grad
+
+        with no_grad():
+            logits = self.forward(batch, graph=graph)
+        return logits.data.argmax(axis=-1)
+
+
+# ---------------------------------------------------------------------------
+# Model registry
+# ---------------------------------------------------------------------------
+
+_MODEL_REGISTRY: Dict[str, Type["GNNModel"]] = {}
+
+#: Canonical names used throughout the paper's tables and figures.
+MODEL_ALIASES = {
+    "gcn": "gcn",
+    "gs-pool": "gs_pool",
+    "gspool": "gs_pool",
+    "gs_pool": "gs_pool",
+    "graphsage": "gs_pool",
+    "g-gcn": "ggcn",
+    "ggcn": "ggcn",
+    "gat": "gat",
+}
+
+
+def register_model(name: str):
+    """Class decorator registering a GNN model under ``name``."""
+
+    def decorator(cls: Type[GNNModel]) -> Type[GNNModel]:
+        _MODEL_REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_models() -> List[str]:
+    """Names of all registered GNN variants."""
+    return sorted(_MODEL_REGISTRY)
+
+
+def create_model(
+    name: str,
+    in_features: int,
+    hidden_features: int,
+    num_classes: int,
+    num_layers: int = 2,
+    compression: Optional[CompressionConfig] = None,
+    dropout: float = 0.0,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> GNNModel:
+    """Build one of the paper's GNN variants by name.
+
+    ``name`` accepts the spellings used in the paper ("GCN", "GS-Pool",
+    "G-GCN", "GAT") case-insensitively.
+    """
+    key = MODEL_ALIASES.get(name.lower())
+    if key is None or key not in _MODEL_REGISTRY:
+        raise KeyError(f"unknown model '{name}'; known: GCN, GS-Pool, G-GCN, GAT")
+    config = compression if compression is not None else CompressionConfig(block_size=1)
+    cls = _MODEL_REGISTRY[key]
+    return cls(
+        in_features=in_features,
+        hidden_features=hidden_features,
+        num_classes=num_classes,
+        num_layers=num_layers,
+        compression=config,
+        dropout=dropout,
+        seed=seed,
+        **kwargs,
+    )

@@ -1,0 +1,93 @@
+"""Gated Graph Convolutional Network (G-GCN, Marcheggiani & Titov) — Table I, row 3.
+
+Aggregation: per-edge sigmoid gates ``eta_u = sigma(W_H h_u + W_C h_v)``
+modulate the neighbour features before summation — two weight matrices in the
+aggregator, which is why G-GCN has the largest aggregation FLOP count in
+Table II (3.7e12 on Reddit).  Combination: ``ReLU(W^k a_v^k)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..compression.compress import CompressionConfig
+from ..graph.sampling import SampledBlock
+from ..tensor.tensor import Tensor
+from .base import GNNLayer, GNNModel, apply_linear, register_model
+
+__all__ = ["GGCNLayer", "GGCN"]
+
+
+class GGCNLayer(GNNLayer):
+    """One G-GCN layer: gated neighbour sum, then a dense/circulant FC."""
+
+    has_aggregation_weights = True
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        compression: CompressionConfig,
+        activation: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(in_features, out_features, compression)
+        # Gates live in the input-feature space: eta_u has one value per feature.
+        self.gate_neighbor = compression.linear(in_features, in_features, phase="aggregation", rng=rng)
+        self.gate_neighbor.phase = "aggregation"
+        self.gate_self = compression.linear(in_features, in_features, phase="aggregation", rng=rng)
+        self.gate_self.phase = "aggregation"
+        self.fc = compression.linear(in_features, out_features, phase="combination", rng=rng)
+        self.fc.phase = "combination"
+        self.activation = activation
+
+    def forward(self, h: Tensor, block: SampledBlock) -> Tensor:
+        h_self = h.index_select(block.self_index)                                   # (D, F)
+        h_neigh = h.index_select(block.neighbor_index.reshape(-1))
+        h_neigh = h_neigh.reshape(block.num_dst, block.fanout, self.in_features)     # (D, S, F)
+        gate_logits = apply_linear(self.gate_neighbor, h_neigh) + apply_linear(
+            self.gate_self, h_self
+        ).reshape(block.num_dst, 1, self.in_features)
+        gates = gate_logits.sigmoid()                                                # (D, S, F)
+        aggregated = (gates * h_neigh).sum(axis=1) / float(block.fanout)             # (D, F)
+        out = apply_linear(self.fc, aggregated)
+        return out.relu() if self.activation else out
+
+
+@register_model("ggcn")
+class GGCN(GNNModel):
+    """K-layer gated GCN."""
+
+    name = "G-GCN"
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        num_classes: int,
+        num_layers: int = 2,
+        compression: Optional[CompressionConfig] = None,
+        dropout: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        config = compression if compression is not None else CompressionConfig(block_size=1)
+        rng = np.random.default_rng(seed)
+        dims = [in_features] + [hidden_features] * (num_layers - 1) + [num_classes]
+        layers: List[GGCNLayer] = []
+        for index in range(num_layers):
+            layers.append(
+                GGCNLayer(
+                    dims[index],
+                    dims[index + 1],
+                    config,
+                    activation=index < num_layers - 1,
+                    rng=rng,
+                )
+            )
+        super().__init__(layers, dropout=dropout, seed=seed)
+        self.in_features = in_features
+        self.hidden_features = hidden_features
+        self.num_classes = num_classes
+        self.compression = config

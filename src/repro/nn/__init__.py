@@ -1,0 +1,28 @@
+"""Neural-network layer library (dense + block-circulant) for BlockGNN."""
+
+from .activations import ELU, Identity, LeakyReLU, ReLU, Sigmoid, Tanh
+from .dropout import Dropout
+from .linear import BlockCirculantLinear, Linear
+from .losses import CrossEntropyLoss, MSELoss
+from .module import Module, Parameter, Sequential
+from .optim import SGD, Adam, Optimizer
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "BlockCirculantLinear",
+    "ReLU",
+    "LeakyReLU",
+    "ELU",
+    "Sigmoid",
+    "Tanh",
+    "Identity",
+    "Dropout",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+]

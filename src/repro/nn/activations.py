@@ -1,0 +1,62 @@
+"""Activation-function layers used by the four GNN variants.
+
+GCN / GS-Pool / G-GCN use ReLU combinations, GAT uses ELU outputs and
+LeakyReLU attention logits, and G-GCN's edge gates use a Sigmoid (Table I).
+"""
+
+from __future__ import annotations
+
+from ..tensor.tensor import Tensor
+from .module import Module
+
+__all__ = ["ReLU", "LeakyReLU", "ELU", "Sigmoid", "Tanh", "Identity"]
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable negative slope (GAT uses 0.2)."""
+
+    def __init__(self, negative_slope: float = 0.2) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+
+class ELU(Module):
+    """Exponential linear unit (GAT's combination non-linearity)."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        super().__init__()
+        self.alpha = alpha
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.elu(self.alpha)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid (G-GCN's edge gates)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Identity(Module):
+    """No-op layer, useful as a placeholder."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x

@@ -1,0 +1,30 @@
+"""Weight initialisation schemes shared by the dense and circulant layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "glorot_normal", "kaiming_uniform", "zeros"]
+
+
+def glorot_uniform(shape, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a tensor of ``shape``."""
+    limit = float(np.sqrt(6.0 / (fan_in + fan_out)))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def glorot_normal(shape, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal initialisation for a tensor of ``shape``."""
+    std = float(np.sqrt(2.0 / (fan_in + fan_out)))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialisation (for ReLU networks)."""
+    limit = float(np.sqrt(6.0 / fan_in))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float64)

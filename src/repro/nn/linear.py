@@ -1,0 +1,136 @@
+"""Dense and block-circulant fully-connected layers.
+
+``Linear`` is the uncompressed baseline (the ``n = 1`` rows of Table III);
+``BlockCirculantLinear`` is the compressed layer at the heart of BlockGNN.
+Both compute ``y = x @ W^T + b`` so they are drop-in replacements for one
+another, which is what allows :mod:`repro.compression.compress` to convert a
+trained dense model layer-by-layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..compression.circulant import (
+    BlockCirculantSpec,
+    expand_block_circulant,
+    project_to_block_circulant,
+)
+from ..compression.spectral import circulant_linear
+from ..tensor.tensor import Tensor
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["Linear", "BlockCirculantLinear"]
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x @ W^T + b`` with a dense weight matrix."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        generator = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.glorot_uniform((out_features, in_features), in_features, out_features, generator),
+            name="weight",
+        )
+        self.bias = Parameter(init.zeros(out_features), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight.T)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def weight_matrix(self) -> np.ndarray:
+        """Dense weight matrix (``(out_features, in_features)``)."""
+        return self.weight.data
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"
+
+
+class BlockCirculantLinear(Module):
+    """Fully-connected layer whose weight matrix is block-circulant.
+
+    The weight is stored as the ``(p, q, n)`` defining vectors and applied via
+    the FFT kernel of Algorithm 1 (:func:`repro.compression.spectral.circulant_linear`),
+    so the layer's forward complexity is ``O(N M log(n) / n)`` instead of
+    ``O(N M)`` and its parameter count is ``N M / n``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        block_size: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        generator = rng if rng is not None else np.random.default_rng()
+        self.spec = BlockCirculantSpec(out_features, in_features, block_size)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.block_size = block_size
+        std = float(np.sqrt(2.0 / (in_features + out_features)))
+        self.weight = Parameter(
+            generator.normal(0.0, std, size=self.spec.weight_shape()), name="circulant_weight"
+        )
+        self.bias = Parameter(init.zeros(out_features), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = circulant_linear(x, self.weight, self.spec)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def weight_matrix(self) -> np.ndarray:
+        """Expand the defining vectors into the equivalent dense matrix."""
+        return expand_block_circulant(self.weight.data, self.spec)
+
+    @classmethod
+    def from_dense(
+        cls,
+        dense: Linear,
+        block_size: int,
+    ) -> "BlockCirculantLinear":
+        """Convert a trained dense layer by projecting its weight matrix.
+
+        The projection averages each circulant diagonal of every block, which
+        is the least-squares-optimal block-circulant approximation; the bias
+        is copied unchanged.
+        """
+        layer = cls(
+            dense.in_features,
+            dense.out_features,
+            block_size,
+            bias=dense.bias is not None,
+        )
+        weights, _ = project_to_block_circulant(dense.weight.data, block_size)
+        layer.weight.data[...] = weights
+        if dense.bias is not None and layer.bias is not None:
+            layer.bias.data[...] = dense.bias.data
+        return layer
+
+    def compression_ratio(self) -> float:
+        """Parameter-count reduction relative to the equivalent dense layer."""
+        return self.spec.dense_parameters / self.spec.circulant_parameters
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"BlockCirculantLinear(in={self.in_features}, out={self.out_features}, "
+            f"n={self.block_size}, bias={self.bias is not None})"
+        )

@@ -1,0 +1,27 @@
+"""Loss functions for node-classification training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import functional as F
+from ..tensor.tensor import Tensor
+from .module import Module
+
+__all__ = ["CrossEntropyLoss", "MSELoss"]
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy over integer class targets."""
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets)
+
+
+class MSELoss(Module):
+    """Mean squared error (used by regression-style smoke tests)."""
+
+    def forward(self, predictions: Tensor, targets) -> Tensor:
+        targets = targets if isinstance(targets, Tensor) else Tensor(np.asarray(targets))
+        diff = predictions - targets
+        return (diff * diff).mean()

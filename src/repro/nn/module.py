@@ -1,0 +1,140 @@
+"""Module / Parameter abstractions for the NumPy neural-network substrate."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..tensor.tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as a learnable model parameter."""
+
+    def __init__(self, data, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Mirrors the familiar torch-style interface: sub-modules and parameters
+    assigned as attributes are discovered automatically, ``parameters()``
+    iterates them recursively, and ``train()`` / ``eval()`` toggle behaviours
+    such as dropout.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training: bool = True
+
+    # -- attribute management --------------------------------------------------
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- traversal ---------------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [param for _, param in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for child_name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{child_name}.")
+
+    def children(self) -> List["Module"]:
+        return list(self._modules.values())
+
+    # -- training state -----------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- (de)serialisation ----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a flat name -> array mapping of all parameters (copies)."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values from a mapping produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, values in state.items():
+            if own[name].data.shape != np.asarray(values).shape:
+                raise ValueError(
+                    f"shape mismatch for '{name}': {own[name].data.shape} vs {np.asarray(values).shape}"
+                )
+            own[name].data[...] = values
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters in the module tree."""
+        return int(sum(param.size for param in self.parameters()))
+
+    # -- forward ------------------------------------------------------------------------
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """A container that applies its children in order.
+
+    Children are stored as ``layer_<i>`` attributes (and hence in
+    ``_modules``) rather than in a plain list, so that layer replacement —
+    e.g. :func:`repro.compression.compress_module` swapping a dense layer for
+    a block-circulant one — is picked up by :meth:`forward` automatically.
+    """
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self._num_layers = len(layers)
+        for index, layer in enumerate(layers):
+            setattr(self, f"layer_{index}", layer)
+
+    @property
+    def layers(self) -> List[Module]:
+        return [getattr(self, f"layer_{index}") for index in range(self._num_layers)]
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return self._num_layers

@@ -1,0 +1,32 @@
+"""Performance & resource model and design-space exploration (Section III-D)."""
+
+from .model import (
+    LayerEstimate,
+    PerformanceEstimate,
+    StageCycles,
+    estimate_performance,
+    stage_cycles_per_node,
+)
+from .resources import (
+    ResourceUsage,
+    estimate_resources,
+    fits_on_device,
+    weight_buffer_bytes_required,
+)
+from .search import DesignPoint, SearchSpace, enumerate_design_points, search_optimal_config
+
+__all__ = [
+    "StageCycles",
+    "LayerEstimate",
+    "PerformanceEstimate",
+    "stage_cycles_per_node",
+    "estimate_performance",
+    "ResourceUsage",
+    "estimate_resources",
+    "fits_on_device",
+    "weight_buffer_bytes_required",
+    "DesignPoint",
+    "SearchSpace",
+    "enumerate_design_points",
+    "search_optimal_config",
+]

@@ -1,0 +1,130 @@
+"""The resource model of Section III-D (Equation 8) and Table VI estimates.
+
+The paper's hard constraint is DSP count:
+
+    beta(n) * (x + y)  +  r * c * gamma(l)  +  m * eta  <=  #DSPs         (8)
+
+with the published coefficients ``beta = 18``, ``gamma(l) = 16 l`` and
+``eta = 64`` on the 900-DSP ZC706.  BRAM, FF and LUT are estimated with
+calibrated per-component costs (see :class:`repro.hardware.config.HardwareConstants`)
+so that the Table VI utilisation picture — DSPs nearly exhausted, BRAM around
+40%, FF/LUT comfortably below half — can be regenerated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..hardware.config import CirCoreConfig, HardwareConstants, ZC706
+from ..workloads.spec import GNNWorkload
+
+__all__ = ["ResourceUsage", "estimate_resources", "fits_on_device", "weight_buffer_bytes_required"]
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Absolute resource usage of one accelerator configuration."""
+
+    dsp: int
+    bram18k: int
+    ff: int
+    lut: int
+    constants: HardwareConstants = ZC706
+
+    @property
+    def dsp_utilization(self) -> float:
+        return self.dsp / self.constants.total_dsp
+
+    @property
+    def bram_utilization(self) -> float:
+        return self.bram18k / self.constants.total_bram18k
+
+    @property
+    def ff_utilization(self) -> float:
+        return self.ff / self.constants.total_ff
+
+    @property
+    def lut_utilization(self) -> float:
+        return self.lut / self.constants.total_lut
+
+    def utilization(self) -> Dict[str, float]:
+        """Fractional utilisation of the four resource types (Table VI rows)."""
+        return {
+            "BRAM_18K": self.bram_utilization,
+            "DSP48": self.dsp_utilization,
+            "FF": self.ff_utilization,
+            "LUT": self.lut_utilization,
+        }
+
+    def fits(self) -> bool:
+        return (
+            self.dsp <= self.constants.total_dsp
+            and self.bram18k <= self.constants.total_bram18k
+            and self.ff <= self.constants.total_ff
+            and self.lut <= self.constants.total_lut
+        )
+
+
+def estimate_resources(config: CirCoreConfig, constants: HardwareConstants = ZC706) -> ResourceUsage:
+    """Estimate the FPGA resources consumed by ``config``.
+
+    The DSP term is Equation 8 verbatim; BRAM counts the Weight Buffer, the
+    Node Feature Buffer (ping-pong, hence x2 halves already included in its
+    size) and per-channel FFT working memory; FF/LUT use the calibrated
+    per-component costs.
+    """
+    channels = config.fft_channels + config.ifft_channels
+    dsp = (
+        constants.fft_dsps(config.block_size) * channels
+        + config.num_pes * constants.pe_dsps(config.pe_parallelism)
+        + constants.vpu_dsps(config.vpu_lanes)
+    )
+
+    bram_bytes = constants.weight_buffer_bytes + constants.feature_buffer_bytes
+    bram_for_buffers = math.ceil(bram_bytes / (18 * 1024 // 8))  # 18 Kbit blocks
+    bram = constants.bram_base + bram_for_buffers + constants.bram_per_fft_channel * channels
+
+    ff = (
+        constants.ff_base
+        + constants.ff_per_fft_channel * channels
+        + constants.ff_per_pe_lane * config.num_pes * config.pe_parallelism
+        + constants.ff_per_vpu_lane * config.vpu_lanes
+    )
+    lut = (
+        constants.lut_base
+        + constants.lut_per_fft_channel * channels
+        + constants.lut_per_pe_lane * config.num_pes * config.pe_parallelism
+        + constants.lut_per_vpu_lane * config.vpu_lanes
+    )
+    return ResourceUsage(dsp=int(dsp), bram18k=int(bram), ff=int(ff), lut=int(lut), constants=constants)
+
+
+def fits_on_device(config: CirCoreConfig, constants: HardwareConstants = ZC706) -> bool:
+    """Equation 8 (plus the soft BRAM/FF/LUT checks): does ``config`` fit?"""
+    return estimate_resources(config, constants).fits()
+
+
+def weight_buffer_bytes_required(
+    workload: GNNWorkload,
+    block_size: int,
+    constants: HardwareConstants = ZC706,
+    spectral: bool = True,
+) -> int:
+    """Bytes of Weight Buffer needed to hold the compressed model.
+
+    Block-circulant compression stores ``p * q * n`` values per matrix
+    (``1/n`` of the dense parameters).  When the spectral weights ``FFT(W)``
+    are stored (the paper pre-computes them), each value is a complex number,
+    i.e. twice the storage — still comfortably below the 256 KB budget for
+    every model in the evaluation.
+    """
+    total_values = 0
+    for layer in workload.layers:
+        for op in layer.matvecs:
+            p = math.ceil(op.out_features / block_size)
+            q = math.ceil(op.in_features / block_size)
+            total_values += p * q * block_size
+    per_value = constants.bytes_per_value * (2 if spectral else 1)
+    return total_values * per_value

@@ -1,0 +1,150 @@
+"""Design-space exploration (Section III-D, Table V).
+
+For a given GNN task (model + dataset + block size), exhaustively enumerate
+the hardware parameters ``x, y, r, c, l, m`` that satisfy the DSP constraint
+(Equation 8) and pick the configuration minimising the estimated total cycles
+(Equation 7).  The paper reports that this traversal search finishes in under
+a minute on a desktop PC; the same holds here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..hardware.config import CirCoreConfig, HardwareConstants, ZC706
+from ..workloads.spec import GNNWorkload, Phase
+from .model import PerformanceEstimate, estimate_performance
+from .resources import ResourceUsage, estimate_resources
+
+__all__ = ["DesignPoint", "SearchSpace", "search_optimal_config", "enumerate_design_points"]
+
+_DEFAULT_PHASES: Tuple[Phase, ...] = ("aggregation", "combination")
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Bounds of the exhaustive search.
+
+    The defaults cover the configurations the paper reports (x, y up to the
+    number of channels the DSP budget allows, systolic arrays up to 16x16,
+    PE parallelism 1–8, up to 4 VPU lanes).
+    """
+
+    max_systolic_rows: int = 16
+    max_systolic_cols: int = 16
+    pe_parallelism_choices: Sequence[int] = (1, 2, 4, 8)
+    vpu_lane_choices: Sequence[int] = (1, 2, 4)
+    min_channels: int = 2  # at least one FFT and one IFFT channel
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration: parameters, cycles and resources."""
+
+    config: CirCoreConfig
+    performance: PerformanceEstimate
+    resources: ResourceUsage
+
+    @property
+    def total_cycles(self) -> float:
+        return self.performance.total_cycles
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.performance.latency_seconds
+
+
+def _candidate_configs(
+    block_size: int,
+    constants: HardwareConstants,
+    space: SearchSpace,
+    frequency_hz: float,
+) -> Iterable[CirCoreConfig]:
+    """Yield every configuration satisfying the DSP constraint (Eq. 8)."""
+    beta = constants.fft_dsps(block_size)
+    for lanes in space.vpu_lane_choices:
+        vpu_dsp = constants.vpu_dsps(lanes)
+        for parallelism in space.pe_parallelism_choices:
+            gamma = constants.pe_dsps(parallelism)
+            for rows in range(1, space.max_systolic_rows + 1):
+                for cols in range(1, space.max_systolic_cols + 1):
+                    used = rows * cols * gamma + vpu_dsp
+                    remaining = constants.total_dsp - used
+                    channels = remaining // beta
+                    if channels < space.min_channels:
+                        continue
+                    for fft_channels in range(1, int(channels)):
+                        ifft_channels = int(channels) - fft_channels
+                        yield CirCoreConfig(
+                            fft_channels=fft_channels,
+                            ifft_channels=ifft_channels,
+                            systolic_rows=rows,
+                            systolic_cols=cols,
+                            pe_parallelism=parallelism,
+                            vpu_lanes=lanes,
+                            block_size=block_size,
+                            frequency_hz=frequency_hz,
+                        )
+
+
+def enumerate_design_points(
+    workload: GNNWorkload,
+    block_size: int = 128,
+    constants: HardwareConstants = ZC706,
+    space: Optional[SearchSpace] = None,
+    phases: Sequence[Phase] = _DEFAULT_PHASES,
+    frequency_hz: float = 100e6,
+    limit: Optional[int] = None,
+) -> List[DesignPoint]:
+    """Evaluate (up to ``limit``) feasible design points for ``workload``."""
+    space = space if space is not None else SearchSpace()
+    points: List[DesignPoint] = []
+    for index, config in enumerate(_candidate_configs(block_size, constants, space, frequency_hz)):
+        if limit is not None and index >= limit:
+            break
+        resources = estimate_resources(config, constants)
+        if not resources.fits():
+            continue
+        performance = estimate_performance(workload, config, constants, phases)
+        points.append(DesignPoint(config=config, performance=performance, resources=resources))
+    return points
+
+
+def search_optimal_config(
+    workload: GNNWorkload,
+    block_size: int = 128,
+    constants: HardwareConstants = ZC706,
+    space: Optional[SearchSpace] = None,
+    phases: Sequence[Phase] = _DEFAULT_PHASES,
+    frequency_hz: float = 100e6,
+) -> DesignPoint:
+    """Exhaustively search for the cycle-optimal feasible configuration.
+
+    Ties are broken towards fewer DSPs (cheaper designs), then towards more
+    balanced FFT/IFFT channel splits, making the result deterministic.
+    """
+    space = space if space is not None else SearchSpace()
+    best: Optional[DesignPoint] = None
+    for config in _candidate_configs(block_size, constants, space, frequency_hz):
+        resources = estimate_resources(config, constants)
+        if not resources.fits():
+            continue
+        performance = estimate_performance(workload, config, constants, phases)
+        candidate = DesignPoint(config=config, performance=performance, resources=resources)
+        if best is None or _is_better(candidate, best):
+            best = candidate
+    if best is None:
+        raise RuntimeError("no feasible configuration found for the given constraints")
+    return best
+
+
+def _is_better(candidate: DesignPoint, incumbent: DesignPoint) -> bool:
+    if candidate.total_cycles != incumbent.total_cycles:
+        return candidate.total_cycles < incumbent.total_cycles
+    if candidate.resources.dsp != incumbent.resources.dsp:
+        return candidate.resources.dsp < incumbent.resources.dsp
+    balance = abs(candidate.config.fft_channels - candidate.config.ifft_channels)
+    incumbent_balance = abs(incumbent.config.fft_channels - incumbent.config.ifft_channels)
+    return balance < incumbent_balance

@@ -1,0 +1,5 @@
+"""Analytical profiling of GNN workloads (Table II of the paper)."""
+
+from .flops import ModelProfile, PhaseProfile, profile_all_models, profile_model, profile_table
+
+__all__ = ["ModelProfile", "PhaseProfile", "profile_model", "profile_all_models", "profile_table"]

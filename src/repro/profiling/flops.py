@@ -1,0 +1,101 @@
+"""GNN profiling (Section II-B, Table II).
+
+Computes total computations (FLOPs) and arithmetic intensity (FLOPs per byte)
+for the aggregation and combination phases of each GNN variant on the Reddit
+profiling setup.  The underlying operation inventory lives in
+:mod:`repro.workloads`; this module formats it into the Table II layout and
+adds the compressed-workload variant used to motivate block-circulant
+compression.
+
+Accounting note: we count a MAC as 2 FLOPs and stream 4-byte features
+(see :mod:`repro.workloads.spec`).  The paper's Table II appears to count a
+MAC as a single operation in the totals, so our absolute FLOP numbers are
+roughly 2x the paper's; all cross-model and cross-phase *ratios* — which is
+what motivates the design — are preserved.  EXPERIMENTS.md tabulates both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..compression.ratios import theoretical_computation_reduction
+from ..workloads.builder import MODEL_NAMES, profiling_workload
+from ..workloads.spec import GNNWorkload
+
+__all__ = ["PhaseProfile", "ModelProfile", "profile_model", "profile_all_models", "profile_table"]
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    """FLOPs and arithmetic intensity of one phase of one model."""
+
+    flops: float
+    bytes: float
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        return self.flops / self.bytes if self.bytes else float("inf")
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """One row of Table II."""
+
+    model: str
+    aggregation: PhaseProfile
+    combination: PhaseProfile
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "model": self.model,
+            "aggregation_flops": self.aggregation.flops,
+            "combination_flops": self.combination.flops,
+            "aggregation_intensity": self.aggregation.arithmetic_intensity,
+            "combination_intensity": self.combination.arithmetic_intensity,
+        }
+
+
+def profile_model(
+    model: str,
+    sample_size: int = 25,
+    feature_dim: int = 512,
+    workload: Optional[GNNWorkload] = None,
+) -> ModelProfile:
+    """Profile one GNN variant on the Table II setup (or a custom workload)."""
+    task = workload if workload is not None else profiling_workload(model, sample_size, feature_dim)
+    aggregation = PhaseProfile(task.total_flops("aggregation"), task.total_bytes("aggregation"))
+    combination = PhaseProfile(task.total_flops("combination"), task.total_bytes("combination"))
+    return ModelProfile(model=task.model, aggregation=aggregation, combination=combination)
+
+
+def profile_all_models(sample_size: int = 25, feature_dim: int = 512) -> List[ModelProfile]:
+    """Profile all four GNN variants (the full Table II)."""
+    return [profile_model(name, sample_size, feature_dim) for name in MODEL_NAMES]
+
+
+def profile_table(
+    profiles: Optional[Sequence[ModelProfile]] = None,
+    block_size: Optional[int] = None,
+) -> str:
+    """Render Table II as ASCII; optionally append compressed-FLOPs columns.
+
+    When ``block_size`` is given, the matrix-vector FLOPs are divided by the
+    theoretical computation reduction ``n / log2(n)`` to show the headroom
+    block-circulant compression creates (the motivation for Section III).
+    """
+    rows = profiles if profiles is not None else profile_all_models()
+    header = f"{'Algorithm':10s} {'Agg FLOPs':>12s} {'Comb FLOPs':>12s} {'Agg AI':>8s} {'Comb AI':>8s}"
+    if block_size:
+        header += f" {'Agg FLOPs(n=' + str(block_size) + ')':>20s}"
+    lines = [header, "-" * len(header)]
+    reduction = theoretical_computation_reduction(block_size) if block_size else 1.0
+    for row in rows:
+        line = (
+            f"{row.model:10s} {row.aggregation.flops:12.2e} {row.combination.flops:12.2e} "
+            f"{row.aggregation.arithmetic_intensity:8.1f} {row.combination.arithmetic_intensity:8.1f}"
+        )
+        if block_size:
+            line += f" {row.aggregation.flops / reduction:20.2e}"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""NumPy-backed autograd substrate used to train the BlockGNN models."""
+
+from .tensor import Tensor, concatenate, ensure_tensor, is_grad_enabled, no_grad, stack, where
+from . import functional
+from .gradcheck import gradient_check, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "concatenate",
+    "stack",
+    "where",
+    "ensure_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "gradient_check",
+    "numerical_gradient",
+]

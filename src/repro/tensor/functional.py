@@ -1,0 +1,155 @@
+"""Composite and graph-oriented operations built on :class:`repro.tensor.Tensor`.
+
+These helpers cover the numerical building blocks of the four GNN variants in
+the BlockGNN paper: softmax attention (GAT), log-softmax + negative
+log-likelihood for node classification, sparse adjacency propagation for
+full-graph GCN, and segment reductions for edge-wise aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor, ensure_tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "sparse_matmul",
+    "segment_sum",
+    "segment_mean",
+    "segment_max",
+    "dropout",
+    "one_hot",
+    "accuracy",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = ensure_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = ensure_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Negative log-likelihood of integer ``targets`` under ``log_probs``."""
+    targets = np.asarray(targets, dtype=np.int64)
+    rows = np.arange(len(targets))
+    picked = log_probs[rows, targets]
+    return -picked.mean()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Softmax cross-entropy between ``logits`` and integer class ``targets``."""
+    return nll_loss(log_softmax(logits, axis=-1), targets)
+
+
+def sparse_matmul(adjacency: sp.spmatrix, features: Tensor) -> Tensor:
+    """Multiply a *constant* sparse matrix by a dense feature tensor.
+
+    The adjacency (or normalised Laplacian) is treated as data, not a
+    parameter, so only the gradient with respect to ``features`` is produced:
+    ``d(A @ X)/dX = A^T``.
+    """
+    features = ensure_tensor(features)
+    adjacency = adjacency.tocsr()
+    out_data = adjacency @ features.data
+    adjacency_t = adjacency.T.tocsr()
+
+    def backward(grad: np.ndarray) -> None:
+        if features.requires_grad:
+            features._accumulate(adjacency_t @ grad)
+
+    return Tensor._make(np.asarray(out_data), (features,), backward)
+
+
+def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``values`` that share a segment id (edge-wise aggregation)."""
+    values = ensure_tensor(values)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    out_shape = (num_segments,) + values.shape[1:]
+    out_data = np.zeros(out_shape, dtype=np.float64)
+    np.add.at(out_data, segment_ids, values.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if values.requires_grad:
+            values._accumulate(grad[segment_ids])
+
+    return Tensor._make(out_data, (values,), backward)
+
+
+def segment_mean(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Mean of rows sharing a segment id; empty segments produce zeros."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    counts = np.maximum(counts, 1.0)
+    summed = segment_sum(values, segment_ids, num_segments)
+    shape = (num_segments,) + (1,) * (summed.ndim - 1)
+    return summed / Tensor(counts.reshape(shape))
+
+
+def segment_max(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Max of rows sharing a segment id; empty segments produce zeros."""
+    values = ensure_tensor(values)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    out_shape = (num_segments,) + values.shape[1:]
+    out_data = np.full(out_shape, -np.inf, dtype=np.float64)
+    np.maximum.at(out_data, segment_ids, values.data)
+    empty = ~np.isin(np.arange(num_segments), segment_ids)
+    out_data[empty] = 0.0
+
+    def backward(grad: np.ndarray) -> None:
+        if not values.requires_grad:
+            return
+        # Gradient flows to entries equal to their segment's maximum,
+        # split evenly between ties.
+        expanded_max = out_data[segment_ids]
+        mask = (values.data == expanded_max).astype(np.float64)
+        tie_counts = np.zeros(out_shape, dtype=np.float64)
+        np.add.at(tie_counts, segment_ids, mask)
+        tie_counts = np.maximum(tie_counts, 1.0)
+        values._accumulate(mask / tie_counts[segment_ids] * grad[segment_ids])
+
+    return Tensor._make(out_data, (values,), backward)
+
+
+def dropout(x: Tensor, p: float, rng: Optional[np.random.Generator] = None, training: bool = True) -> Tensor:
+    """Inverted dropout: zero entries with probability ``p`` during training."""
+    if not training or p <= 0.0:
+        return ensure_tensor(x)
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    x = ensure_tensor(x)
+    generator = rng if rng is not None else np.random.default_rng()
+    mask = (generator.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer labels into a ``(N, num_classes)`` float array."""
+    labels = np.asarray(labels, dtype=np.int64)
+    encoded = np.zeros((len(labels), num_classes), dtype=np.float64)
+    encoded[np.arange(len(labels)), labels] = 1.0
+    return encoded
+
+
+def accuracy(logits: Union[Tensor, np.ndarray], targets: np.ndarray) -> float:
+    """Classification accuracy of arg-max predictions against integer targets."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    predictions = data.argmax(axis=-1)
+    targets = np.asarray(targets, dtype=np.int64)
+    return float((predictions == targets).mean())

@@ -1,0 +1,17 @@
+"""Analytical workload models of the four GNN variants."""
+
+from .builder import MODEL_NAMES, build_workload, canonical_model_name, profiling_workload
+from .spec import BYTES_PER_VALUE, GNNWorkload, LayerWorkload, MatVecOp, Phase, VectorOp
+
+__all__ = [
+    "MODEL_NAMES",
+    "build_workload",
+    "profiling_workload",
+    "canonical_model_name",
+    "GNNWorkload",
+    "LayerWorkload",
+    "MatVecOp",
+    "VectorOp",
+    "Phase",
+    "BYTES_PER_VALUE",
+]

@@ -1,0 +1,195 @@
+"""Build :class:`GNNWorkload` descriptions for the four GNN variants.
+
+The operation inventory per model follows Table I:
+
+* **GCN** — aggregation is a degree-normalised neighbour sum (no weight
+  matrix, VPU-only work); combination is one FC per node.
+* **GS-Pool** — aggregation applies the pooling FC to every sampled
+  neighbour, then ReLU + element-wise max; combination is one FC on the
+  concatenated ``[a_v || h_v]`` vector.
+* **G-GCN** — aggregation applies the two gate matrices ``W_H`` / ``W_C`` per
+  sampled neighbour, a sigmoid and a gated sum; combination is one FC.
+* **GAT** — aggregation projects both endpoints of every sampled edge through
+  the shared ``W`` for the attention logits (two projections per neighbour,
+  matching the paper's Table II accounting), plus softmax and the weighted
+  sum; combination is one FC.
+
+The profiling setup of Section II-B (Reddit, sample size 25, 512-dim hidden
+features, GAT with two 128-dim heads) is obtained with the defaults of
+:func:`profiling_workload`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..graph.datasets import DatasetStats, dataset_stats
+from .spec import GNNWorkload, LayerWorkload, MatVecOp, VectorOp
+
+__all__ = ["build_workload", "profiling_workload", "MODEL_NAMES", "canonical_model_name"]
+
+MODEL_NAMES = ("GCN", "GS-Pool", "G-GCN", "GAT")
+
+_CANONICAL = {
+    "gcn": "GCN",
+    "gs-pool": "GS-Pool",
+    "gs_pool": "GS-Pool",
+    "gspool": "GS-Pool",
+    "graphsage": "GS-Pool",
+    "g-gcn": "G-GCN",
+    "ggcn": "G-GCN",
+    "gat": "GAT",
+}
+
+
+def canonical_model_name(name: str) -> str:
+    """Map any accepted spelling to the paper's canonical model name."""
+    key = name.lower()
+    if key not in _CANONICAL:
+        raise KeyError(f"unknown GNN model '{name}'; known: {', '.join(MODEL_NAMES)}")
+    return _CANONICAL[key]
+
+
+def _layer_dims(in_features: int, hidden_features: int, out_features: int, num_layers: int) -> Sequence[Tuple[int, int]]:
+    dims = [in_features] + [hidden_features] * (num_layers - 1) + [out_features]
+    return [(dims[k], dims[k + 1]) for k in range(num_layers)]
+
+
+def _gcn_layer(index: int, sample: int, d_in: int, d_out: int) -> LayerWorkload:
+    return LayerWorkload(
+        layer_index=index,
+        sample_size=sample,
+        in_features=d_in,
+        out_features=d_out,
+        matvecs=(MatVecOp(d_out, d_in, 1.0, "combination", "combine_fc"),),
+        vector_ops=(
+            # Scale-and-accumulate of S neighbour vectors (1 multiply + 1 add per element).
+            VectorOp(2.0 * sample * d_in, "aggregation", "normalised_sum"),
+            VectorOp(float(d_out), "combination", "relu"),
+        ),
+    )
+
+
+def _gs_pool_layer(index: int, sample: int, d_in: int, d_out: int, d_pool: Optional[int]) -> LayerWorkload:
+    # The pooling FC projects into the hidden dimension (GraphSAGE convention,
+    # and the accounting behind the paper's Table II / Table V numbers).
+    pool = d_pool if d_pool is not None else d_out
+    return LayerWorkload(
+        layer_index=index,
+        sample_size=sample,
+        in_features=d_in,
+        out_features=d_out,
+        matvecs=(
+            MatVecOp(pool, d_in, float(sample), "aggregation", "pool_fc"),
+            MatVecOp(d_out, pool + d_in, 1.0, "combination", "combine_fc"),
+        ),
+        vector_ops=(
+            VectorOp(float(sample * pool), "aggregation", "relu"),
+            VectorOp(float(sample * pool), "aggregation", "max_pool"),
+            VectorOp(float(d_out), "combination", "relu"),
+        ),
+    )
+
+
+def _ggcn_layer(index: int, sample: int, d_in: int, d_out: int, gate_features: Optional[int]) -> LayerWorkload:
+    gate = gate_features if gate_features is not None else d_out
+    return LayerWorkload(
+        layer_index=index,
+        sample_size=sample,
+        in_features=d_in,
+        out_features=d_out,
+        matvecs=(
+            MatVecOp(gate, d_in, float(sample), "aggregation", "gate_neighbor"),
+            MatVecOp(gate, d_in, float(sample), "aggregation", "gate_self"),
+            MatVecOp(d_out, d_in, 1.0, "combination", "combine_fc"),
+        ),
+        vector_ops=(
+            VectorOp(float(sample * gate), "aggregation", "sigmoid"),
+            VectorOp(2.0 * sample * d_in, "aggregation", "gated_sum"),
+            VectorOp(float(d_out), "combination", "relu"),
+        ),
+    )
+
+
+def _gat_layer(
+    index: int, sample: int, d_in: int, d_out: int, num_heads: int, head_features: Optional[int]
+) -> LayerWorkload:
+    head = head_features if head_features is not None else max(d_out // num_heads, 1)
+    attention_width = num_heads * head
+    return LayerWorkload(
+        layer_index=index,
+        sample_size=sample,
+        in_features=d_in,
+        out_features=d_out,
+        matvecs=(
+            # Both endpoints of every sampled edge are projected for the
+            # attention logits (the paper's 2x accounting).
+            MatVecOp(attention_width, d_in, 2.0 * sample, "aggregation", "attention_projection"),
+            MatVecOp(d_out, d_in, 1.0, "combination", "combine_fc"),
+        ),
+        vector_ops=(
+            VectorOp(float(sample * attention_width), "aggregation", "attention_logits"),
+            VectorOp(3.0 * sample, "aggregation", "softmax"),
+            VectorOp(2.0 * sample * d_in, "aggregation", "weighted_sum"),
+            VectorOp(float(d_out), "combination", "elu"),
+        ),
+    )
+
+
+def build_workload(
+    model: str,
+    dataset: "DatasetStats | str",
+    hidden_features: int = 512,
+    num_layers: int = 2,
+    sample_sizes: Sequence[int] = (25, 10),
+    num_classes: Optional[int] = None,
+    num_heads: int = 2,
+    head_features: Optional[int] = None,
+    pool_features: Optional[int] = None,
+    gate_features: Optional[int] = None,
+    output_features: Optional[int] = None,
+) -> GNNWorkload:
+    """Build the analytical workload of ``model`` on ``dataset``.
+
+    Defaults follow the paper's evaluation setup: 2 layers, 512-dim hidden
+    vectors and sampling sizes ``S1 = 25, S2 = 10`` (Section IV-A).
+    """
+    stats = dataset_stats(dataset) if isinstance(dataset, str) else dataset
+    name = canonical_model_name(model)
+    if len(sample_sizes) != num_layers:
+        raise ValueError("sample_sizes must provide one entry per layer")
+    classes = num_classes if num_classes is not None else stats.num_classes
+    final = output_features if output_features is not None else hidden_features
+    dims = _layer_dims(stats.num_features, hidden_features, final if final else classes, num_layers)
+
+    layers = []
+    for index, ((d_in, d_out), sample) in enumerate(zip(dims, sample_sizes)):
+        if name == "GCN":
+            layers.append(_gcn_layer(index, sample, d_in, d_out))
+        elif name == "GS-Pool":
+            layers.append(_gs_pool_layer(index, sample, d_in, d_out, pool_features))
+        elif name == "G-GCN":
+            layers.append(_ggcn_layer(index, sample, d_in, d_out, gate_features))
+        else:
+            layers.append(_gat_layer(index, sample, d_in, d_out, num_heads, head_features))
+    return GNNWorkload(model=name, num_nodes=stats.num_nodes, layers=tuple(layers), dataset=stats.name)
+
+
+def profiling_workload(model: str, sample_size: int = 25, feature_dim: int = 512) -> GNNWorkload:
+    """Single-layer Reddit workload used for the Table II profiling study.
+
+    The paper profiles one layer with 512-dimensional input and output
+    features, sample size 25, and (for GAT) two 128-dimensional heads.
+    """
+    stats = dataset_stats("reddit")
+    synthetic_stats = DatasetStats("reddit", stats.num_nodes, stats.num_edges, feature_dim, stats.num_classes)
+    return build_workload(
+        model,
+        synthetic_stats,
+        hidden_features=feature_dim,
+        num_layers=1,
+        sample_sizes=(sample_size,),
+        num_heads=2,
+        head_features=128,
+        output_features=feature_dim,
+    )

@@ -1,0 +1,171 @@
+"""Analytical GNN workload descriptions.
+
+The profiling study (Table II), the performance & resource model
+(Equations 3–7) and the accelerator/baseline latency comparisons
+(Figures 6–7) all reason about a GNN task *analytically*: how many
+matrix-vector products of which shapes, and how much element-wise vector
+work, each layer performs per target node in the aggregation and combination
+phases.  :class:`GNNWorkload` is that description; it is built from a model
+name + dataset statistics by :mod:`repro.workloads.builder` and consumed by
+``repro.profiling`` and ``repro.hardware``.
+
+Operation accounting used throughout the repository (documented here once):
+
+* a multiply-accumulate counts as **2 FLOPs** (one multiply + one add);
+* element-wise vector operations count **1 FLOP per element**;
+* data volumes assume **4-byte** values (the prototype uses 32-bit fixed point);
+* weights are counted once per processing batch (they stay in the on-chip
+  Weight Buffer), features are streamed per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Literal, Optional, Tuple
+
+__all__ = ["Phase", "MatVecOp", "VectorOp", "LayerWorkload", "GNNWorkload", "BYTES_PER_VALUE"]
+
+Phase = Literal["aggregation", "combination"]
+
+#: 32-bit values everywhere (the FPGA prototype uses 32-bit fixed point).
+BYTES_PER_VALUE = 4
+
+
+@dataclass(frozen=True)
+class MatVecOp:
+    """A weight-matrix  x  feature-vector product executed per target node.
+
+    Attributes
+    ----------
+    out_features, in_features:
+        Shape ``N x M`` of the weight matrix.
+    count_per_node:
+        How many such products each target node requires in this layer
+        (``S`` for per-sampled-neighbour matrices, ``1`` for combination).
+    phase:
+        Which phase ('aggregation' or 'combination') the product belongs to.
+    name:
+        Human-readable identifier (e.g. ``"pool_fc"``, ``"gate_neighbor"``).
+    """
+
+    out_features: int
+    in_features: int
+    count_per_node: float
+    phase: Phase
+    name: str = "matvec"
+
+    def flops_per_node(self) -> float:
+        """Dense FLOPs per target node (2 FLOPs per MAC)."""
+        return 2.0 * self.out_features * self.in_features * self.count_per_node
+
+    def weight_parameters(self) -> int:
+        """Parameter count of the dense weight matrix."""
+        return self.out_features * self.in_features
+
+
+@dataclass(frozen=True)
+class VectorOp:
+    """Element-wise / reduction work executed on the VPU per target node."""
+
+    elements_per_node: float
+    phase: Phase
+    name: str = "vector"
+
+    def flops_per_node(self) -> float:
+        return float(self.elements_per_node)
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """Per-layer workload: sample size, feature dims and the operations above."""
+
+    layer_index: int
+    sample_size: int
+    in_features: int
+    out_features: int
+    matvecs: Tuple[MatVecOp, ...] = ()
+    vector_ops: Tuple[VectorOp, ...] = ()
+
+    def matvecs_in_phase(self, phase: Phase) -> List[MatVecOp]:
+        return [op for op in self.matvecs if op.phase == phase]
+
+    def flops_per_node(self, phase: Optional[Phase] = None) -> float:
+        total = 0.0
+        for op in self.matvecs:
+            if phase is None or op.phase == phase:
+                total += op.flops_per_node()
+        for op in self.vector_ops:
+            if phase is None or op.phase == phase:
+                total += op.flops_per_node()
+        return total
+
+    def bytes_per_node(self, phase: Phase) -> float:
+        """Feature traffic per target node (neighbour reads + output writes)."""
+        if phase == "aggregation":
+            # Read S neighbour feature vectors, write one aggregated vector.
+            read = self.sample_size * self.in_features
+            write = max(
+                (op.out_features for op in self.matvecs_in_phase("aggregation")),
+                default=self.in_features,
+            )
+            return BYTES_PER_VALUE * (read + write)
+        # Combination: read the aggregated (+self) vector, write the output.
+        read = sum(op.in_features for op in self.matvecs_in_phase("combination")) or self.in_features
+        return BYTES_PER_VALUE * (read + self.out_features)
+
+
+@dataclass(frozen=True)
+class GNNWorkload:
+    """A complete GNN task: model, dataset statistics and per-layer workloads."""
+
+    model: str
+    num_nodes: int
+    layers: Tuple[LayerWorkload, ...]
+    dataset: str = "custom"
+
+    # -- aggregate statistics ---------------------------------------------------
+
+    def total_flops(self, phase: Optional[Phase] = None) -> float:
+        """Total FLOPs across all layers and nodes (optionally one phase)."""
+        return sum(self.num_nodes * layer.flops_per_node(phase) for layer in self.layers)
+
+    def total_bytes(self, phase: Phase) -> float:
+        """Total feature traffic in bytes for ``phase``."""
+        return sum(self.num_nodes * layer.bytes_per_node(phase) for layer in self.layers)
+
+    def arithmetic_intensity(self, phase: Phase) -> float:
+        """FLOPs per byte of feature traffic for ``phase``."""
+        flops = self.total_flops(phase)
+        traffic = self.total_bytes(phase)
+        return flops / traffic if traffic else float("inf")
+
+    def weight_parameters(self, phase: Optional[Phase] = None) -> int:
+        """Dense parameter count across all layers (optionally one phase)."""
+        total = 0
+        for layer in self.layers:
+            for op in layer.matvecs:
+                if phase is None or op.phase == phase:
+                    total += op.weight_parameters()
+        return total
+
+    def per_layer_flops(self) -> List[Dict[str, float]]:
+        """FLOP breakdown per layer (used by examples and EXPERIMENTS.md)."""
+        rows = []
+        for layer in self.layers:
+            rows.append(
+                {
+                    "layer": layer.layer_index,
+                    "aggregation": self.num_nodes * layer.flops_per_node("aggregation"),
+                    "combination": self.num_nodes * layer.flops_per_node("combination"),
+                }
+            )
+        return rows
+
+    def summary(self) -> str:
+        agg = self.total_flops("aggregation")
+        comb = self.total_flops("combination")
+        return (
+            f"{self.model} on {self.dataset}: aggregation {agg:.2e} FLOPs "
+            f"(AI {self.arithmetic_intensity('aggregation'):.1f}), "
+            f"combination {comb:.2e} FLOPs (AI {self.arithmetic_intensity('combination'):.1f})"
+        )

@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for the block-circulant kernels.
+
+These are the core invariants of the paper's Algorithm 1: for *any* matrix
+shape, block size and input, the FFT path, the spatial-accumulation path, the
+RFFT path and the expanded dense matrix all compute the same product, and the
+storage saving equals ``dense / (p * q * n)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.circulant import (
+    BlockCirculantSpec,
+    expand_block_circulant,
+    project_to_block_circulant,
+    random_block_circulant,
+)
+from repro.compression.spectral import (
+    block_circulant_matmul,
+    block_circulant_matmul_rfft,
+    block_circulant_matvec_spatial,
+)
+
+dims = st.integers(min_value=1, max_value=20)
+blocks = st.integers(min_value=1, max_value=8)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dims, dims, blocks, seeds)
+def test_fft_kernel_equals_dense_expansion(out_features, in_features, block_size, seed):
+    rng = np.random.default_rng(seed)
+    spec = BlockCirculantSpec(out_features, in_features, block_size)
+    weights = random_block_circulant(spec, rng)
+    x = rng.standard_normal((3, in_features))
+    dense = expand_block_circulant(weights, spec)
+    assert np.allclose(block_circulant_matmul(x, weights, spec), x @ dense.T, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(dims, dims, blocks, seeds)
+def test_spatial_and_spectral_accumulation_agree(out_features, in_features, block_size, seed):
+    rng = np.random.default_rng(seed)
+    spec = BlockCirculantSpec(out_features, in_features, block_size)
+    weights = random_block_circulant(spec, rng)
+    x = rng.standard_normal((2, in_features))
+    assert np.allclose(
+        block_circulant_matmul(x, weights, spec),
+        block_circulant_matvec_spatial(x, weights, spec),
+        atol=1e-9,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(dims, dims, blocks, seeds)
+def test_rfft_and_fft_agree(out_features, in_features, block_size, seed):
+    rng = np.random.default_rng(seed)
+    spec = BlockCirculantSpec(out_features, in_features, block_size)
+    weights = random_block_circulant(spec, rng)
+    x = rng.standard_normal((2, in_features))
+    assert np.allclose(
+        block_circulant_matmul(x, weights, spec),
+        block_circulant_matmul_rfft(x, weights, spec),
+        atol=1e-9,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(dims, dims, blocks)
+def test_storage_counts(out_features, in_features, block_size):
+    spec = BlockCirculantSpec(out_features, in_features, block_size)
+    assert spec.circulant_parameters == spec.p * spec.q * spec.block_size
+    assert spec.padded_out >= out_features
+    assert spec.padded_in >= in_features
+    assert spec.padded_out - out_features < block_size
+    assert spec.padded_in - in_features < block_size
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 4).map(lambda k: 4 * k), st.integers(1, 4).map(lambda k: 4 * k), seeds)
+def test_projection_roundtrip_for_divisible_shapes(out_features, in_features, seed):
+    rng = np.random.default_rng(seed)
+    spec = BlockCirculantSpec(out_features, in_features, 4)
+    weights = random_block_circulant(spec, rng)
+    dense = expand_block_circulant(weights, spec)
+    recovered, _ = project_to_block_circulant(dense, 4)
+    assert np.allclose(recovered, weights, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(dims, dims, blocks, seeds)
+def test_linearity_of_the_compressed_operator(out_features, in_features, block_size, seed):
+    """The compressed layer is a linear map: f(a x + b y) == a f(x) + b f(y)."""
+    rng = np.random.default_rng(seed)
+    spec = BlockCirculantSpec(out_features, in_features, block_size)
+    weights = random_block_circulant(spec, rng)
+    x = rng.standard_normal(in_features)
+    y = rng.standard_normal(in_features)
+    a, b = 2.5, -1.25
+    left = block_circulant_matmul(a * x + b * y, weights, spec)
+    right = a * block_circulant_matmul(x, weights, spec) + b * block_circulant_matmul(y, weights, spec)
+    assert np.allclose(left, right, atol=1e-8)

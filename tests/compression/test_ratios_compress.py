@@ -1,0 +1,158 @@
+"""Unit tests for compression ratios (Table III columns) and the model-conversion API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.compression import (
+    CompressionConfig,
+    compress_model,
+    compress_module,
+    layer_computation_reduction,
+    layer_storage_reduction,
+    model_compression_report,
+    storage_reduction,
+    summarize_block_sizes,
+    theoretical_computation_reduction,
+)
+from repro.compression.circulant import BlockCirculantSpec
+from repro.models import create_model
+from repro.tensor import Tensor
+
+
+class TestRatios:
+    def test_paper_table3_tcr_values(self):
+        # Table III: 4.0x, 6.4x, 10.7x, 18.3x for n = 16, 32, 64, 128.
+        assert theoretical_computation_reduction(16) == pytest.approx(4.0, abs=0.05)
+        assert theoretical_computation_reduction(32) == pytest.approx(6.4, abs=0.05)
+        assert theoretical_computation_reduction(64) == pytest.approx(10.7, abs=0.05)
+        assert theoretical_computation_reduction(128) == pytest.approx(18.3, abs=0.05)
+
+    def test_paper_table3_sr_values(self):
+        for block in (1, 16, 32, 64, 128):
+            assert storage_reduction(block) == float(block)
+
+    def test_uncompressed_case(self):
+        assert theoretical_computation_reduction(1) == 1.0
+        assert storage_reduction(1) == 1.0
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            theoretical_computation_reduction(0)
+        with pytest.raises(ValueError):
+            storage_reduction(-1)
+
+    def test_summary_matches_individual_functions(self):
+        rows = summarize_block_sizes((1, 16, 128))
+        assert [row.block_size for row in rows] == [1, 16, 128]
+        assert rows[2].storage_reduction == 128.0
+
+    def test_layer_storage_reduction_divisible(self):
+        spec = BlockCirculantSpec(512, 512, 128)
+        assert layer_storage_reduction(spec) == pytest.approx(128.0)
+
+    def test_layer_computation_reduction_positive_and_monotonic(self):
+        small = layer_computation_reduction(BlockCirculantSpec(512, 512, 16))
+        large = layer_computation_reduction(BlockCirculantSpec(512, 512, 128))
+        assert 1.0 < small < large
+
+
+class TestCompressionConfig:
+    def test_defaults_compress_both_phases(self):
+        config = CompressionConfig(block_size=16)
+        assert config.applies_to("aggregation") and config.applies_to("combination")
+
+    def test_block_size_one_is_disabled(self):
+        config = CompressionConfig(block_size=1)
+        assert not config.enabled
+        assert not config.applies_to("aggregation")
+
+    def test_aggregator_only(self):
+        config = CompressionConfig(block_size=16, compress_combination=False)
+        assert config.applies_to("aggregation")
+        assert not config.applies_to("combination")
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionConfig(block_size=4).applies_to("pooling")
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionConfig(block_size=0)
+
+    def test_linear_factory_respects_phase(self, rng):
+        config = CompressionConfig(block_size=4, compress_combination=False)
+        agg_layer = config.linear(8, 8, phase="aggregation", rng=rng)
+        comb_layer = config.linear(8, 8, phase="combination", rng=rng)
+        assert isinstance(agg_layer, nn.BlockCirculantLinear)
+        assert isinstance(comb_layer, nn.Linear)
+        assert not isinstance(comb_layer, nn.BlockCirculantLinear)
+
+    def test_ratio_properties(self):
+        config = CompressionConfig(block_size=128)
+        assert config.storage_reduction == 128.0
+        assert config.theoretical_computation_reduction == pytest.approx(18.3, abs=0.05)
+
+
+class TestCompressModule:
+    def _mlp(self, rng):
+        return nn.Sequential(nn.Linear(16, 16, rng=rng), nn.ReLU(), nn.Linear(16, 4, rng=rng))
+
+    def test_converts_all_linear_layers(self, rng):
+        model = self._mlp(rng)
+        report = compress_module(model, block_size=4)
+        assert len(report.converted_layers) == 2
+        assert all(isinstance(layer, nn.BlockCirculantLinear) for layer in model if isinstance(layer, nn.Linear))
+
+    def test_block_size_one_is_noop(self, rng):
+        model = self._mlp(rng)
+        report = compress_module(model, block_size=1)
+        assert report.converted_layers == []
+        assert report.storage_reduction == pytest.approx(1.0)
+
+    def test_skip_list_respected(self, rng):
+        model = self._mlp(rng)
+        report = compress_module(model, block_size=4, skip=["layer_2"])
+        assert "layer_2" in report.skipped_layers
+        assert isinstance(model.layers[2], nn.Linear) and not isinstance(
+            model.layers[2], nn.BlockCirculantLinear
+        )
+
+    def test_report_storage_reduction(self, rng):
+        model = nn.Sequential(nn.Linear(64, 64, bias=False, rng=rng))
+        report = compress_module(model, block_size=8)
+        assert report.storage_reduction == pytest.approx(8.0)
+
+    def test_converted_model_output_close_to_original_for_circulant_weights(self, rng):
+        original = nn.BlockCirculantLinear(16, 16, 4, rng=rng)
+        dense = nn.Linear(16, 16, rng=rng)
+        dense.weight.data[...] = original.weight_matrix()
+        dense.bias.data[...] = original.bias.data
+        container = nn.Sequential(dense)
+        compress_module(container, block_size=4)
+        x = rng.standard_normal((3, 16))
+        assert np.allclose(container(Tensor(x)).data, original(Tensor(x)).data)
+
+
+class TestCompressModel:
+    def test_phase_aware_compression_on_gs_pool(self):
+        dense_model = create_model("GS-Pool", 32, 16, 4, seed=0)
+        config = CompressionConfig(block_size=4, compress_combination=False)
+        compress_model(dense_model, config)
+        layer = dense_model.layers[0]
+        assert isinstance(layer.pool_fc, nn.BlockCirculantLinear)
+        assert not isinstance(layer.combine_fc, nn.BlockCirculantLinear)
+
+    def test_disabled_config_keeps_model_dense(self):
+        model = create_model("GCN", 16, 8, 3, seed=0)
+        compress_model(model, CompressionConfig(block_size=1))
+        assert all(
+            not isinstance(module, nn.BlockCirculantLinear) for _, module in model.named_modules()
+        )
+
+    def test_model_compression_report_counts(self):
+        model = create_model("GCN", 16, 8, 3, compression=CompressionConfig(block_size=4), seed=0)
+        report = model_compression_report(model)
+        assert report["stored"] < report["dense_equivalent"]

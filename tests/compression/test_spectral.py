@@ -1,0 +1,130 @@
+"""Unit tests for the FFT-based kernels (Algorithm 1) and their gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.circulant import BlockCirculantSpec, expand_block_circulant, random_block_circulant
+from repro.compression.spectral import (
+    block_circulant_matmul,
+    block_circulant_matmul_rfft,
+    block_circulant_matvec,
+    block_circulant_matvec_spatial,
+    block_circulant_operation_count,
+    circulant_linear,
+    dense_operation_count,
+    fft_operation_count,
+    spectral_weights,
+)
+from repro.tensor import Tensor, gradient_check
+
+
+@pytest.fixture
+def batch(rng, circulant_spec):
+    return rng.standard_normal((5, circulant_spec.in_features))
+
+
+class TestKernelEquivalence:
+    def test_fft_kernel_matches_dense(self, circulant_spec, circulant_weights, batch):
+        dense = expand_block_circulant(circulant_weights, circulant_spec)
+        out = block_circulant_matmul(batch, circulant_weights, circulant_spec)
+        assert np.allclose(out, batch @ dense.T)
+
+    def test_spatial_accumulation_matches_spectral(self, circulant_spec, circulant_weights, batch):
+        spectral = block_circulant_matmul(batch, circulant_weights, circulant_spec)
+        spatial = block_circulant_matvec_spatial(batch, circulant_weights, circulant_spec)
+        assert np.allclose(spectral, spatial)
+
+    def test_rfft_kernel_matches_complex(self, circulant_spec, circulant_weights, batch):
+        complex_out = block_circulant_matmul(batch, circulant_weights, circulant_spec)
+        real_out = block_circulant_matmul_rfft(batch, circulant_weights, circulant_spec)
+        assert np.allclose(complex_out, real_out)
+
+    def test_single_vector_variant(self, circulant_spec, circulant_weights, rng):
+        vector = rng.standard_normal(circulant_spec.in_features)
+        out = block_circulant_matvec(vector, circulant_weights, circulant_spec)
+        assert out.shape == (circulant_spec.out_features,)
+        dense = expand_block_circulant(circulant_weights, circulant_spec)
+        assert np.allclose(out, dense @ vector)
+
+    def test_precomputed_spectral_weights_path(self, circulant_spec, circulant_weights, batch):
+        w_hat = spectral_weights(circulant_weights)
+        out = block_circulant_matmul(batch, circulant_weights, circulant_spec, spectral=w_hat)
+        reference = block_circulant_matmul(batch, circulant_weights, circulant_spec)
+        assert np.allclose(out, reference)
+
+    def test_input_dimension_mismatch_raises(self, circulant_spec, circulant_weights, rng):
+        with pytest.raises(ValueError):
+            block_circulant_matmul(rng.standard_normal((2, 7)), circulant_weights, circulant_spec)
+
+    def test_spectral_weights_requires_3d(self):
+        with pytest.raises(ValueError):
+            spectral_weights(np.zeros((3, 3)))
+
+    @pytest.mark.parametrize("block", [1, 2, 8])
+    def test_various_block_sizes(self, rng, block):
+        spec = BlockCirculantSpec(16, 24, block)
+        weights = random_block_circulant(spec, rng)
+        dense = expand_block_circulant(weights, spec)
+        x = rng.standard_normal((3, 24))
+        assert np.allclose(block_circulant_matmul(x, weights, spec), x @ dense.T)
+
+
+class TestCirculantLinearAutograd:
+    def test_forward_matches_kernel(self, circulant_spec, circulant_weights, batch):
+        out = circulant_linear(Tensor(batch), Tensor(circulant_weights), circulant_spec)
+        reference = block_circulant_matmul(batch, circulant_weights, circulant_spec)
+        assert np.allclose(out.data, reference)
+
+    def test_gradcheck_inputs_and_weights(self, circulant_spec, circulant_weights, rng):
+        x = Tensor(rng.standard_normal((3, circulant_spec.in_features)), requires_grad=True)
+        w = Tensor(circulant_weights, requires_grad=True)
+        assert gradient_check(lambda a, b: circulant_linear(a, b, circulant_spec), [x, w])
+
+    def test_gradcheck_single_vector(self, circulant_spec, circulant_weights, rng):
+        x = Tensor(rng.standard_normal(circulant_spec.in_features), requires_grad=True)
+        w = Tensor(circulant_weights, requires_grad=True)
+        assert gradient_check(lambda a, b: circulant_linear(a, b, circulant_spec), [x, w])
+
+    def test_gradient_matches_dense_formulation(self, rng):
+        spec = BlockCirculantSpec(8, 12, 4)
+        weights = random_block_circulant(spec, rng)
+        x_data = rng.standard_normal((4, 12))
+        x = Tensor(x_data, requires_grad=True)
+        circulant_linear(x, Tensor(weights), spec).sum().backward()
+        dense = expand_block_circulant(weights, spec)
+        expected = np.ones((4, 8)) @ dense
+        assert np.allclose(x.grad, expected)
+
+    def test_weight_shape_mismatch_raises(self, circulant_spec, rng):
+        with pytest.raises(ValueError):
+            circulant_linear(
+                Tensor(rng.standard_normal((2, circulant_spec.in_features))),
+                Tensor(np.zeros((1, 1, 4))),
+                circulant_spec,
+            )
+
+
+class TestOperationCounts:
+    def test_fft_count_scaling(self):
+        assert fft_operation_count(1) == 0.0
+        assert fft_operation_count(128) == pytest.approx(5 * 128 * 7)
+
+    def test_dense_count(self):
+        assert dense_operation_count(512, 512) == 2 * 512 * 512
+
+    def test_compressed_count_below_dense_for_large_blocks(self):
+        spec = BlockCirculantSpec(512, 512, 128)
+        assert block_circulant_operation_count(spec) < dense_operation_count(512, 512)
+
+    def test_rfft_reduces_count(self):
+        spec = BlockCirculantSpec(512, 512, 128)
+        assert block_circulant_operation_count(spec, use_rfft=True) < block_circulant_operation_count(spec)
+
+    def test_reduction_grows_with_block_size(self):
+        reductions = []
+        for block in (16, 32, 64, 128):
+            spec = BlockCirculantSpec(512, 512, block)
+            reductions.append(dense_operation_count(512, 512) / block_circulant_operation_count(spec))
+        assert reductions == sorted(reductions)

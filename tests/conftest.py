@@ -1,0 +1,58 @@
+"""Shared fixtures for the BlockGNN reproduction test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.circulant import BlockCirculantSpec, random_block_circulant
+from repro.graph.datasets import synthetic_graph
+from repro.graph.sampling import NeighborSampler
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_graph():
+    """A small homophilous labelled graph (fast to train on)."""
+    return synthetic_graph(
+        num_nodes=120,
+        num_edges=600,
+        num_features=24,
+        num_classes=4,
+        seed=7,
+        name="test-graph",
+    )
+
+
+@pytest.fixture
+def tiny_graph():
+    """An even smaller graph for sampling / partitioning unit tests."""
+    return synthetic_graph(
+        num_nodes=40,
+        num_edges=150,
+        num_features=8,
+        num_classes=3,
+        seed=3,
+        name="tiny-graph",
+    )
+
+
+@pytest.fixture
+def sampler(small_graph):
+    return NeighborSampler(small_graph, fanouts=(4, 3), seed=0)
+
+
+@pytest.fixture
+def circulant_spec():
+    """A block-circulant spec with non-divisible dimensions (exercises padding)."""
+    return BlockCirculantSpec(out_features=10, in_features=14, block_size=4)
+
+
+@pytest.fixture
+def circulant_weights(circulant_spec, rng):
+    return random_block_circulant(circulant_spec, rng)

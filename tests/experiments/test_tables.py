@@ -1,0 +1,152 @@
+"""Tests for the table harnesses (Tables II, III, V, VI) on scaled-down settings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER_TABLE2,
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+    format_table,
+    render_table2,
+    render_table3,
+    render_table5,
+    render_table6,
+    run_table2,
+    run_table3,
+    run_table5,
+    run_table6,
+)
+from repro.perfmodel.search import SearchSpace
+
+FAST_SPACE = SearchSpace(
+    max_systolic_rows=4,
+    max_systolic_cols=4,
+    pe_parallelism_choices=(1,),
+    vpu_lane_choices=(1,),
+)
+
+
+class TestFormatting:
+    def test_format_table_aligns_columns(self):
+        text = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestTable2:
+    def test_rows_cover_all_models(self):
+        rows = run_table2()
+        assert [row.model for row in rows] == ["GCN", "GS-Pool", "G-GCN", "GAT"]
+
+    def test_paper_reference_attached(self):
+        rows = run_table2()
+        for row in rows:
+            assert row.paper == PAPER_TABLE2[row.model]
+
+    def test_ratios_match_paper_within_tolerance(self):
+        """The model-to-model FLOP ratios are the reproduced quantity."""
+        rows = {row.model: row for row in run_table2()}
+        measured_ratio = rows["G-GCN"].aggregation_flops / rows["GS-Pool"].aggregation_flops
+        paper_ratio = PAPER_TABLE2["G-GCN"]["agg_flops"] / PAPER_TABLE2["GS-Pool"]["agg_flops"]
+        assert measured_ratio == pytest.approx(paper_ratio, rel=0.1)
+
+    def test_gcn_aggregation_memory_bound_as_in_paper(self):
+        rows = {row.model: row for row in run_table2()}
+        assert rows["GCN"].aggregation_intensity < 1.0
+
+    def test_render_contains_all_models(self):
+        text = render_table2()
+        for model in PAPER_TABLE2:
+            assert model in text
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table3(
+            block_sizes=(1, 4),
+            models=("GCN", "GS-Pool"),
+            dataset_scale=0.001,
+            num_features=32,
+            hidden_features=32,
+            epochs=2,
+            fanouts=(5, 3),
+            batch_size=32,
+            seed=0,
+        )
+
+    def test_all_cells_present(self, result):
+        assert len(result.cells) == 4
+        for cell in result.cells:
+            assert 0.0 <= cell.accuracy <= 1.0
+
+    def test_uncompressed_accuracy_beats_chance(self, result):
+        assert result.accuracy("GS-Pool", 1) > 1.0 / 41
+
+    def test_accuracy_drop_is_bounded(self, result):
+        # The reproduced claim: compression costs little accuracy.  On the tiny
+        # synthetic stand-in we allow a generous bound.
+        assert result.accuracy_drop("GS-Pool", 4) < 0.4
+
+    def test_missing_cell_raises(self, result):
+        with pytest.raises(KeyError):
+            result.accuracy("GAT", 1)
+
+    def test_render_layout(self, result):
+        text = render_table3(result)
+        assert "n = 1" in text and "n = 4" in text and "TCR" in text
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table5(datasets=("cora", "pubmed"), space=FAST_SPACE)
+
+    def test_rows_have_designs_and_paper_reference(self, rows):
+        assert len(rows) == 2
+        for row in rows:
+            assert row.design.resources.dsp <= 900
+            assert row.paper == PAPER_TABLE5[row.dataset]
+
+    def test_cycle_count_same_order_of_magnitude_as_paper(self, rows):
+        for row in rows:
+            paper = row.paper["min_cycles"]
+            assert paper / 5 <= row.min_cycles <= paper * 5
+
+    def test_render(self, rows):
+        text = render_table5(rows)
+        assert "cora" in text and "paper cycles" in text
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        table5 = run_table5(datasets=("cora", "reddit"), space=FAST_SPACE)
+        return run_table6(table5_rows=table5)
+
+    def test_utilization_fractions_in_range(self, rows):
+        for row in rows:
+            for value in row.utilization.values():
+                assert 0.0 < value <= 1.0
+
+    def test_dsp_is_the_dominant_resource(self, rows):
+        """Table VI's headline: the searched designs nearly exhaust the DSPs."""
+        for row in rows:
+            utilization = row.utilization
+            assert utilization["DSP48"] >= max(utilization["FF"], utilization["LUT"])
+
+    def test_paper_reference_attached(self, rows):
+        for row in rows:
+            assert row.paper == PAPER_TABLE6[row.dataset]
+
+    def test_render(self, rows):
+        text = render_table6(rows)
+        assert "DSP48" in text and "%" in text

@@ -1,0 +1,101 @@
+"""Unit tests for dataset statistics (Table IV) and the synthetic generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import (
+    PAPER_DATASETS,
+    DatasetStats,
+    dataset_stats,
+    load_dataset,
+    synthetic_graph,
+)
+
+
+class TestPaperStats:
+    def test_table4_values(self):
+        assert PAPER_DATASETS["cora"] == DatasetStats("cora", 2708, 10556, 1433, 7)
+        assert PAPER_DATASETS["citeseer"].num_features == 3703
+        assert PAPER_DATASETS["pubmed"].num_nodes == 19717
+        assert PAPER_DATASETS["reddit"].num_edges == 11606919
+        assert PAPER_DATASETS["reddit"].num_classes == 41
+
+    def test_aliases(self):
+        assert dataset_stats("CR").name == "cora"
+        assert dataset_stats("rd").name == "reddit"
+        assert dataset_stats("Pubmed").name == "pubmed"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            dataset_stats("ogbn-products")
+
+    def test_average_degree(self):
+        stats = dataset_stats("cora")
+        assert stats.average_degree == pytest.approx(2 * 10556 / 2708)
+
+    def test_scaled_stats(self):
+        scaled = dataset_stats("reddit").scaled(0.01)
+        assert scaled.num_nodes < PAPER_DATASETS["reddit"].num_nodes
+        assert scaled.num_classes == 41
+        with pytest.raises(ValueError):
+            dataset_stats("cora").scaled(0.0)
+
+
+class TestSyntheticGraph:
+    def test_deterministic_given_seed(self):
+        a = synthetic_graph(100, 400, 16, 5, seed=3)
+        b = synthetic_graph(100, 400, 16, 5, seed=3)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.allclose(a.features, b.features)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seed_changes_graph(self):
+        a = synthetic_graph(100, 400, 16, 5, seed=3)
+        b = synthetic_graph(100, 400, 16, 5, seed=4)
+        assert not np.array_equal(a.labels, b.labels)
+
+    def test_all_classes_present(self):
+        graph = synthetic_graph(60, 200, 8, 7, seed=0)
+        assert set(np.unique(graph.labels)) == set(range(7))
+
+    def test_masks_are_disjoint_and_cover(self):
+        graph = synthetic_graph(150, 500, 8, 4, seed=0)
+        total = graph.train_mask.astype(int) + graph.val_mask.astype(int) + graph.test_mask.astype(int)
+        assert (total == 1).all()
+
+    def test_homophily_above_random(self):
+        graph = synthetic_graph(400, 4000, 8, 4, seed=1, homophily=0.9)
+        src = np.repeat(np.arange(graph.num_nodes), graph.degrees())
+        dst = graph.indices
+        same = (graph.labels[src] == graph.labels[dst]).mean()
+        assert same > 0.5  # far above the 0.25 random baseline
+
+    def test_validates(self):
+        synthetic_graph(80, 300, 8, 3, seed=2).validate()
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_graph(2, 10, 4, 5, seed=0)
+
+
+class TestLoadDataset:
+    def test_full_scale_matches_table4_counts(self):
+        # Only check the smallest graph at full scale to keep the test fast.
+        graph = load_dataset("cora", scale=1.0, seed=0, num_features=32)
+        assert graph.num_nodes == 2708
+        assert graph.num_classes == 7
+
+    def test_scaled_version_is_smaller(self):
+        graph = load_dataset("reddit", scale=0.001, seed=0, num_features=32)
+        assert graph.num_nodes < 1000
+        assert graph.num_classes == 41
+
+    def test_feature_override(self):
+        graph = load_dataset("citeseer", scale=0.02, num_features=48)
+        assert graph.num_features == 48
+
+    def test_name_records_scale(self):
+        graph = load_dataset("pubmed", scale=0.01, num_features=16)
+        assert "pubmed" in graph.name and "0.01" in graph.name

@@ -1,0 +1,127 @@
+"""Unit tests for neighbour sampling, mini-batches and graph partitioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import NeighborSampler, minibatch_iterator, partition_graph, partition_nodes
+
+
+class TestNeighborSampler:
+    def test_block_shapes(self, small_graph):
+        sampler = NeighborSampler(small_graph, fanouts=(5, 3), seed=0)
+        batch = sampler.sample(np.arange(8))
+        assert batch.num_layers == 2
+        assert batch.blocks[1].neighbor_index.shape == (8, 3)
+        assert batch.blocks[1].num_dst == 8
+        assert batch.blocks[0].fanout == 5
+
+    def test_last_block_dst_are_seeds(self, small_graph):
+        sampler = NeighborSampler(small_graph, fanouts=(4, 2), seed=0)
+        seeds = np.array([3, 11, 27])
+        batch = sampler.sample(seeds)
+        assert np.array_equal(batch.blocks[-1].dst_nodes, seeds)
+        assert np.array_equal(batch.seeds, seeds)
+
+    def test_indices_reference_previous_layer_nodes(self, small_graph):
+        sampler = NeighborSampler(small_graph, fanouts=(4, 3), seed=1)
+        batch = sampler.sample(np.arange(6))
+        for level, block in enumerate(batch.blocks):
+            previous = batch.layer_nodes[level]
+            assert block.self_index.max() < len(previous)
+            assert block.neighbor_index.max() < len(previous)
+            # The rows really point at the right global node ids.
+            assert np.array_equal(previous[block.self_index], block.dst_nodes)
+
+    def test_sampled_neighbors_are_real_neighbors_or_self(self, small_graph):
+        sampler = NeighborSampler(small_graph, fanouts=(6,), seed=2)
+        seeds = np.arange(10)
+        batch = sampler.sample(seeds)
+        block = batch.blocks[0]
+        previous = batch.layer_nodes[0]
+        for row, node in enumerate(block.dst_nodes):
+            allowed = set(small_graph.neighbors(node)) | {node}
+            sampled = set(previous[block.neighbor_index[row]])
+            assert sampled <= allowed
+
+    def test_isolated_node_falls_back_to_self(self, tiny_graph):
+        # Add-free check: find (or force) a node with no neighbours by using a
+        # node index that may be isolated; instead we test via a graph with an
+        # isolated node appended.
+        import numpy as np
+        from repro.graph import Graph
+
+        edges = np.array([[0, 1]])
+        graph = Graph.from_edges(3, edges, np.zeros((3, 2)), np.zeros(3, dtype=int))
+        sampler = NeighborSampler(graph, fanouts=(4,), seed=0)
+        batch = sampler.sample(np.array([2]))
+        previous = batch.layer_nodes[0]
+        assert set(previous[batch.blocks[0].neighbor_index[0]]) == {2}
+
+    def test_labels_and_features_helpers(self, small_graph):
+        sampler = NeighborSampler(small_graph, fanouts=(3, 3), seed=0)
+        batch = sampler.sample(np.array([0, 5]))
+        assert np.array_equal(batch.labels(small_graph), small_graph.labels[[0, 5]])
+        assert batch.input_features(small_graph).shape[1] == small_graph.num_features
+
+    def test_invalid_fanouts(self, small_graph):
+        with pytest.raises(ValueError):
+            NeighborSampler(small_graph, fanouts=())
+        with pytest.raises(ValueError):
+            NeighborSampler(small_graph, fanouts=(0,))
+
+    def test_empty_seed_list_rejected(self, small_graph):
+        sampler = NeighborSampler(small_graph, fanouts=(2,), seed=0)
+        with pytest.raises(ValueError):
+            sampler.sample(np.array([], dtype=np.int64))
+
+
+class TestMinibatchIterator:
+    def test_covers_all_nodes_exactly_once(self, small_graph):
+        sampler = NeighborSampler(small_graph, fanouts=(3, 2), seed=0)
+        nodes = np.arange(small_graph.num_nodes)
+        seen = []
+        for batch in minibatch_iterator(sampler, nodes, batch_size=32, shuffle=True, seed=1):
+            seen.extend(batch.seeds.tolist())
+        assert sorted(seen) == nodes.tolist()
+
+    def test_batch_size_respected(self, small_graph):
+        sampler = NeighborSampler(small_graph, fanouts=(3, 2), seed=0)
+        sizes = [len(batch.seeds) for batch in minibatch_iterator(sampler, np.arange(50), 16, shuffle=False)]
+        assert sizes == [16, 16, 16, 2]
+
+    def test_invalid_batch_size(self, small_graph):
+        sampler = NeighborSampler(small_graph, fanouts=(2,), seed=0)
+        with pytest.raises(ValueError):
+            list(minibatch_iterator(sampler, np.arange(4), 0))
+
+
+class TestPartitioning:
+    @pytest.mark.parametrize("method", ["bfs", "hash"])
+    def test_partition_nodes_cover_everything_once(self, small_graph, method):
+        parts = partition_nodes(small_graph, 3, method=method, seed=0)
+        combined = np.concatenate(parts)
+        assert sorted(combined.tolist()) == list(range(small_graph.num_nodes))
+
+    def test_partitions_roughly_balanced(self, small_graph):
+        parts = partition_nodes(small_graph, 2, seed=0)
+        sizes = [len(p) for p in parts]
+        assert abs(sizes[0] - sizes[1]) <= small_graph.num_nodes * 0.2
+
+    def test_single_partition_is_identity(self, small_graph):
+        parts = partition_nodes(small_graph, 1)
+        assert np.array_equal(parts[0], np.arange(small_graph.num_nodes))
+
+    def test_partition_graph_returns_valid_subgraphs(self, small_graph):
+        subgraphs = partition_graph(small_graph, 2, seed=1)
+        assert len(subgraphs) == 2
+        assert sum(g.num_nodes for g in subgraphs) == small_graph.num_nodes
+        for graph in subgraphs:
+            graph.validate()
+
+    def test_invalid_arguments(self, small_graph):
+        with pytest.raises(ValueError):
+            partition_nodes(small_graph, 0)
+        with pytest.raises(ValueError):
+            partition_nodes(small_graph, 2, method="metis")

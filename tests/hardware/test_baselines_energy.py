@@ -1,0 +1,116 @@
+"""Tests for the HyGCN / CPU baseline models and the energy metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    BLOCKGNN_POWER_WATTS,
+    CPU_POWER_WATTS,
+    CPURooflineModel,
+    EnergyResult,
+    HyGCNConfig,
+    HyGCNModel,
+    XEON_GOLD_5220,
+    compare_energy,
+    energy_joules,
+    nodes_per_joule,
+)
+from repro.workloads import build_workload
+
+
+class TestHyGCN:
+    def test_config_matches_paper_scaling(self):
+        config = HyGCNConfig()
+        assert config.vpu_lanes == 6
+        assert config.systolic_rows == 4 and config.systolic_cols == 32
+        assert config.macs_per_cycle == 128
+        assert config.simd_width == 96
+
+    def test_estimate_positive_and_scales_with_nodes(self):
+        model = HyGCNModel()
+        workload = build_workload("GS-Pool", "cora")
+        full = model.estimate(workload)
+        half = model.estimate(workload, num_nodes=workload.num_nodes // 2)
+        assert full.latency_seconds > 0
+        assert half.total_cycles == pytest.approx(full.total_cycles / 2, rel=0.01)
+
+    def test_heavier_models_take_longer(self):
+        model = HyGCNModel()
+        gcn = model.estimate(build_workload("GCN", "cora")).latency_seconds
+        ggcn = model.estimate(build_workload("G-GCN", "cora")).latency_seconds
+        assert ggcn > gcn
+
+    def test_per_layer_breakdown(self):
+        estimate = HyGCNModel().estimate(build_workload("GAT", "cora"))
+        assert len(estimate.per_layer) == 2
+        for entry in estimate.per_layer:
+            assert entry["cycles"] >= max(0.0, entry["simd"]) or entry["cycles"] >= 0
+
+    def test_latency_respects_memory_roofline(self):
+        estimate = HyGCNModel().estimate(build_workload("GCN", "reddit"))
+        assert estimate.latency_seconds >= estimate.memory_seconds
+        assert estimate.latency_seconds >= estimate.compute_seconds
+
+
+class TestCPU:
+    def test_xeon_spec(self):
+        assert XEON_GOLD_5220.cores == 18
+        assert XEON_GOLD_5220.power_watts == 125.0
+        assert XEON_GOLD_5220.peak_flops == pytest.approx(18 * 2.2e9 * 32)
+        assert XEON_GOLD_5220.effective_flops < XEON_GOLD_5220.peak_flops
+
+    def test_estimate_positive(self):
+        estimate = CPURooflineModel().estimate(build_workload("GS-Pool", "cora"))
+        assert estimate.latency_seconds > 0
+        assert estimate.throughput_nodes_per_second > 0
+
+    def test_memory_bound_phase_uses_bandwidth(self):
+        cpu = CPURooflineModel()
+        workload = build_workload("GCN", "reddit")
+        estimate = cpu.estimate(workload)
+        bandwidth_time = workload.total_bytes("aggregation") / XEON_GOLD_5220.memory_bandwidth_bytes_per_s
+        assert estimate.per_phase_seconds["aggregation"] >= bandwidth_time * 0.999
+
+    def test_compute_bound_phase_uses_flops(self):
+        cpu = CPURooflineModel()
+        workload = build_workload("GS-Pool", "reddit")
+        estimate = cpu.estimate(workload)
+        compute_time = workload.total_flops("aggregation") / XEON_GOLD_5220.effective_flops
+        assert estimate.per_phase_seconds["aggregation"] == pytest.approx(compute_time)
+
+
+class TestEnergy:
+    def test_paper_power_numbers(self):
+        assert BLOCKGNN_POWER_WATTS == pytest.approx(4.6)
+        assert CPU_POWER_WATTS == pytest.approx(125.0)
+
+    def test_energy_and_nodes_per_joule(self):
+        assert energy_joules(2.0, 10.0) == 20.0
+        assert nodes_per_joule(1000, 2.0, 10.0) == 50.0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            energy_joules(-1.0, 5.0)
+
+    def test_energy_result_properties(self):
+        result = EnergyResult("BlockGNN-opt", num_nodes=1000, latency_seconds=2.0, power_watts=4.6)
+        assert result.energy_joules == pytest.approx(9.2)
+        assert result.nodes_per_joule == pytest.approx(1000 / 9.2)
+
+    def test_compare_energy_ratio(self):
+        blockgnn = EnergyResult("BlockGNN-opt", 1000, 1.0, 4.6)
+        cpu = EnergyResult("CPU", 1000, 2.0, 125.0)
+        comparison = compare_energy(blockgnn, cpu)
+        expected = (1000 / 4.6) / (1000 / 250.0)
+        assert comparison["energy_reduction"] == pytest.approx(expected)
+
+    def test_compare_energy_requires_same_node_count(self):
+        with pytest.raises(ValueError):
+            compare_energy(EnergyResult("a", 10, 1.0, 1.0), EnergyResult("b", 20, 1.0, 1.0))
+
+    def test_faster_same_power_is_more_efficient(self):
+        fast = EnergyResult("fast", 100, 1.0, 10.0)
+        slow = EnergyResult("slow", 100, 2.0, 10.0)
+        assert fast.nodes_per_joule > slow.nodes_per_joule

@@ -1,0 +1,83 @@
+"""Tests for the fixed-point quantisation module (the prototype's 32-bit arithmetic)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import BlockCirculantSpec, random_block_circulant
+from repro.compression.compress import CompressionConfig
+from repro.hardware import (
+    Q16_8,
+    Q32_16,
+    FixedPointFormat,
+    evaluate_quantized_matvec,
+    quantization_error,
+    quantize,
+    quantize_layer_weights,
+)
+from repro.models import create_model
+
+
+class TestFixedPointFormat:
+    def test_q32_16_properties(self):
+        assert Q32_16.scale == 2.0 ** -16
+        assert Q32_16.max_value > 32000
+        assert Q32_16.min_value < -32000
+        assert Q32_16.describe() == "Q16.16"
+
+    def test_invalid_formats(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(1, 0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(8, 8)
+
+    def test_quantize_is_idempotent(self, rng):
+        values = rng.standard_normal(100)
+        once = quantize(values, Q16_8)
+        assert np.allclose(quantize(once, Q16_8), once)
+
+    def test_quantize_rounds_to_grid(self):
+        fmt = FixedPointFormat(8, 2)  # LSB = 0.25
+        assert quantize(np.array([0.3]), fmt)[0] == pytest.approx(0.25)
+        assert quantize(np.array([0.40]), fmt)[0] == pytest.approx(0.5)
+
+    def test_quantize_saturates(self):
+        fmt = FixedPointFormat(8, 2)
+        assert quantize(np.array([1e6]), fmt)[0] == fmt.max_value
+        assert quantize(np.array([-1e6]), fmt)[0] == fmt.min_value
+
+    def test_error_decreases_with_more_fraction_bits(self, rng):
+        values = rng.standard_normal(1000)
+        coarse = quantization_error(values, Q16_8)["max_abs_error"]
+        fine = quantization_error(values, Q32_16)["max_abs_error"]
+        assert fine < coarse
+        assert fine <= Q32_16.scale / 2 + 1e-12
+
+
+class TestModelAndMatvecQuantisation:
+    def test_quantize_layer_weights_in_place(self):
+        model = create_model("GCN", 16, 8, 3, compression=CompressionConfig(block_size=4), seed=0)
+        errors = quantize_layer_weights(model, Q16_8)
+        assert errors
+        assert all(error <= Q16_8.scale / 2 + 1e-12 for error in errors.values())
+        # The weights now live exactly on the fixed-point grid.
+        for _, module in model.named_modules():
+            if hasattr(module, "weight") and hasattr(module.weight, "data"):
+                data = module.weight.data
+                assert np.allclose(quantize(data, Q16_8), data)
+
+    def test_quantized_matvec_error_small_at_32_bits(self, rng):
+        spec = BlockCirculantSpec(64, 64, 16)
+        weights = random_block_circulant(spec, rng)
+        features = rng.standard_normal((8, 64))
+        report = evaluate_quantized_matvec(weights, spec, features, Q32_16)
+        assert report["max_relative_error"] < 1e-3
+
+    def test_quantized_matvec_error_grows_at_lower_precision(self, rng):
+        spec = BlockCirculantSpec(64, 64, 16)
+        weights = random_block_circulant(spec, rng)
+        features = rng.standard_normal((8, 64))
+        wide = evaluate_quantized_matvec(weights, spec, features, Q32_16)
+        narrow = evaluate_quantized_matvec(weights, spec, features, Q16_8)
+        assert narrow["max_abs_error"] > wide["max_abs_error"]

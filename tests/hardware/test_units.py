@@ -1,0 +1,208 @@
+"""Unit tests for the individual hardware components (FFT unit, systolic array, VPU, buffers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import BlockCirculantSpec, random_block_circulant, spectral_weights
+from repro.hardware import (
+    BufferOverflowError,
+    FFTUnit,
+    GlobalBuffer,
+    IFFTUnit,
+    NodeFeatureBuffer,
+    SystolicArray,
+    VectorProcessingUnit,
+    WeightBuffer,
+    ZC706,
+)
+
+
+class TestFFTUnit:
+    def test_published_latency_coefficient(self):
+        unit = FFTUnit(channels=1, block_size=128)
+        assert unit.cycles_per_transform == 484  # alpha(128) from Section IV-B
+
+    def test_cycles_follow_equation_3(self):
+        unit = FFTUnit(channels=18, block_size=128)
+        # 25 neighbours x 12 sub-vectors = 300 transforms on 18 channels.
+        assert unit.cycles_for(300) == 484 * int(np.ceil(300 / 18))
+
+    def test_zero_transforms_cost_nothing(self):
+        assert FFTUnit(channels=4, block_size=128).cycles_for(0) == 0
+
+    def test_forward_transform_matches_numpy(self, rng):
+        unit = FFTUnit(channels=2, block_size=16)
+        data = rng.standard_normal((5, 16))
+        assert np.allclose(unit.process(data), np.fft.fft(data, axis=-1))
+
+    def test_inverse_transform_matches_numpy(self, rng):
+        unit = IFFTUnit(channels=2, block_size=16)
+        data = rng.standard_normal((3, 16)) + 1j * rng.standard_normal((3, 16))
+        assert np.allclose(unit.process(data), np.fft.ifft(data, axis=-1))
+
+    def test_statistics_accumulate_and_reset(self, rng):
+        unit = FFTUnit(channels=2, block_size=8)
+        unit.process(rng.standard_normal((4, 8)))
+        assert unit.transforms_processed == 4
+        assert unit.busy_cycles == unit.cycles_for(4)
+        unit.reset_stats()
+        assert unit.transforms_processed == 0
+
+    def test_wrong_length_rejected(self, rng):
+        with pytest.raises(ValueError):
+            FFTUnit(channels=1, block_size=8).process(rng.standard_normal((2, 6)))
+
+    def test_dsp_cost_is_beta_times_channels(self):
+        unit = FFTUnit(channels=5, block_size=128)
+        assert unit.dsp_cost == 5 * 18
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            FFTUnit(channels=0, block_size=8)
+
+
+class TestSystolicArray:
+    def _loaded_array(self, rng, rows=2, cols=3, block=8, p=3, q=2, parallelism=1):
+        array = SystolicArray(rows=rows, cols=cols, pe_parallelism=parallelism, block_size=block)
+        spec = BlockCirculantSpec(p * block, q * block, block)
+        weights = random_block_circulant(spec, rng)
+        array.load_weights(spectral_weights(weights))
+        return array, weights, spec
+
+    def test_process_matches_einsum(self, rng):
+        array, weights, spec = self._loaded_array(rng)
+        x_hat = np.fft.fft(rng.standard_normal((4, spec.q, spec.block_size)), axis=-1)
+        out = array.process(x_hat)
+        expected = np.einsum("pqn,vqn->vpn", spectral_weights(weights), x_hat)
+        assert np.allclose(out, expected)
+
+    def test_cycles_follow_equation_4(self, rng):
+        array, _, spec = self._loaded_array(rng, rows=2, cols=3, parallelism=2)
+        expected = 5 * int(np.ceil(spec.q / 2)) * int(np.ceil(spec.p / 3)) * int(np.ceil(spec.block_size / 2))
+        assert array.cycles_for(5) == expected
+
+    def test_requires_loaded_weights(self, rng):
+        array = SystolicArray(rows=1, cols=1, block_size=8)
+        with pytest.raises(RuntimeError):
+            array.process(np.zeros((1, 1, 8), dtype=complex))
+        with pytest.raises(RuntimeError):
+            array.cycles_for(1)
+
+    def test_weight_shape_validation(self):
+        array = SystolicArray(rows=1, cols=1, block_size=8)
+        with pytest.raises(ValueError):
+            array.load_weights(np.zeros((2, 2, 4)))
+
+    def test_input_shape_validation(self, rng):
+        array, _, spec = self._loaded_array(rng)
+        with pytest.raises(ValueError):
+            array.process(np.zeros((1, spec.q + 1, spec.block_size), dtype=complex))
+
+    def test_dsp_cost_is_gamma(self):
+        array = SystolicArray(rows=4, cols=4, pe_parallelism=2, block_size=128)
+        assert array.dsp_cost == 4 * 4 * 16 * 2
+
+    def test_stats_accumulate(self, rng):
+        array, _, spec = self._loaded_array(rng)
+        array.process(np.zeros((2, spec.q, spec.block_size), dtype=complex))
+        assert array.macs_processed == 2 * spec.p * spec.q * spec.block_size
+        assert array.busy_cycles == array.cycles_for(2)
+
+
+class TestVPU:
+    def test_width_and_cycles(self):
+        vpu = VectorProcessingUnit(lanes=2)
+        assert vpu.width == 32
+        assert vpu.cycles_for(100) == int(np.ceil(100 / 32))
+        assert vpu.cycles_for(0) == 0
+
+    def test_relu_and_stats(self, rng):
+        vpu = VectorProcessingUnit(lanes=1)
+        data = rng.standard_normal((4, 8))
+        out = vpu.relu(data)
+        assert np.allclose(out, np.maximum(data, 0))
+        assert vpu.elements_processed == 32
+        assert vpu.busy_cycles == 2
+
+    def test_sigmoid_elu_exp(self, rng):
+        vpu = VectorProcessingUnit()
+        data = rng.standard_normal(10)
+        assert np.allclose(vpu.sigmoid(data), 1 / (1 + np.exp(-data)))
+        assert np.allclose(vpu.exp(data), np.exp(data))
+        assert np.allclose(vpu.elu(data), np.where(data > 0, data, np.exp(data) - 1))
+
+    def test_max_pool_and_sum_reduce(self, rng):
+        vpu = VectorProcessingUnit()
+        data = rng.standard_normal((5, 3, 4))
+        assert np.allclose(vpu.max_pool(data, axis=1), data.max(axis=1))
+        assert np.allclose(vpu.sum_reduce(data, axis=1), data.sum(axis=1))
+
+    def test_scale_accumulate(self, rng):
+        vpu = VectorProcessingUnit()
+        vectors = rng.standard_normal((4, 6))
+        scales = rng.standard_normal(4)
+        expected = (vectors * scales[:, None]).sum(axis=0)
+        assert np.allclose(vpu.scale_accumulate(vectors, scales, axis=0), expected)
+
+    def test_add_bias(self, rng):
+        vpu = VectorProcessingUnit()
+        values = rng.standard_normal((3, 4))
+        bias = rng.standard_normal(4)
+        assert np.allclose(vpu.add_bias(values, bias), values + bias)
+
+    def test_dsp_cost_is_eta(self):
+        assert VectorProcessingUnit(lanes=3).dsp_cost == 3 * 64
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ValueError):
+            VectorProcessingUnit(lanes=0)
+
+
+class TestBuffers:
+    def test_weight_buffer_capacity_enforced(self):
+        buffer = WeightBuffer(capacity_bytes=1024)
+        buffer.store("small", np.zeros(64))  # 256 bytes
+        with pytest.raises(BufferOverflowError):
+            buffer.store("big", np.zeros(1024))
+
+    def test_complex_values_count_double(self):
+        buffer = WeightBuffer(capacity_bytes=10_000)
+        buffer.store("spectral", np.zeros(100, dtype=complex))
+        assert buffer.used_bytes == 100 * 4 * 2
+
+    def test_store_load_roundtrip_and_replace(self, rng):
+        buffer = WeightBuffer(capacity_bytes=100_000)
+        weights = rng.standard_normal((4, 4, 8))
+        buffer.store("layer", weights)
+        assert np.allclose(buffer.load("layer"), weights)
+        buffer.store("layer", weights * 2)  # replacement must not double-count
+        assert buffer.used_bytes == weights.size * 4
+
+    def test_missing_weight_raises(self):
+        with pytest.raises(KeyError):
+            WeightBuffer().load("nope")
+
+    def test_feature_buffer_bank_capacity(self):
+        buffer = NodeFeatureBuffer(capacity_bytes=4096)
+        assert buffer.bank_bytes == 2048
+        assert buffer.max_nodes_per_batch(feature_dim=64) == 2048 // 256
+
+    def test_feature_buffer_overflow(self):
+        buffer = NodeFeatureBuffer(capacity_bytes=1024)
+        with pytest.raises(BufferOverflowError):
+            buffer.load_batch(np.zeros((10, 64)))
+
+    def test_feature_traffic_accounting(self):
+        buffer = NodeFeatureBuffer(capacity_bytes=65536)
+        buffer.load_batch(np.zeros((8, 16)))
+        buffer.store_batch(np.zeros((8, 4)))
+        assert buffer.total_traffic_bytes == (8 * 16 + 8 * 4) * 4
+
+    def test_global_buffer_defaults_to_paper_sizes(self):
+        global_buffer = GlobalBuffer()
+        assert global_buffer.weight_buffer.capacity_bytes == 256 * 1024
+        assert global_buffer.feature_buffer.capacity_bytes == 512 * 1024
+        summary = global_buffer.summary()
+        assert summary["weight_buffer_used_bytes"] == 0

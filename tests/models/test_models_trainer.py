@@ -1,0 +1,125 @@
+"""Unit tests for the model zoo factory and the mini-batch trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressionConfig
+from repro.graph import NeighborSampler
+from repro.models import (
+    GAT,
+    GCN,
+    GGCN,
+    GraphSAGEPool,
+    Trainer,
+    TrainingConfig,
+    available_models,
+    create_model,
+    evaluate_accuracy,
+)
+
+ALL_MODELS = ("GCN", "GS-Pool", "G-GCN", "GAT")
+
+
+class TestFactory:
+    def test_registry_contains_all_variants(self):
+        assert set(available_models()) == {"gcn", "gs_pool", "ggcn", "gat"}
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("GCN", GCN), ("GS-Pool", GraphSAGEPool), ("G-GCN", GGCN), ("GAT", GAT), ("graphsage", GraphSAGEPool)],
+    )
+    def test_create_model_dispatch(self, name, cls):
+        model = create_model(name, 16, 8, 3, seed=0)
+        assert isinstance(model, cls)
+        assert model.num_layers == 2
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            create_model("GIN", 16, 8, 3)
+
+    def test_layer_dimensions(self):
+        model = create_model("GCN", 20, 12, 5, num_layers=3, seed=0)
+        assert model.layers[0].in_features == 20
+        assert model.layers[1].in_features == 12
+        assert model.layers[-1].out_features == 5
+
+    def test_compressed_model_has_fewer_parameters(self):
+        dense = create_model("GS-Pool", 32, 32, 4, seed=0)
+        compressed = create_model(
+            "GS-Pool", 32, 32, 4, compression=CompressionConfig(block_size=8), seed=0
+        )
+        assert compressed.num_parameters() < dense.num_parameters()
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+class TestForward:
+    def test_logit_shape_and_prediction(self, small_graph, name):
+        model = create_model(name, small_graph.num_features, 16, small_graph.num_classes, seed=0)
+        sampler = NeighborSampler(small_graph, fanouts=(4, 3), seed=0)
+        batch = sampler.sample(np.arange(12))
+        logits = model.forward(batch, graph=small_graph)
+        assert logits.shape == (12, small_graph.num_classes)
+        predictions = model.predict(batch, small_graph)
+        assert predictions.shape == (12,)
+        assert predictions.max() < small_graph.num_classes
+
+    def test_block_count_mismatch_raises(self, small_graph, name):
+        model = create_model(name, small_graph.num_features, 16, small_graph.num_classes, seed=0)
+        sampler = NeighborSampler(small_graph, fanouts=(4,), seed=0)
+        batch = sampler.sample(np.arange(4))
+        with pytest.raises(ValueError):
+            model.forward(batch, graph=small_graph)
+
+
+class TestTrainer:
+    def _train(self, small_graph, name, block_size=1, epochs=3):
+        model = create_model(
+            name,
+            small_graph.num_features,
+            16,
+            small_graph.num_classes,
+            compression=CompressionConfig(block_size=block_size),
+            seed=0,
+        )
+        config = TrainingConfig(epochs=epochs, batch_size=32, fanouts=(4, 3), learning_rate=0.02, seed=0)
+        trainer = Trainer(model, small_graph, config)
+        history = trainer.fit()
+        return trainer, history
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_loss_decreases(self, small_graph, name):
+        _, history = self._train(small_graph, name)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_accuracy_beats_chance(self, small_graph):
+        trainer, history = self._train(small_graph, "GS-Pool", epochs=4)
+        chance = 1.0 / small_graph.num_classes
+        assert history.best_val_accuracy > chance
+        assert trainer.test_accuracy() > chance
+
+    def test_compressed_model_trains(self, small_graph):
+        _, history = self._train(small_graph, "GCN", block_size=4, epochs=3)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_history_lengths(self, small_graph):
+        _, history = self._train(small_graph, "GCN", epochs=3)
+        assert len(history.train_loss) == 3
+        assert len(history.val_accuracy) == 3
+        assert len(history.train_accuracy) == 3
+
+    def test_fanout_layer_mismatch_rejected(self, small_graph):
+        model = create_model("GCN", small_graph.num_features, 8, small_graph.num_classes, seed=0)
+        with pytest.raises(ValueError):
+            Trainer(model, small_graph, TrainingConfig(fanouts=(4,)))
+
+    def test_evaluate_accuracy_empty_split(self, small_graph):
+        model = create_model("GCN", small_graph.num_features, 8, small_graph.num_classes, seed=0)
+        value = evaluate_accuracy(model, small_graph, np.array([], dtype=np.int64), fanouts=(4, 3))
+        assert np.isnan(value)
+
+    def test_evaluate_accuracy_in_unit_interval(self, small_graph):
+        model = create_model("GCN", small_graph.num_features, 8, small_graph.num_classes, seed=0)
+        value = evaluate_accuracy(model, small_graph, np.arange(30), fanouts=(4, 3))
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,107 @@
+"""Unit tests for the dense and block-circulant linear layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.compression.circulant import expand_block_circulant
+from repro.tensor import Tensor, gradient_check
+
+
+class TestLinear:
+    def test_forward_matches_manual(self, rng):
+        layer = nn.Linear(5, 3, rng=rng)
+        x = rng.standard_normal((7, 5))
+        out = layer(Tensor(x))
+        assert np.allclose(out.data, x @ layer.weight.data.T + layer.bias.data)
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(4, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert layer(Tensor(rng.standard_normal((1, 4)))).shape == (1, 2)
+
+    def test_gradients_flow_to_weight_and_bias(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        x = Tensor(rng.standard_normal((6, 4)), requires_grad=True)
+        layer(x).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        assert x.grad is not None
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3)
+
+    def test_weight_matrix_view(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        assert layer.weight_matrix().shape == (3, 4)
+
+
+class TestBlockCirculantLinear:
+    @pytest.mark.parametrize("in_features,out_features,block", [(16, 8, 4), (14, 10, 4), (12, 12, 6)])
+    def test_forward_matches_expanded_dense(self, rng, in_features, out_features, block):
+        layer = nn.BlockCirculantLinear(in_features, out_features, block, rng=rng)
+        x = rng.standard_normal((5, in_features))
+        out = layer(Tensor(x))
+        dense = layer.weight_matrix()
+        assert np.allclose(out.data, x @ dense.T + layer.bias.data)
+
+    def test_single_vector_input(self, rng):
+        layer = nn.BlockCirculantLinear(8, 6, 4, rng=rng)
+        out = layer(Tensor(rng.standard_normal(8)))
+        assert out.shape == (6,)
+
+    def test_gradcheck_through_layer(self, rng):
+        layer = nn.BlockCirculantLinear(8, 6, 4, rng=rng)
+        x = Tensor(rng.standard_normal((3, 8)), requires_grad=True)
+        # The second input is the layer's own weight tensor: the lambda ignores
+        # the argument but the checker perturbs the shared array in place.
+        assert gradient_check(lambda v, _w: layer(v), [x, layer.weight])
+
+    def test_from_dense_preserves_output_when_already_circulant(self, rng):
+        circulant = nn.BlockCirculantLinear(8, 8, 4, rng=rng)
+        dense = nn.Linear(8, 8, rng=rng)
+        dense.weight.data[...] = circulant.weight_matrix()
+        dense.bias.data[...] = circulant.bias.data
+        converted = nn.BlockCirculantLinear.from_dense(dense, 4)
+        x = rng.standard_normal((4, 8))
+        assert np.allclose(converted(Tensor(x)).data, circulant(Tensor(x)).data)
+
+    def test_from_dense_is_least_squares_projection(self, rng):
+        dense = nn.Linear(8, 8, rng=rng)
+        converted = nn.BlockCirculantLinear.from_dense(dense, 4)
+        approx = converted.weight_matrix()
+        error = np.linalg.norm(dense.weight.data - approx)
+        # Perturbing the circulant weights must not reduce the error.
+        perturbed = converted.weight.data + 1e-3 * rng.standard_normal(converted.weight.data.shape)
+        worse = np.linalg.norm(dense.weight.data - expand_block_circulant(perturbed, converted.spec))
+        assert worse >= error
+
+    def test_compression_ratio(self, rng):
+        layer = nn.BlockCirculantLinear(128, 128, 16, rng=rng)
+        assert layer.compression_ratio() == pytest.approx(16.0)
+
+    def test_parameter_count_reduced(self, rng):
+        dense = nn.Linear(64, 64, rng=rng)
+        compressed = nn.BlockCirculantLinear(64, 64, 8, rng=rng)
+        assert compressed.weight.size * 8 == dense.weight.size
+
+    def test_training_reduces_loss_on_regression(self, rng):
+        layer = nn.BlockCirculantLinear(12, 4, 4, rng=rng)
+        target_layer = nn.BlockCirculantLinear(12, 4, 4, rng=rng)
+        optimizer = nn.Adam(layer.parameters(), lr=0.05)
+        x = rng.standard_normal((64, 12))
+        target = target_layer(Tensor(x)).data
+        loss_fn = nn.MSELoss()
+        first_loss = None
+        for _ in range(60):
+            out = layer(Tensor(x))
+            loss = loss_fn(out, target)
+            if first_loss is None:
+                first_loss = loss.item()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first_loss * 0.5

@@ -1,0 +1,96 @@
+"""Unit tests for Module / Parameter / Sequential infrastructure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class TwoLayer(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.first = nn.Linear(4, 8, rng=np.random.default_rng(0))
+        self.second = nn.Linear(8, 2, rng=np.random.default_rng(1))
+        self.activation = nn.ReLU()
+
+    def forward(self, x):
+        return self.second(self.activation(self.first(x)))
+
+
+class TestModule:
+    def test_parameters_discovered_recursively(self):
+        model = TwoLayer()
+        names = [name for name, _ in model.named_parameters()]
+        assert "first.weight" in names and "second.bias" in names
+        assert len(model.parameters()) == 4
+
+    def test_num_parameters(self):
+        model = TwoLayer()
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_train_eval_propagates(self):
+        model = TwoLayer()
+        model.eval()
+        assert not model.first.training
+        model.train()
+        assert model.second.training
+
+    def test_zero_grad_clears_all(self):
+        model = TwoLayer()
+        out = model(Tensor(np.random.default_rng(0).standard_normal((3, 4))))
+        out.sum().backward()
+        assert model.first.weight.grad is not None
+        model.zero_grad()
+        assert model.first.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        other = TwoLayer()
+        other.load_state_dict(state)
+        for (_, a), (_, b) in zip(model.named_parameters(), other.named_parameters()):
+            assert np.allclose(a.data, b.data)
+
+    def test_load_state_dict_rejects_missing_keys(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state.pop("first.weight")
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["first.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_named_modules_includes_children(self):
+        model = TwoLayer()
+        names = [name for name, _ in model.named_modules()]
+        assert "first" in names and "second" in names
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(1)
+
+
+class TestSequential:
+    def test_applies_layers_in_order(self):
+        rng = np.random.default_rng(0)
+        seq = nn.Sequential(nn.Linear(3, 5, rng=rng), nn.ReLU(), nn.Linear(5, 2, rng=rng))
+        out = seq(Tensor(rng.standard_normal((4, 3))))
+        assert out.shape == (4, 2)
+
+    def test_len_and_iter(self):
+        seq = nn.Sequential(nn.ReLU(), nn.Sigmoid())
+        assert len(seq) == 2
+        assert all(isinstance(layer, nn.Module) for layer in seq)
+
+    def test_parameters_from_contained_layers(self):
+        rng = np.random.default_rng(0)
+        seq = nn.Sequential(nn.Linear(3, 3, rng=rng), nn.Linear(3, 3, rng=rng))
+        assert len(seq.parameters()) == 4

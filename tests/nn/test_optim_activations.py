@@ -1,0 +1,124 @@
+"""Unit tests for optimisers, activation layers, dropout and losses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+def quadratic_loss(param: nn.Parameter) -> Tensor:
+    return ((param - Tensor(np.array([3.0, -2.0]))) ** 2).sum()
+
+
+class TestOptimizers:
+    def test_sgd_converges_on_quadratic(self):
+        param = nn.Parameter(np.zeros(2))
+        optimizer = nn.SGD([param], lr=0.1)
+        for _ in range(100):
+            loss = quadratic_loss(param)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert np.allclose(param.data, [3.0, -2.0], atol=1e-3)
+
+    def test_sgd_momentum_accelerates(self):
+        plain = nn.Parameter(np.zeros(2))
+        momentum = nn.Parameter(np.zeros(2))
+        opt_plain = nn.SGD([plain], lr=0.01)
+        opt_momentum = nn.SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for param, opt in ((plain, opt_plain), (momentum, opt_momentum)):
+                loss = quadratic_loss(param)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+        assert quadratic_loss(momentum).item() < quadratic_loss(plain).item()
+
+    def test_adam_converges_on_quadratic(self):
+        param = nn.Parameter(np.zeros(2))
+        optimizer = nn.Adam([param], lr=0.2)
+        for _ in range(200):
+            loss = quadratic_loss(param)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert np.allclose(param.data, [3.0, -2.0], atol=1e-2)
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = nn.Parameter(np.array([5.0]))
+        optimizer = nn.SGD([param], lr=0.1, weight_decay=0.5)
+        loss = (param * Tensor(np.array([0.0]))).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        assert param.data[0] < 5.0
+
+    def test_step_skips_parameters_without_grad(self):
+        param = nn.Parameter(np.array([1.0]))
+        optimizer = nn.Adam([param], lr=0.1)
+        optimizer.step()  # no backward called, must not raise
+        assert param.data[0] == 1.0
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_invalid_learning_rate_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Adam([nn.Parameter(np.zeros(1))], lr=0.0)
+
+
+class TestActivationLayers:
+    def test_relu_layer(self):
+        assert np.allclose(nn.ReLU()(Tensor(np.array([-1.0, 2.0]))).data, [0.0, 2.0])
+
+    def test_leaky_relu_layer(self):
+        out = nn.LeakyReLU(0.5)(Tensor(np.array([-2.0, 2.0])))
+        assert np.allclose(out.data, [-1.0, 2.0])
+
+    def test_elu_layer_positive_identity(self):
+        out = nn.ELU()(Tensor(np.array([1.5])))
+        assert out.data[0] == pytest.approx(1.5)
+
+    def test_sigmoid_layer_midpoint(self):
+        assert nn.Sigmoid()(Tensor(np.array([0.0]))).data[0] == pytest.approx(0.5)
+
+    def test_tanh_layer(self):
+        assert nn.Tanh()(Tensor(np.array([0.0]))).data[0] == pytest.approx(0.0)
+
+    def test_identity_layer(self, rng):
+        x = Tensor(rng.standard_normal(5))
+        assert np.allclose(nn.Identity()(x).data, x.data)
+
+
+class TestDropoutLayer:
+    def test_training_mode_zeroes_entries(self):
+        layer = nn.Dropout(0.5, seed=0)
+        out = layer(Tensor(np.ones(1000)))
+        assert (out.data == 0.0).any()
+
+    def test_eval_mode_identity(self):
+        layer = nn.Dropout(0.5, seed=0)
+        layer.eval()
+        x = np.ones(100)
+        assert np.allclose(layer(Tensor(x)).data, x)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestLosses:
+    def test_cross_entropy_loss_module(self, rng):
+        logits = Tensor(rng.standard_normal((5, 3)), requires_grad=True)
+        loss = nn.CrossEntropyLoss()(logits, np.array([0, 1, 2, 1, 0]))
+        loss.backward()
+        assert logits.grad is not None
+        assert loss.item() > 0
+
+    def test_mse_loss_zero_for_identical(self, rng):
+        values = rng.standard_normal((4, 2))
+        assert nn.MSELoss()(Tensor(values), values).item() == pytest.approx(0.0)

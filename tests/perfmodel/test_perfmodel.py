@@ -1,0 +1,143 @@
+"""Tests for the performance model (Equations 3–7) and the resource model (Equation 8)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import dataset_stats
+from repro.hardware.config import BLOCKGNN_BASE, ZC706, CirCoreConfig
+from repro.perfmodel import (
+    estimate_performance,
+    estimate_resources,
+    fits_on_device,
+    stage_cycles_per_node,
+    weight_buffer_bytes_required,
+)
+from repro.workloads import build_workload
+
+
+@pytest.fixture
+def gs_pool_cora():
+    return build_workload("GS-Pool", "cora", hidden_features=512, sample_sizes=(25, 10))
+
+
+class TestCycleEquations:
+    def test_hand_computed_layer(self):
+        """Check Eqs. 3–6 against a hand-computed GS-Pool aggregation layer."""
+        workload = build_workload(
+            "GS-Pool", dataset_stats("cora"), hidden_features=512, sample_sizes=(25, 10)
+        )
+        layer = workload.layers[0]
+        config = CirCoreConfig(
+            fft_channels=18, ifft_channels=7, systolic_rows=6, systolic_cols=4, block_size=128
+        )
+        stages = stage_cycles_per_node(layer, config, phases=("aggregation",))
+        # Pooling matrix is 512 x 1433 -> p = ceil(512/128) = 4, q = ceil(1433/128) = 12,
+        # S = 25 sampled neighbours, alpha(128) = 484 cycles per transform.
+        assert stages.fft == 484 * math.ceil(25 * 12 / 18)
+        assert stages.mac == 25 * math.ceil(12 / 6) * math.ceil(4 / 4) * math.ceil(128 / 1)
+        assert stages.ifft == 484 * math.ceil(25 * 4 / 7)
+        vpu_elements = 2 * 25 * 512  # relu + max pooling on the pooled vectors
+        assert stages.vpu == math.ceil(vpu_elements / 16)
+        assert stages.bottleneck == max(stages.fft, stages.mac, stages.ifft, stages.vpu)
+
+    def test_total_cycles_is_per_node_times_nodes(self, gs_pool_cora):
+        estimate = estimate_performance(gs_pool_cora, BLOCKGNN_BASE)
+        assert estimate.total_cycles == pytest.approx(estimate.cycles_per_node * 2708)
+        assert estimate.latency_seconds >= estimate.total_cycles / BLOCKGNN_BASE.frequency_hz - 1e-9
+
+    def test_more_fft_channels_never_hurt(self, gs_pool_cora):
+        few = CirCoreConfig(4, 4, 4, 4, block_size=128)
+        many = CirCoreConfig(16, 16, 4, 4, block_size=128)
+        assert (
+            estimate_performance(gs_pool_cora, many).total_cycles
+            <= estimate_performance(gs_pool_cora, few).total_cycles
+        )
+
+    def test_larger_systolic_array_never_hurts(self, gs_pool_cora):
+        small = CirCoreConfig(8, 8, 2, 2, block_size=128)
+        large = CirCoreConfig(8, 8, 8, 8, block_size=128)
+        assert (
+            estimate_performance(gs_pool_cora, large).total_cycles
+            <= estimate_performance(gs_pool_cora, small).total_cycles
+        )
+
+    def test_aggregation_only_is_cheaper_than_both_phases(self, gs_pool_cora):
+        both = estimate_performance(gs_pool_cora, BLOCKGNN_BASE)
+        agg = estimate_performance(gs_pool_cora, BLOCKGNN_BASE, phases=("aggregation",))
+        assert agg.total_cycles <= both.total_cycles
+
+    def test_num_nodes_override_scales_cycles_and_traffic(self, gs_pool_cora):
+        full = estimate_performance(gs_pool_cora, BLOCKGNN_BASE)
+        half = estimate_performance(gs_pool_cora, BLOCKGNN_BASE, num_nodes=1354)
+        assert half.total_cycles == pytest.approx(full.total_cycles / 2, rel=0.01)
+        assert half.dram_bytes == pytest.approx(full.dram_bytes / 2, rel=0.01)
+
+    def test_gcn_bottleneck_is_vpu_or_memory(self):
+        workload = build_workload("GCN", "cora", hidden_features=512)
+        estimate = estimate_performance(workload, BLOCKGNN_BASE)
+        # GCN's aggregation has no weight matrices: the CirCore stages only see
+        # the combination matvec, so the aggregation work lands on the VPU.
+        assert estimate.layers[0].stages.vpu > 0
+
+    def test_gs_pool_bottleneck_is_a_transform_stage(self, gs_pool_cora):
+        # Under the paper's searched Cora configuration (Table V) the FFT/IFFT
+        # stages limit GS-Pool, which is why the search always picks l = m = 1.
+        table5_cora = CirCoreConfig(18, 7, 6, 4, block_size=128)
+        estimate = estimate_performance(gs_pool_cora, table5_cora, phases=("aggregation",))
+        assert estimate.bottleneck_stages()[0] in {"fft", "ifft"}
+
+    def test_describe_mentions_parameters(self, gs_pool_cora):
+        text = estimate_performance(gs_pool_cora, BLOCKGNN_BASE).describe()
+        assert "GS-Pool" in text and "x=16" in text
+
+
+class TestResourceModel:
+    def test_equation8_for_paper_configs(self):
+        """Every configuration listed in Table V must satisfy the DSP budget."""
+        table5 = {
+            "cora": (18, 7, 6, 4, 1, 1),
+            "citeseer": (21, 4, 6, 4, 1, 1),
+            "pubmed": (14, 15, 4, 4, 1, 1),
+            "reddit": (15, 13, 5, 4, 1, 1),
+        }
+        for x, y, r, c, l, m in table5.values():
+            config = CirCoreConfig(x, y, r, c, l, m, block_size=128)
+            usage = estimate_resources(config)
+            assert usage.dsp == 18 * (x + y) + r * c * 16 * l + m * 64
+            assert usage.dsp <= 900
+
+    def test_dsp_dominates_feasibility(self):
+        oversized = CirCoreConfig(30, 30, 8, 8, pe_parallelism=4, vpu_lanes=4, block_size=128)
+        assert not fits_on_device(oversized)
+
+    def test_utilization_dict_keys_and_range(self):
+        usage = estimate_resources(BLOCKGNN_BASE)
+        utilization = usage.utilization()
+        assert set(utilization) == {"BRAM_18K", "DSP48", "FF", "LUT"}
+        assert all(0.0 < value <= 1.0 for value in utilization.values())
+
+    def test_bram_includes_both_buffers(self):
+        usage = estimate_resources(BLOCKGNN_BASE)
+        buffer_brams = math.ceil((256 + 512) * 1024 / (18 * 1024 // 8))
+        assert usage.bram18k >= buffer_brams
+
+    def test_weight_buffer_requirement_fits_for_gs_pool_reddit(self):
+        workload = build_workload("GS-Pool", "reddit", hidden_features=512)
+        required = weight_buffer_bytes_required(workload, block_size=128)
+        assert required <= ZC706.weight_buffer_bytes
+
+    def test_weight_buffer_requirement_shrinks_with_block_size(self):
+        workload = build_workload("GS-Pool", "cora", hidden_features=512)
+        small = weight_buffer_bytes_required(workload, block_size=16)
+        large = weight_buffer_bytes_required(workload, block_size=128)
+        assert large < small
+
+    def test_spatial_storage_is_half_of_spectral(self):
+        workload = build_workload("GCN", "cora", hidden_features=512)
+        spectral = weight_buffer_bytes_required(workload, block_size=128, spectral=True)
+        spatial = weight_buffer_bytes_required(workload, block_size=128, spectral=False)
+        assert spectral == 2 * spatial

@@ -1,0 +1,86 @@
+"""Tests for the design-space exploration (Table V machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.config import ZC706
+from repro.perfmodel import (
+    SearchSpace,
+    enumerate_design_points,
+    estimate_performance,
+    search_optimal_config,
+)
+from repro.workloads import build_workload
+
+SMALL_SPACE = SearchSpace(
+    max_systolic_rows=4,
+    max_systolic_cols=4,
+    pe_parallelism_choices=(1, 2),
+    vpu_lane_choices=(1,),
+)
+
+
+@pytest.fixture(scope="module")
+def cora_workload():
+    return build_workload("GS-Pool", "cora", hidden_features=512, sample_sizes=(25, 10))
+
+
+class TestSearch:
+    def test_search_result_satisfies_dsp_budget(self, cora_workload):
+        point = search_optimal_config(cora_workload, space=SMALL_SPACE)
+        assert point.resources.dsp <= ZC706.total_dsp
+        assert point.resources.fits()
+
+    def test_search_is_optimal_within_enumeration(self, cora_workload):
+        best = search_optimal_config(cora_workload, space=SMALL_SPACE)
+        points = enumerate_design_points(cora_workload, space=SMALL_SPACE)
+        assert points, "enumeration must produce candidates"
+        assert best.total_cycles <= min(point.total_cycles for point in points) + 1e-6
+
+    def test_optimal_beats_arbitrary_feasible_config(self, cora_workload):
+        best = search_optimal_config(cora_workload, space=SMALL_SPACE)
+        for point in enumerate_design_points(cora_workload, space=SMALL_SPACE, limit=50):
+            assert best.total_cycles <= point.total_cycles
+
+    def test_search_deterministic(self, cora_workload):
+        first = search_optimal_config(cora_workload, space=SMALL_SPACE)
+        second = search_optimal_config(cora_workload, space=SMALL_SPACE)
+        assert first.config == second.config
+
+    def test_larger_dataset_needs_more_cycles(self):
+        space = SMALL_SPACE
+        cora = search_optimal_config(build_workload("GS-Pool", "cora"), space=space)
+        reddit = search_optimal_config(build_workload("GS-Pool", "reddit"), space=space)
+        assert reddit.total_cycles > cora.total_cycles
+
+    def test_aggregation_only_phase_restriction(self, cora_workload):
+        both = search_optimal_config(cora_workload, space=SMALL_SPACE)
+        agg = search_optimal_config(cora_workload, space=SMALL_SPACE, phases=("aggregation",))
+        assert agg.total_cycles <= both.total_cycles
+
+    def test_design_point_latency_consistent(self, cora_workload):
+        point = search_optimal_config(cora_workload, space=SMALL_SPACE)
+        direct = estimate_performance(cora_workload, point.config)
+        assert point.latency_seconds == pytest.approx(direct.latency_seconds)
+
+    def test_infeasible_space_raises(self, cora_workload):
+        impossible = SearchSpace(
+            max_systolic_rows=16,
+            max_systolic_cols=16,
+            pe_parallelism_choices=(16,),
+            vpu_lane_choices=(16,),
+            min_channels=10_000,
+        )
+        with pytest.raises(RuntimeError):
+            search_optimal_config(cora_workload, space=impossible)
+
+    def test_enumeration_limit_respected(self, cora_workload):
+        points = enumerate_design_points(cora_workload, space=SMALL_SPACE, limit=10)
+        assert len(points) <= 10
+
+    def test_block_size_reduces_cycles_for_large_layers(self, cora_workload):
+        coarse = search_optimal_config(cora_workload, block_size=128, space=SMALL_SPACE)
+        fine = search_optimal_config(cora_workload, block_size=16, space=SMALL_SPACE)
+        # Larger blocks compress more and need fewer spectral MACs overall.
+        assert coarse.total_cycles <= fine.total_cycles

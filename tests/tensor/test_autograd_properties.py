@@ -1,0 +1,76 @@
+"""Property-based tests (hypothesis) for the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor import Tensor, gradient_check
+
+
+def arrays(shape_strategy, min_value=-3.0, max_value=3.0):
+    return shape_strategy.flatmap(
+        lambda shape: st.lists(
+            st.floats(min_value, max_value, allow_nan=False, allow_infinity=False),
+            min_size=int(np.prod(shape)),
+            max_size=int(np.prod(shape)),
+        ).map(lambda values: np.array(values, dtype=np.float64).reshape(shape))
+    )
+
+
+small_shapes = st.tuples(st.integers(1, 4), st.integers(1, 4))
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays(small_shapes))
+def test_sum_of_parts_equals_total(data):
+    tensor = Tensor(data, requires_grad=True)
+    total = tensor.sum()
+    by_axis = tensor.sum(axis=0).sum()
+    assert np.isclose(total.item(), by_axis.item())
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays(small_shapes), arrays(small_shapes))
+def test_addition_is_commutative_in_value_and_gradient(a_data, b_data):
+    if a_data.shape != b_data.shape:
+        b_data = np.resize(b_data, a_data.shape)
+    a1 = Tensor(a_data, requires_grad=True)
+    b1 = Tensor(b_data, requires_grad=True)
+    (a1 + b1).sum().backward()
+    a2 = Tensor(a_data, requires_grad=True)
+    b2 = Tensor(b_data, requires_grad=True)
+    (b2 + a2).sum().backward()
+    assert np.allclose(a1.grad, a2.grad)
+    assert np.allclose(b1.grad, b2.grad)
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays(small_shapes))
+def test_composite_expression_matches_numerical_gradient(data):
+    tensor = Tensor(data, requires_grad=True)
+    assert gradient_check(lambda x: (x.tanh() * x + x.sigmoid()).sum(), [tensor], atol=1e-4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4))
+def test_matmul_gradient_property(rows, inner, cols):
+    rng = np.random.default_rng(rows * 100 + inner * 10 + cols)
+    a = Tensor(rng.standard_normal((rows, inner)), requires_grad=True)
+    b = Tensor(rng.standard_normal((inner, cols)), requires_grad=True)
+    assert gradient_check(lambda x, y: x @ y, [a, b], atol=1e-4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays(small_shapes))
+def test_relu_output_is_non_negative_and_bounded_by_input(data):
+    out = Tensor(data).relu().data
+    assert (out >= 0).all()
+    assert (out <= np.maximum(data, 0) + 1e-12).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays(small_shapes))
+def test_sigmoid_output_in_unit_interval(data):
+    out = Tensor(data).sigmoid().data
+    assert (out > 0).all() and (out < 1).all()

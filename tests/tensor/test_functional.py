@@ -1,0 +1,118 @@
+"""Unit tests for composite / graph-oriented tensor functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.tensor import Tensor, functional as F, gradient_check
+
+
+class TestSoftmaxAndLosses:
+    def test_softmax_rows_sum_to_one(self, rng):
+        logits = Tensor(rng.standard_normal((5, 7)))
+        probs = F.softmax(logits, axis=-1)
+        assert np.allclose(probs.data.sum(axis=-1), np.ones(5))
+
+    def test_softmax_is_shift_invariant(self, rng):
+        logits = rng.standard_normal((3, 4))
+        a = F.softmax(Tensor(logits)).data
+        b = F.softmax(Tensor(logits + 100.0)).data
+        assert np.allclose(a, b)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        logits = Tensor(rng.standard_normal((4, 6)))
+        assert np.allclose(F.log_softmax(logits).data, np.log(F.softmax(logits).data))
+
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        logits = Tensor(np.array([[20.0, 0.0], [0.0, 20.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_uniform_equals_log_classes(self):
+        logits = Tensor(np.zeros((3, 5)))
+        loss = F.cross_entropy(logits, np.array([0, 1, 2]))
+        assert loss.item() == pytest.approx(np.log(5.0))
+
+    def test_cross_entropy_gradcheck(self, rng):
+        logits = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        targets = np.array([0, 2, 1, 1])
+        assert gradient_check(lambda x: F.cross_entropy(x, targets), [logits])
+
+    def test_nll_loss_selects_targets(self):
+        log_probs = Tensor(np.log(np.array([[0.7, 0.3], [0.2, 0.8]])))
+        loss = F.nll_loss(log_probs, np.array([0, 1]))
+        assert loss.item() == pytest.approx(-(np.log(0.7) + np.log(0.8)) / 2.0)
+
+
+class TestSparseMatmul:
+    def test_matches_dense(self, rng):
+        adjacency = sp.random(6, 6, density=0.4, format="csr", random_state=0)
+        features = Tensor(rng.standard_normal((6, 3)))
+        out = F.sparse_matmul(adjacency, features)
+        assert np.allclose(out.data, adjacency.toarray() @ features.data)
+
+    def test_gradient_is_transpose(self, rng):
+        adjacency = sp.random(5, 5, density=0.5, format="csr", random_state=1)
+        features = Tensor(rng.standard_normal((5, 2)), requires_grad=True)
+        F.sparse_matmul(adjacency, features).sum().backward()
+        expected = adjacency.T.toarray() @ np.ones((5, 2))
+        assert np.allclose(features.grad, expected)
+
+
+class TestSegmentOps:
+    def test_segment_sum_values(self):
+        values = Tensor(np.array([[1.0], [2.0], [3.0], [4.0]]))
+        out = F.segment_sum(values, np.array([0, 0, 1, 1]), 3)
+        assert np.allclose(out.data, [[3.0], [7.0], [0.0]])
+
+    def test_segment_mean_handles_empty_segments(self):
+        values = Tensor(np.array([[2.0], [4.0]]))
+        out = F.segment_mean(values, np.array([1, 1]), 3)
+        assert np.allclose(out.data, [[0.0], [3.0], [0.0]])
+
+    def test_segment_max_values_and_gradient(self):
+        values = Tensor(np.array([[1.0, 5.0], [3.0, 2.0], [0.0, 0.0]]), requires_grad=True)
+        out = F.segment_max(values, np.array([0, 0, 1]), 2)
+        assert np.allclose(out.data, [[3.0, 5.0], [0.0, 0.0]])
+        out.sum().backward()
+        assert np.allclose(values.grad, [[0.0, 1.0], [1.0, 0.0], [1.0, 1.0]])
+
+    def test_segment_sum_gradient(self, rng):
+        values = Tensor(rng.standard_normal((6, 3)), requires_grad=True)
+        ids = np.array([0, 1, 0, 2, 2, 1])
+        assert gradient_check(lambda v: F.segment_sum(v, ids, 3), [values])
+
+
+class TestDropoutAndMetrics:
+    def test_dropout_eval_mode_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((10, 10)))
+        out = F.dropout(x, 0.5, training=False)
+        assert np.allclose(out.data, x.data)
+
+    def test_dropout_zero_probability_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)))
+        assert np.allclose(F.dropout(x, 0.0).data, x.data)
+
+    def test_dropout_scales_surviving_entries(self, rng):
+        x = Tensor(np.ones((2000,)))
+        out = F.dropout(x, 0.5, rng=np.random.default_rng(0)).data
+        assert set(np.round(np.unique(out), 6)) <= {0.0, 2.0}
+        assert abs(out.mean() - 1.0) < 0.1
+
+    def test_dropout_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.5)
+
+    def test_one_hot(self):
+        encoded = F.one_hot(np.array([0, 2]), 3)
+        assert np.allclose(encoded, [[1, 0, 0], [0, 0, 1]])
+
+    def test_accuracy(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert F.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2.0 / 3.0)
+
+    def test_accuracy_accepts_tensor(self):
+        logits = Tensor(np.array([[1.0, 0.0]]))
+        assert F.accuracy(logits, np.array([0])) == 1.0

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for command in (
+            ["table2"],
+            ["table5"],
+            ["table6"],
+            ["figure6"],
+            ["figure7"],
+            ["ablation-rfft"],
+            ["profile", "--model", "GAT"],
+            ["search", "--dataset", "cora"],
+            ["table3", "--epochs", "2", "--block-sizes", "1", "4"],
+        ):
+            args = parser.parse_args(command)
+            assert args.command == command[0]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+
+class TestExecution:
+    def test_table2_command_prints_profile(self, capsys):
+        assert main(["table2"]) == 0
+        output = capsys.readouterr().out
+        assert "GS-Pool" in output and "GCN" in output
+
+    def test_profile_command(self, capsys):
+        assert main(["profile", "--model", "G-GCN"]) == 0
+        assert "G-GCN" in capsys.readouterr().out
+
+    def test_ablation_rfft_command(self, capsys):
+        assert main(["ablation-rfft"]) == 0
+        assert "RFFT" in capsys.readouterr().out
+
+    def test_search_command_on_small_task(self, capsys):
+        assert main(["search", "--model", "GCN", "--dataset", "cora", "--hidden", "128"]) == 0
+        output = capsys.readouterr().out
+        assert "optimal" in output and "cycles" in output

@@ -1,0 +1,149 @@
+"""End-to-end integration tests: software training -> compression -> accelerator.
+
+These tests walk the full BlockGNN flow on a small synthetic graph:
+
+1. train a dense GNN, convert it to block-circulant form (or train compressed
+   directly) and check it still classifies;
+2. load the compressed layers into the functional accelerator and verify the
+   hardware datapath reproduces the software outputs;
+3. run the performance/resource model and the design-space search on the same
+   task and check the estimates are self-consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressionConfig, compress_model
+from repro.graph import NeighborSampler, load_dataset, partition_graph
+from repro.hardware import BlockGNNAccelerator, CirCoreConfig, HyGCNModel, CPURooflineModel
+from repro.models import Trainer, TrainingConfig, create_model
+from repro.nn.linear import BlockCirculantLinear
+from repro.perfmodel import SearchSpace, estimate_performance, search_optimal_config
+from repro.tensor import Tensor
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", scale=0.05, seed=2, num_features=48)
+
+
+class TestTrainThenCompress:
+    def test_dense_training_then_projection_conversion(self, graph):
+        model = create_model("GCN", graph.num_features, 24, graph.num_classes, seed=0)
+        trainer = Trainer(model, graph, TrainingConfig(epochs=3, batch_size=32, fanouts=(5, 4), seed=0))
+        trainer.fit()
+        dense_accuracy = trainer.test_accuracy()
+
+        report = compress_model(model, CompressionConfig(block_size=4))
+        assert report.converted_layers
+        compressed_accuracy = trainer.test_accuracy()
+        chance = 1.0 / graph.num_classes
+        assert dense_accuracy > chance
+        # Projection should not destroy the classifier (allow a wide margin on
+        # this tiny graph, the claim is qualitative).
+        assert compressed_accuracy > chance * 0.8
+
+    def test_directly_trained_compressed_model(self, graph):
+        model = create_model(
+            "GS-Pool",
+            graph.num_features,
+            24,
+            graph.num_classes,
+            compression=CompressionConfig(block_size=8),
+            seed=0,
+        )
+        trainer = Trainer(model, graph, TrainingConfig(epochs=3, batch_size=32, fanouts=(5, 4), seed=0))
+        history = trainer.fit()
+        assert history.train_loss[-1] < history.train_loss[0]
+        assert trainer.test_accuracy() > 1.0 / graph.num_classes
+
+
+class TestSoftwareHardwareEquivalence:
+    def test_accelerator_reproduces_compressed_combination_layer(self, graph):
+        block_size = 8
+        model = create_model(
+            "GCN",
+            graph.num_features,
+            32,
+            graph.num_classes,
+            compression=CompressionConfig(block_size=block_size),
+            seed=1,
+        )
+        accelerator = BlockGNNAccelerator(
+            CirCoreConfig(fft_channels=4, ifft_channels=4, systolic_rows=2, systolic_cols=2, block_size=block_size)
+        )
+        stored = accelerator.load_model(model)
+        assert stored, "the compressed model must expose circulant layers"
+
+        layer_name = stored[0]
+        layer = dict(model.named_modules())[layer_name]
+        assert isinstance(layer, BlockCirculantLinear)
+
+        rng = np.random.default_rng(0)
+        features = rng.standard_normal((6, layer.in_features))
+        hardware = accelerator.execute_linear(layer_name, features)
+        software = layer(Tensor(features)).data
+        assert np.allclose(hardware, software, atol=1e-9)
+
+    def test_gs_pool_aggregation_on_accelerator_matches_layer_math(self, graph):
+        block_size = 8
+        model = create_model(
+            "GS-Pool",
+            graph.num_features,
+            32,
+            graph.num_classes,
+            compression=CompressionConfig(block_size=block_size),
+            seed=3,
+        )
+        layer = model.layers[0]
+        accelerator = BlockGNNAccelerator(
+            CirCoreConfig(fft_channels=4, ifft_channels=4, systolic_rows=2, systolic_cols=2, block_size=block_size)
+        )
+        accelerator.load_layer("pool", layer.pool_fc)
+
+        sampler = NeighborSampler(graph, fanouts=(4, 3), seed=0)
+        batch = sampler.sample(np.arange(5))
+        block = batch.blocks[0]
+        h = batch.input_features(graph)
+        neighbors = h[block.neighbor_index]  # (num_dst, fanout, features)
+
+        hardware = accelerator.aggregate_max_pool("pool", neighbors)
+        pooled = layer.pool_fc(Tensor(neighbors.reshape(-1, layer.in_features))).relu()
+        software = pooled.data.reshape(block.num_dst, block.fanout, -1).max(axis=1)
+        assert np.allclose(hardware, software, atol=1e-9)
+
+
+class TestAnalyticalPipeline:
+    def test_search_and_estimate_are_consistent(self):
+        workload = build_workload("GS-Pool", "cora", hidden_features=256, sample_sizes=(10, 5))
+        space = SearchSpace(max_systolic_rows=4, max_systolic_cols=4, pe_parallelism_choices=(1,), vpu_lane_choices=(1,))
+        point = search_optimal_config(workload, space=space)
+        direct = estimate_performance(workload, point.config)
+        assert point.total_cycles == pytest.approx(direct.total_cycles)
+        assert point.resources.dsp <= 900
+
+    def test_blockgnn_beats_baselines_on_compute_heavy_workload(self):
+        workload = build_workload("G-GCN", "pubmed", hidden_features=512)
+        space = SearchSpace(max_systolic_rows=4, max_systolic_cols=4, pe_parallelism_choices=(1,), vpu_lane_choices=(1,))
+        blockgnn = search_optimal_config(workload, space=space).latency_seconds
+        hygcn = HyGCNModel().estimate(workload).latency_seconds
+        cpu = CPURooflineModel().estimate(workload).latency_seconds
+        assert blockgnn < cpu < hygcn
+
+    def test_partitioned_reddit_processing_preserves_total_nodes(self):
+        graph = load_dataset("reddit", scale=0.002, seed=0, num_features=32)
+        parts = partition_graph(graph, 2, seed=0)
+        assert sum(part.num_nodes for part in parts) == graph.num_nodes
+        workload = build_workload("GS-Pool", "reddit", hidden_features=128)
+        whole = estimate_performance(workload, CirCoreConfig(8, 8, 2, 2, block_size=128))
+        halves = [
+            estimate_performance(
+                workload, CirCoreConfig(8, 8, 2, 2, block_size=128), num_nodes=workload.num_nodes // 2
+            )
+            for _ in range(2)
+        ]
+        combined = sum(estimate.total_cycles for estimate in halves)
+        assert combined == pytest.approx(whole.total_cycles, rel=0.01)

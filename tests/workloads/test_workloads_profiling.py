@@ -1,0 +1,124 @@
+"""Unit tests for the analytical workload builder and the Table II profiling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import dataset_stats
+from repro.profiling import profile_all_models, profile_model, profile_table
+from repro.workloads import (
+    MODEL_NAMES,
+    build_workload,
+    canonical_model_name,
+    profiling_workload,
+)
+
+
+class TestBuilder:
+    def test_canonical_names(self):
+        assert canonical_model_name("gcn") == "GCN"
+        assert canonical_model_name("GraphSAGE") == "GS-Pool"
+        assert canonical_model_name("ggcn") == "G-GCN"
+        with pytest.raises(KeyError):
+            canonical_model_name("gin")
+
+    def test_layer_count_and_sample_sizes(self):
+        workload = build_workload("GCN", "cora", hidden_features=64, sample_sizes=(25, 10))
+        assert len(workload.layers) == 2
+        assert workload.layers[0].sample_size == 25
+        assert workload.layers[1].sample_size == 10
+
+    def test_sample_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload("GCN", "cora", sample_sizes=(25,), num_layers=2)
+
+    def test_gcn_has_no_aggregation_matvecs(self):
+        workload = build_workload("GCN", "cora")
+        for layer in workload.layers:
+            assert layer.matvecs_in_phase("aggregation") == []
+            assert len(layer.matvecs_in_phase("combination")) == 1
+
+    def test_gs_pool_aggregation_scales_with_sample_size(self):
+        stats = dataset_stats("reddit")
+        small = build_workload("GS-Pool", stats, sample_sizes=(5, 5))
+        large = build_workload("GS-Pool", stats, sample_sizes=(25, 25))
+        assert large.total_flops("aggregation") == pytest.approx(5 * small.total_flops("aggregation"))
+
+    def test_ggcn_has_two_gate_matrices(self):
+        workload = build_workload("G-GCN", "cora")
+        names = [op.name for op in workload.layers[0].matvecs_in_phase("aggregation")]
+        assert sorted(names) == ["gate_neighbor", "gate_self"]
+
+    def test_gat_attention_projection_counts_both_endpoints(self):
+        workload = build_workload("GAT", "cora", sample_sizes=(25, 10))
+        projection = workload.layers[0].matvecs_in_phase("aggregation")[0]
+        assert projection.count_per_node == 50.0  # 2 x sample size
+
+    def test_weight_parameters_positive(self):
+        workload = build_workload("GS-Pool", "pubmed")
+        assert workload.weight_parameters() > 0
+        assert workload.weight_parameters("combination") < workload.weight_parameters()
+
+    def test_per_layer_flops_structure(self):
+        workload = build_workload("GAT", "cora")
+        rows = workload.per_layer_flops()
+        assert len(rows) == 2
+        assert all({"layer", "aggregation", "combination"} <= set(row) for row in rows)
+
+    def test_summary_mentions_model_and_dataset(self):
+        text = build_workload("GCN", "cora").summary()
+        assert "GCN" in text and "cora" in text
+
+
+class TestTable2Relationships:
+    """The qualitative relationships that motivate the paper (Section II-B)."""
+
+    def test_gcn_aggregation_is_memory_bound(self):
+        profile = profile_model("GCN")
+        assert profile.aggregation.arithmetic_intensity < 1.0
+        assert profile.combination.arithmetic_intensity > 50.0
+
+    def test_heavy_models_are_compute_bound_in_both_phases(self):
+        for name in ("GS-Pool", "G-GCN", "GAT"):
+            profile = profile_model(name)
+            assert profile.aggregation.arithmetic_intensity > 50.0
+            assert profile.aggregation.flops > 1e12
+
+    def test_ggcn_aggregation_is_twice_gs_pool(self):
+        gs = profile_model("GS-Pool").aggregation.flops
+        ggcn = profile_model("G-GCN").aggregation.flops
+        assert ggcn == pytest.approx(2.0 * gs, rel=0.01)
+
+    def test_gat_and_gs_pool_aggregation_comparable(self):
+        gs = profile_model("GS-Pool").aggregation.flops
+        gat = profile_model("GAT").aggregation.flops
+        assert gat == pytest.approx(gs, rel=0.05)
+
+    def test_gcn_aggregation_orders_of_magnitude_below_others(self):
+        gcn = profile_model("GCN").aggregation.flops
+        gs = profile_model("GS-Pool").aggregation.flops
+        assert gs / gcn > 100.0
+
+    def test_gs_pool_combination_is_largest(self):
+        combs = {name: profile_model(name).combination.flops for name in MODEL_NAMES}
+        assert combs["GS-Pool"] == max(combs.values())
+
+    def test_profile_all_returns_four_models(self):
+        profiles = profile_all_models()
+        assert [p.model for p in profiles] == list(MODEL_NAMES)
+
+    def test_profile_table_renders(self):
+        text = profile_table(block_size=128)
+        assert "GCN" in text and "GS-Pool" in text and "n=128" in text
+
+    def test_profiling_workload_single_layer(self):
+        workload = profiling_workload("GS-Pool")
+        assert len(workload.layers) == 1
+        assert workload.num_nodes == dataset_stats("reddit").num_nodes
+
+    def test_as_dict_round_trip(self):
+        profile = profile_model("GAT")
+        data = profile.as_dict()
+        assert data["model"] == "GAT"
+        assert data["aggregation_flops"] == profile.aggregation.flops
