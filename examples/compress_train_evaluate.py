@@ -5,8 +5,9 @@ stand-in: for each block size, train the model with block-circulant weights
 and report TCR / SR / accuracy.  Also demonstrates the two deployment paths:
 
 * train-compressed (the paper's approach: impose the constraint during training),
-* post-training projection of a dense model (``compress_model``), and
-* the Section V "compress only the aggregators" trade-off.
+* post-training projection of a dense model (``compress_model``),
+* the Section V "compress only the aggregators" trade-off, and
+* sampled vs. full-graph layer-wise inference (``evaluate_accuracy(mode="full")``).
 
 Run with:  python examples/compress_train_evaluate.py
 """
@@ -18,6 +19,7 @@ from repro.experiments import render_table3, run_table3
 from repro.experiments.ablations import render_aggregator_only, run_aggregator_only_ablation
 from repro.graph import load_dataset
 from repro.models import Trainer, TrainingConfig, create_model
+from repro.models.trainer import compare_inference_modes
 
 MODEL = "GS-Pool"
 
@@ -57,10 +59,33 @@ def post_training_projection() -> None:
 
     # A couple of fine-tuning epochs usually recover most of the projection
     # loss.  Note: compression swaps the layer objects, so a fresh Trainer
-    # (whose optimiser tracks the new circulant parameters) is required.
-    finetuner = Trainer(model, graph, TrainingConfig(epochs=4, batch_size=64, fanouts=(10, 5), seed=2))
+    # (whose optimiser tracks the new circulant parameters) is required.  The
+    # validation loop uses full-graph layer-wise inference (eval_mode="full"),
+    # which propagates every node once per layer instead of re-sampling
+    # neighbourhoods per batch.
+    finetuner = Trainer(
+        model,
+        graph,
+        TrainingConfig(epochs=4, batch_size=64, fanouts=(10, 5), seed=2, eval_mode="full"),
+    )
     finetuner.fit()
     print(f"after fine-tuning   : {finetuner.test_accuracy():.3f}")
+
+
+def inference_modes() -> None:
+    print("\n=== Sampled vs. full-graph layer-wise inference ===")
+    graph = load_dataset("cora", scale=0.3, seed=0, num_features=64)
+    model = create_model(
+        MODEL, graph.num_features, 64, graph.num_classes,
+        compression=CompressionConfig(block_size=8), seed=0,
+    )
+    Trainer(model, graph, TrainingConfig(epochs=4, fanouts=(10, 5), seed=0)).fit()
+
+    comparison = compare_inference_modes(model, graph, fanouts=(30, 30), seed=0)
+    print(f"sampled (fanout 30) : acc {comparison.sampled_accuracy:.3f} "
+          f"in {comparison.sampled_seconds * 1e3:.1f} ms")
+    print(f"full-graph          : acc {comparison.full_accuracy:.3f} "
+          f"in {comparison.full_seconds * 1e3:.1f} ms ({comparison.speedup:.1f}x faster)")
 
 
 def aggregator_only() -> None:
@@ -87,6 +112,7 @@ def main() -> None:
     block_size_sweep()
     post_training_projection()
     aggregator_only()
+    inference_modes()
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli figure7
     python -m repro.cli ablation-rfft
     python -m repro.cli ablation-agg-only
+    python -m repro.cli eval-bench --model GCN --block-size 8
     python -m repro.cli profile --model GS-Pool
     python -m repro.cli search --model GS-Pool --dataset reddit
 
@@ -43,6 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
     table3.add_argument("--hidden", type=int, default=64)
     table3.add_argument("--block-sizes", type=int, nargs="+", default=[1, 8, 16])
     table3.add_argument("--models", nargs="+", default=["GCN", "GS-Pool", "G-GCN", "GAT"])
+    table3.add_argument(
+        "--eval-mode",
+        choices=["sampled", "full"],
+        default="sampled",
+        help="validation/test inference: per-batch neighbour sampling or full-graph layer-wise",
+    )
 
     subparsers.add_parser("table5", help="searched optimal hardware parameters (Table V)")
     subparsers.add_parser("table6", help="FPGA resource utilisation (Table VI)")
@@ -56,6 +63,19 @@ def build_parser() -> argparse.ArgumentParser:
     agg_only.add_argument("--scale", type=float, default=0.004)
     agg_only.add_argument("--epochs", type=int, default=5)
     agg_only.add_argument("--block-size", type=int, default=8)
+    agg_only.add_argument("--eval-mode", choices=["sampled", "full"], default="sampled")
+
+    eval_bench = subparsers.add_parser(
+        "eval-bench",
+        help="compare sampled vs. full-graph layer-wise inference (accuracy + wall-clock)",
+    )
+    eval_bench.add_argument("--model", default="GCN", help="GCN | GS-Pool | G-GCN | GAT")
+    eval_bench.add_argument("--dataset", default="reddit")
+    eval_bench.add_argument("--scale", type=float, default=0.004)
+    eval_bench.add_argument("--epochs", type=int, default=3)
+    eval_bench.add_argument("--hidden", type=int, default=64)
+    eval_bench.add_argument("--block-size", type=int, default=8)
+    eval_bench.add_argument("--fanouts", type=int, nargs="+", default=[25, 10])
 
     profile = subparsers.add_parser("profile", help="profile a single GNN model (Table II row)")
     profile.add_argument("--model", default="GS-Pool", help="GCN | GS-Pool | G-GCN | GAT")
@@ -88,6 +108,7 @@ def _run_table3(args: argparse.Namespace) -> str:
         num_features=args.hidden,
         hidden_features=args.hidden,
         epochs=args.epochs,
+        eval_mode=args.eval_mode,
     )
     return render_table3(result)
 
@@ -149,8 +170,40 @@ def _run_ablation_agg_only(args: argparse.Namespace) -> str:
         block_size=args.block_size,
         dataset_scale=args.scale,
         epochs=args.epochs,
+        eval_mode=args.eval_mode,
     )
     return render_aggregator_only(result)
+
+
+def _run_eval_bench(args: argparse.Namespace) -> str:
+    from .compression import CompressionConfig
+    from .graph import load_dataset
+    from .models import Trainer, TrainingConfig, create_model
+    from .models.trainer import compare_inference_modes
+
+    graph = load_dataset(args.dataset, scale=args.scale, seed=0, num_features=args.hidden)
+    model = create_model(
+        args.model,
+        in_features=graph.num_features,
+        hidden_features=args.hidden,
+        num_classes=graph.num_classes,
+        compression=CompressionConfig(block_size=args.block_size),
+        seed=0,
+    )
+    fanouts = tuple(args.fanouts)
+    trainer = Trainer(
+        model, graph, TrainingConfig(epochs=args.epochs, fanouts=fanouts, seed=0)
+    )
+    trainer.fit()
+    comparison = compare_inference_modes(model, graph, fanouts, seed=0)
+    return (
+        f"{args.model} (n={args.block_size}) on {graph.summary()}\n"
+        f"  sampled inference (fanouts {fanouts}): acc {comparison.sampled_accuracy:.3f} "
+        f"in {comparison.sampled_seconds * 1e3:.1f} ms\n"
+        f"  full-graph layer-wise inference     : acc {comparison.full_accuracy:.3f} "
+        f"in {comparison.full_seconds * 1e3:.1f} ms\n"
+        f"  speedup {comparison.speedup:.1f}x, accuracy difference {comparison.accuracy_difference:.4f}"
+    )
 
 
 def _run_profile(args: argparse.Namespace) -> str:
@@ -199,6 +252,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         output = _run_ablation_rfft()
     elif args.command == "ablation-agg-only":
         output = _run_ablation_agg_only(args)
+    elif args.command == "eval-bench":
+        output = _run_eval_bench(args)
     elif args.command == "profile":
         output = _run_profile(args)
     elif args.command == "search":

@@ -22,10 +22,18 @@ from typing import Optional
 
 import numpy as np
 
+try:  # scipy's pocketfft front-end is measurably faster than numpy's for the
+    # batched short transforms these kernels are built from; fall back to
+    # numpy when scipy is unavailable (identical results either way).
+    from scipy import fft as _fftlib
+except ImportError:  # pragma: no cover - scipy is a hard dep of repro.graph
+    from numpy import fft as _fftlib
+
 from ..tensor.tensor import Tensor, ensure_tensor
 from .circulant import BlockCirculantSpec, pad_to_multiple
 
 __all__ = [
+    "rfft_bins",
     "spectral_weights",
     "block_circulant_matvec",
     "block_circulant_matmul",
@@ -43,16 +51,65 @@ __all__ = [
 # ---------------------------------------------------------------------------
 
 
-def spectral_weights(weights: np.ndarray) -> np.ndarray:
+def rfft_bins(block_size: int) -> int:
+    """Number of spectral bins of a real FFT over length-``block_size`` vectors."""
+    return block_size // 2 + 1
+
+
+def spectral_weights(weights: np.ndarray, use_rfft: bool = False) -> np.ndarray:
     """Pre-compute the spectral-domain weights ``FFT(W_ij)``.
 
     The accelerator stores these in the Weight Buffer so that only the feature
-    FFTs need to be computed on-the-fly (Section III-A).
+    FFTs need to be computed on-the-fly (Section III-A).  With ``use_rfft``
+    only the ``n // 2 + 1`` non-redundant bins of the real-input transform are
+    kept (Section V, "Use RFFT for Higher Speedup") — the defining vectors are
+    real, so the remaining bins are conjugate mirrors.
     """
     weights = np.asarray(weights, dtype=np.float64)
     if weights.ndim != 3:
         raise ValueError("expected defining vectors of shape (p, q, n)")
-    return np.fft.fft(weights, axis=-1)
+    if use_rfft:
+        return _fftlib.rfft(weights, axis=-1)
+    return _fftlib.fft(weights, axis=-1)
+
+
+def _resolve_spectral(
+    weights: Optional[np.ndarray],
+    spec: BlockCirculantSpec,
+    spectral: Optional[np.ndarray],
+    use_rfft: bool,
+) -> tuple:
+    """Return ``(w_hat, use_rfft)``, computing ``FFT(W)`` if not supplied.
+
+    A supplied ``spectral`` array is authoritative about the transform domain:
+    ``(p, q, n)`` entries are complex-FFT spectra and ``(p, q, n // 2 + 1)``
+    entries are rFFT spectra.  (For ``n <= 2`` the two coincide numerically,
+    so the ambiguity is harmless.)
+    """
+    n = spec.block_size
+    if spectral is not None:
+        w_hat = np.asarray(spectral)
+        if w_hat.shape[:2] != (spec.p, spec.q):
+            raise ValueError(
+                f"spectral weights shape {w_hat.shape} does not match spec blocks {(spec.p, spec.q)}"
+            )
+        if w_hat.shape[-1] == rfft_bins(n):
+            return w_hat, True
+        if w_hat.shape[-1] == n:
+            if use_rfft:
+                raise ValueError(
+                    f"use_rfft=True but the supplied spectral weights are full "
+                    f"{n}-bin complex-FFT spectra; pass "
+                    f"spectral_weights(..., use_rfft=True) instead"
+                )
+            return w_hat, False
+        raise ValueError(
+            f"spectral weights have {w_hat.shape[-1]} bins; expected {n} (FFT) "
+            f"or {rfft_bins(n)} (rFFT)"
+        )
+    if weights is None:
+        raise ValueError("weights may only be None when precomputed spectral weights are supplied")
+    return spectral_weights(weights, use_rfft=use_rfft), use_rfft
 
 
 def _prepare_input(x: np.ndarray, spec: BlockCirculantSpec) -> np.ndarray:
@@ -72,9 +129,10 @@ def _prepare_input(x: np.ndarray, spec: BlockCirculantSpec) -> np.ndarray:
 
 def block_circulant_matmul(
     x: np.ndarray,
-    weights: np.ndarray,
+    weights: Optional[np.ndarray],
     spec: BlockCirculantSpec,
     spectral: Optional[np.ndarray] = None,
+    use_rfft: bool = False,
 ) -> np.ndarray:
     """Multiply a batch of vectors by a block-circulant matrix via FFT.
 
@@ -88,11 +146,19 @@ def block_circulant_matmul(
     x:
         ``(batch, M)`` or ``(M,)`` real features.
     weights:
-        ``(p, q, n)`` defining vectors (first columns of each block).
+        ``(p, q, n)`` defining vectors (first columns of each block).  May be
+        ``None`` when ``spectral`` is supplied.
     spec:
         Shape bookkeeping for the matrix.
     spectral:
-        Optional pre-computed ``FFT(weights)`` (see :func:`spectral_weights`).
+        Optional pre-computed ``FFT(weights)`` (see :func:`spectral_weights`),
+        either complex-FFT (``(p, q, n)``) or rFFT (``(p, q, n // 2 + 1)``)
+        spectra — e.g. the ``(version, W_hat)`` cache of
+        :class:`repro.nn.BlockCirculantLinear` or the accelerator's Weight
+        Buffer contents.  The transform domain is inferred from the bin count.
+    use_rfft:
+        Compute with real-input transforms over ``n // 2 + 1`` bins
+        (Section V).  Ignored when ``spectral`` already fixes the domain.
 
     Returns
     -------
@@ -100,23 +166,30 @@ def block_circulant_matmul(
     """
     squeeze = np.asarray(x).ndim == 1
     blocks = _prepare_input(x, spec)
-    w_hat = spectral if spectral is not None else spectral_weights(weights)
-    x_hat = np.fft.fft(blocks, axis=-1)
+    w_hat, use_rfft = _resolve_spectral(weights, spec, spectral, use_rfft)
+    if use_rfft:
+        x_hat = _fftlib.rfft(blocks, axis=-1)
+    else:
+        x_hat = _fftlib.fft(blocks, axis=-1)
     # Accumulate over the q input blocks directly in the spectral domain.
-    out_hat = np.einsum("pqn,bqn->bpn", w_hat, x_hat)
-    out = np.real(np.fft.ifft(out_hat, axis=-1))
+    out_hat = np.einsum("pqn,bqn->bpn", w_hat, x_hat, optimize=True)
+    if use_rfft:
+        out = _fftlib.irfft(out_hat, n=spec.block_size, axis=-1)
+    else:
+        out = np.real(_fftlib.ifft(out_hat, axis=-1))
     out = out.reshape(out.shape[0], spec.padded_out)[:, : spec.out_features]
     return out[0] if squeeze else out
 
 
 def block_circulant_matvec(
     x: np.ndarray,
-    weights: np.ndarray,
+    weights: Optional[np.ndarray],
     spec: BlockCirculantSpec,
     spectral: Optional[np.ndarray] = None,
+    use_rfft: bool = False,
 ) -> np.ndarray:
     """Single-vector convenience wrapper around :func:`block_circulant_matmul`."""
-    return block_circulant_matmul(np.asarray(x), weights, spec, spectral=spectral)
+    return block_circulant_matmul(np.asarray(x), weights, spec, spectral=spectral, use_rfft=use_rfft)
 
 
 def block_circulant_matvec_spatial(
@@ -134,13 +207,15 @@ def block_circulant_matvec_spatial(
     squeeze = np.asarray(x).ndim == 1
     blocks = _prepare_input(x, spec)
     w_hat = spectral_weights(weights)
-    x_hat = np.fft.fft(blocks, axis=-1)
+    x_hat = _fftlib.fft(blocks, axis=-1)
     batch = blocks.shape[0]
-    out = np.zeros((batch, spec.p, spec.block_size), dtype=np.float64)
+    out = np.empty((batch, spec.p, spec.block_size), dtype=np.float64)
     for i in range(spec.p):
-        for j in range(spec.q):
-            product = w_hat[i, j][None, :] * x_hat[:, j, :]
-            out[:, i, :] += np.real(np.fft.ifft(product, axis=-1))
+        # One (batched) IFFT per (i, j) block, vectorised over the q axis:
+        # still p * q transforms per vector, preserving the kernel's role as
+        # the p*q-vs-p IFFT accounting reference.
+        products = w_hat[i][None, :, :] * x_hat  # (batch, q, n)
+        out[:, i, :] = np.real(_fftlib.ifft(products, axis=-1)).sum(axis=1)
     out = out.reshape(batch, spec.padded_out)[:, : spec.out_features]
     return out[0] if squeeze else out
 
@@ -154,16 +229,11 @@ def block_circulant_matmul_rfft(
 
     GNN features are real, so only ``n/2 + 1`` spectral bins need to be
     computed and multiplied.  Produces outputs identical to the complex-FFT
-    kernel while roughly halving the spectral-domain work.
+    kernel while roughly halving the spectral-domain work.  Equivalent to
+    :func:`block_circulant_matmul` with ``use_rfft=True``; kept as a named
+    entry point for the Section V ablation.
     """
-    squeeze = np.asarray(x).ndim == 1
-    blocks = _prepare_input(x, spec)
-    w_hat = np.fft.rfft(np.asarray(weights, dtype=np.float64), axis=-1)
-    x_hat = np.fft.rfft(blocks, axis=-1)
-    out_hat = np.einsum("pqn,bqn->bpn", w_hat, x_hat)
-    out = np.fft.irfft(out_hat, n=spec.block_size, axis=-1)
-    out = out.reshape(out.shape[0], spec.padded_out)[:, : spec.out_features]
-    return out[0] if squeeze else out
+    return block_circulant_matmul(x, weights, spec, use_rfft=True)
 
 
 # ---------------------------------------------------------------------------
@@ -171,7 +241,13 @@ def block_circulant_matmul_rfft(
 # ---------------------------------------------------------------------------
 
 
-def circulant_linear(x: Tensor, weights: Tensor, spec: BlockCirculantSpec) -> Tensor:
+def circulant_linear(
+    x: Tensor,
+    weights: Tensor,
+    spec: BlockCirculantSpec,
+    use_rfft: bool = True,
+    spectral: Optional[np.ndarray] = None,
+) -> Tensor:
     """Differentiable block-circulant multiplication ``x @ W^T`` (batch x N).
 
     Forward:  ``Y_hat[b, i] = sum_j W_hat[i, j] * X_hat[b, j]``, ``y = IFFT(Y_hat)``.
@@ -182,8 +258,21 @@ def circulant_linear(x: Tensor, weights: Tensor, spec: BlockCirculantSpec) -> Te
     * ``dL/dX_hat[b, j] = sum_i conj(W_hat[i, j]) * G_hat[b, i]``
     * ``dL/dW_hat[i, j] = sum_b conj(X_hat[b, j]) * G_hat[b, i]``
 
-    followed by an inverse FFT and taking the real part (all spatial-domain
-    quantities are real).
+    followed by an inverse transform (all spatial-domain quantities are real).
+
+    By default the whole primitive — forward *and* both analytic gradients —
+    runs on real-input transforms (``np.fft.rfft`` / ``irfft``) over the
+    ``n // 2 + 1`` non-redundant bins, the Section V "Use RFFT for Higher
+    Speedup" optimisation.  This is exact: every full spectrum involved
+    (``W_hat``, ``X_hat``, ``G_hat`` and their bin-wise products) is Hermitian
+    because the underlying signals are real, so the dropped bins carry no
+    information.  Pass ``use_rfft=False`` to fall back to the complex FFT.
+
+    ``spectral`` optionally supplies a pre-computed ``FFT(W)`` in the matching
+    domain (the per-version cache of :class:`repro.nn.BlockCirculantLinear`);
+    the same spectrum is reused by the backward pass, so with a warm cache a
+    training step performs no weight transforms at all outside
+    ``optimizer.step()``'s cache invalidation.
     """
     x = ensure_tensor(x)
     weights = ensure_tensor(weights)
@@ -203,11 +292,28 @@ def circulant_linear(x: Tensor, weights: Tensor, spec: BlockCirculantSpec) -> Te
     batch = x_data.shape[0]
     n = spec.block_size
 
+    forward_fft = _fftlib.rfft if use_rfft else _fftlib.fft
+
+    def inverse_fft(spectrum: np.ndarray) -> np.ndarray:
+        if use_rfft:
+            return _fftlib.irfft(spectrum, n=n, axis=-1)
+        return np.real(_fftlib.ifft(spectrum, axis=-1))
+
+    if spectral is not None:
+        w_hat = np.asarray(spectral)
+        expected_bins = rfft_bins(n) if use_rfft else n
+        if w_hat.shape != (spec.p, spec.q, expected_bins):
+            raise ValueError(
+                f"precomputed spectral weights shape {w_hat.shape} does not match "
+                f"{(spec.p, spec.q, expected_bins)} (use_rfft={use_rfft})"
+            )
+    else:
+        w_hat = forward_fft(weights.data, axis=-1)
+
     padded = pad_to_multiple(x_data, n, axis=-1).reshape(batch, spec.q, n)
-    x_hat = np.fft.fft(padded, axis=-1)
-    w_hat = np.fft.fft(weights.data, axis=-1)
-    out_hat = np.einsum("pqn,bqn->bpn", w_hat, x_hat)
-    out = np.real(np.fft.ifft(out_hat, axis=-1)).reshape(batch, spec.padded_out)
+    x_hat = forward_fft(padded, axis=-1)
+    out_hat = np.einsum("pqn,bqn->bpn", w_hat, x_hat, optimize=True)
+    out = inverse_fft(out_hat).reshape(batch, spec.padded_out)
     out = out[:, : spec.out_features]
     if squeeze:
         out = out[0]
@@ -218,16 +324,15 @@ def circulant_linear(x: Tensor, weights: Tensor, spec: BlockCirculantSpec) -> Te
             grad_arr = grad_arr[None, :]
         padded_grad = np.zeros((batch, spec.padded_out), dtype=np.float64)
         padded_grad[:, : spec.out_features] = grad_arr
-        g_hat = np.fft.fft(padded_grad.reshape(batch, spec.p, n), axis=-1)
+        g_hat = forward_fft(padded_grad.reshape(batch, spec.p, n), axis=-1)
         if x.requires_grad:
-            gx_hat = np.einsum("pqn,bpn->bqn", np.conj(w_hat), g_hat)
-            gx = np.real(np.fft.ifft(gx_hat, axis=-1)).reshape(batch, spec.padded_in)
+            gx_hat = np.einsum("pqn,bpn->bqn", np.conj(w_hat), g_hat, optimize=True)
+            gx = inverse_fft(gx_hat).reshape(batch, spec.padded_in)
             gx = gx[:, : spec.in_features]
             x._accumulate(gx[0] if squeeze else gx)
         if weights.requires_grad:
-            gw_hat = np.einsum("bqn,bpn->pqn", np.conj(x_hat), g_hat)
-            gw = np.real(np.fft.ifft(gw_hat, axis=-1))
-            weights._accumulate(gw)
+            gw_hat = np.einsum("bqn,bpn->pqn", np.conj(x_hat), g_hat, optimize=True)
+            weights._accumulate(inverse_fft(gw_hat))
 
     return Tensor._make(out, (x, weights), backward)
 

@@ -144,6 +144,7 @@ def _train_variant(
     epochs: int,
     fanouts: Sequence[int],
     seed: int,
+    eval_mode: str = "sampled",
 ) -> tuple:
     model = create_model(
         model_name,
@@ -156,7 +157,9 @@ def _train_variant(
     trainer = Trainer(
         model,
         graph,
-        TrainingConfig(epochs=epochs, batch_size=64, fanouts=tuple(fanouts), seed=seed),
+        TrainingConfig(
+            epochs=epochs, batch_size=64, fanouts=tuple(fanouts), seed=seed, eval_mode=eval_mode
+        ),
     )
     trainer.fit()
     accuracy = trainer.test_accuracy()
@@ -175,13 +178,21 @@ def run_aggregator_only_ablation(
     epochs: int = 4,
     fanouts: Sequence[int] = (10, 5),
     seed: int = 0,
+    eval_mode: str = "sampled",
 ) -> AggregatorOnlyResult:
     """Train uncompressed / fully-compressed / aggregator-only variants."""
     if graph is None:
         graph = load_dataset(dataset, scale=dataset_scale, seed=seed, num_features=num_features)
 
     acc_dense, _ = _train_variant(
-        model_name, graph, CompressionConfig(block_size=1), hidden_features, epochs, fanouts, seed
+        model_name,
+        graph,
+        CompressionConfig(block_size=1),
+        hidden_features,
+        epochs,
+        fanouts,
+        seed,
+        eval_mode,
     )
     acc_full, stored_full = _train_variant(
         model_name,
@@ -191,6 +202,7 @@ def run_aggregator_only_ablation(
         epochs,
         fanouts,
         seed,
+        eval_mode,
     )
     acc_agg_only, stored_agg_only = _train_variant(
         model_name,
@@ -200,6 +212,7 @@ def run_aggregator_only_ablation(
         epochs,
         fanouts,
         seed,
+        eval_mode,
     )
     return AggregatorOnlyResult(
         model=model_name,

@@ -83,12 +83,14 @@ def run_table3(
     fanouts: Sequence[int] = (10, 5),
     batch_size: int = 64,
     seed: int = 0,
+    eval_mode: str = "sampled",
 ) -> Table3Result:
     """Train every (model, block size) pair and collect test accuracies.
 
     The defaults are sized for a several-minute laptop run on the synthetic
     Reddit stand-in.  Pass a pre-built ``graph`` (and larger dims/epochs) to
-    run a bigger study.
+    run a bigger study.  ``eval_mode="full"`` switches validation/test
+    accuracy to full-graph layer-wise inference (faster and deterministic).
     """
     if graph is None:
         graph = load_dataset(dataset, scale=dataset_scale, seed=seed, num_features=num_features)
@@ -110,6 +112,7 @@ def run_table3(
                 fanouts=tuple(fanouts),
                 learning_rate=0.01,
                 seed=seed,
+                eval_mode=eval_mode,
             )
             trainer = Trainer(model, graph, config)
             history = trainer.fit()

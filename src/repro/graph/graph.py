@@ -43,6 +43,10 @@ class Graph:
     test_mask: np.ndarray
     name: str = "graph"
     _adjacency: Optional[sp.csr_matrix] = field(default=None, repr=False, compare=False)
+    #: memoised propagation operators keyed by (kind, add_self_loops); the
+    #: adjacency structure is immutable, so full-graph layer-wise inference
+    #: pays the normalisation cost once per graph instead of once per layer.
+    _operator_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     # -- constructors ----------------------------------------------------------
 
@@ -137,29 +141,66 @@ class Graph:
 
     # -- GCN-style propagation helpers ---------------------------------------------
 
-    def normalized_adjacency(self, add_self_loops: bool = True) -> sp.csr_matrix:
-        """Symmetric GCN normalisation ``D^{-1/2} (A + I) D^{-1/2}``."""
-        adjacency = self.adjacency().copy()
-        if add_self_loops:
-            adjacency = adjacency + sp.eye(self.num_nodes, format="csr")
-        degrees = np.asarray(adjacency.sum(axis=1)).flatten()
-        inv_sqrt = np.zeros_like(degrees)
-        nonzero = degrees > 0
-        inv_sqrt[nonzero] = 1.0 / np.sqrt(degrees[nonzero])
-        scaling = sp.diags(inv_sqrt)
-        return (scaling @ adjacency @ scaling).tocsr()
+    @staticmethod
+    def _freeze(matrix: sp.csr_matrix) -> sp.csr_matrix:
+        """Mark a cached operator's buffers read-only.
 
-    def random_walk_adjacency(self) -> sp.csr_matrix:
-        """Row-normalised adjacency ``D^{-1} A`` (mean aggregation)."""
-        adjacency = self.adjacency()
-        degrees = np.maximum(np.asarray(adjacency.sum(axis=1)).flatten(), 1.0)
-        return (sp.diags(1.0 / degrees) @ adjacency).tocsr()
+        The memoised operators are shared between callers, so in-place
+        mutation (``op.data *= alpha``) would silently corrupt every later
+        full-graph inference; freezing turns that into an immediate error.
+        Callers that need a mutable operator should ``.copy()`` it.
+        """
+        matrix.data.flags.writeable = False
+        matrix.indices.flags.writeable = False
+        matrix.indptr.flags.writeable = False
+        return matrix
+
+    def normalized_adjacency(self, add_self_loops: bool = True) -> sp.csr_matrix:
+        """Symmetric GCN normalisation ``D^{-1/2} (A + I) D^{-1/2}``.
+
+        Memoised and returned read-only — ``.copy()`` before mutating.
+        """
+        key = ("normalized", add_self_loops)
+        if key not in self._operator_cache:
+            adjacency = self.adjacency().copy()
+            if add_self_loops:
+                adjacency = adjacency + sp.eye(self.num_nodes, format="csr")
+            degrees = np.asarray(adjacency.sum(axis=1)).flatten()
+            inv_sqrt = np.zeros_like(degrees)
+            nonzero = degrees > 0
+            inv_sqrt[nonzero] = 1.0 / np.sqrt(degrees[nonzero])
+            scaling = sp.diags(inv_sqrt)
+            self._operator_cache[key] = self._freeze((scaling @ adjacency @ scaling).tocsr())
+        return self._operator_cache[key]
+
+    def random_walk_adjacency(self, add_self_loops: bool = False) -> sp.csr_matrix:
+        """Row-normalised adjacency ``D^{-1} A`` (mean aggregation).
+
+        With ``add_self_loops`` the operator becomes ``D̂^{-1} (A + I)`` — the
+        mean over the neighbourhood *including the node itself*, which is the
+        full-graph limit of the sampled GCN aggregation
+        ``(sum_neigh + h_self) / (fanout + 1)``.
+
+        Memoised and returned read-only — ``.copy()`` before mutating.
+        """
+        key = ("random_walk", add_self_loops)
+        if key not in self._operator_cache:
+            adjacency = self.adjacency()
+            if add_self_loops:
+                adjacency = (adjacency + sp.eye(self.num_nodes, format="csr")).tocsr()
+            degrees = np.maximum(np.asarray(adjacency.sum(axis=1)).flatten(), 1.0)
+            self._operator_cache[key] = self._freeze(
+                (sp.diags(1.0 / degrees) @ adjacency).tocsr()
+            )
+        return self._operator_cache[key]
 
     # -- restructuring ----------------------------------------------------------------
 
     def subgraph(self, nodes: Sequence[int], name: Optional[str] = None) -> "Graph":
         """Induced subgraph on ``nodes`` (relabelled to 0..len(nodes)-1)."""
-        nodes = np.asarray(sorted(set(int(n) for n in nodes)), dtype=np.int64)
+        # np.unique sorts and deduplicates in C while keeping an integer dtype,
+        # unlike the Python-level sorted(set(...)) round-trip it replaces.
+        nodes = np.unique(np.asarray(nodes, dtype=np.int64))
         adjacency = self.adjacency()[nodes][:, nodes].tocsr()
         sub = Graph(
             indptr=adjacency.indptr.astype(np.int64),

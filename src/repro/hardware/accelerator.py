@@ -24,7 +24,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..compression.circulant import BlockCirculantSpec
-from ..compression.spectral import spectral_weights
 from ..nn.linear import BlockCirculantLinear
 from ..nn.module import Module
 from .buffers import GlobalBuffer
@@ -88,13 +87,20 @@ class BlockGNNAccelerator:
         layer: BlockCirculantLinear,
         activation: Optional[str] = None,
     ) -> None:
-        """Pre-compute ``FFT(W)`` for a compressed layer and park it in the WB."""
+        """Park a compressed layer's spectral weights ``FFT(W)`` in the WB.
+
+        The spectra come from the layer's own per-version cache
+        (:meth:`repro.nn.BlockCirculantLinear.spectral`), so the software
+        training path and the accelerator datapath share one transform per
+        weight update — by default the ``n // 2 + 1``-bin rFFT half-spectra of
+        Section V, which also halves Weight Buffer occupancy.
+        """
         if layer.block_size != self.config.block_size:
             raise ValueError(
                 f"layer block size {layer.block_size} does not match the accelerator "
                 f"({self.config.block_size})"
             )
-        w_hat = spectral_weights(layer.weight.data)
+        w_hat = layer.spectral()
         self.buffers.weight_buffer.store(name, w_hat)
         bias = layer.bias.data.copy() if layer.bias is not None else None
         self._layers[name] = _StoredLayer(name, layer.spec, w_hat, bias, activation)

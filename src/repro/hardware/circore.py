@@ -43,6 +43,7 @@ class CirCore:
     systolic: SystolicArray = field(default=None)  # type: ignore[assignment]
     ifft_unit: FFTUnit = field(default=None)     # type: ignore[assignment]
     _spec: Optional[BlockCirculantSpec] = field(default=None, init=False, repr=False)
+    _use_rfft: bool = field(default=False, init=False, repr=False)
 
     def __post_init__(self) -> None:
         n = self.config.block_size
@@ -61,21 +62,33 @@ class CirCore:
 
     # -- weight loading ---------------------------------------------------------
 
-    def load_weights(self, weights: np.ndarray, spec: BlockCirculantSpec) -> None:
+    def load_weights(
+        self, weights: np.ndarray, spec: BlockCirculantSpec, use_rfft: bool = False
+    ) -> None:
         """Pre-compute ``FFT(W)`` and park it in the systolic array (weight-stationary)."""
         if spec.block_size != self.config.block_size:
             raise ValueError(
                 f"weight block size {spec.block_size} does not match the core ({self.config.block_size})"
             )
         self._spec = spec
-        self.systolic.load_weights(spectral_weights(weights))
+        self._use_rfft = use_rfft
+        self.systolic.load_weights(spectral_weights(weights, use_rfft=use_rfft))
 
     def load_spectral_weights(self, w_hat: np.ndarray, spec: BlockCirculantSpec) -> None:
-        """Load already-transformed spectral weights (as stored in the Weight Buffer)."""
+        """Load already-transformed spectral weights (as stored in the Weight Buffer).
+
+        The transform domain is inferred from the bin count: ``n`` bins run
+        the complex datapath, ``n // 2 + 1`` bins switch every stage to the
+        rFFT mode of Section V.  This is how the accelerator shares the
+        per-version spectral cache of :class:`repro.nn.BlockCirculantLinear`
+        without re-transforming anything.
+        """
         if spec.block_size != self.config.block_size:
             raise ValueError("weight block size mismatch")
+        w_hat = np.asarray(w_hat)
         self._spec = spec
-        self.systolic.load_weights(np.asarray(w_hat))
+        self._use_rfft = w_hat.shape[-1] != spec.block_size
+        self.systolic.load_weights(w_hat)
 
     @property
     def spec(self) -> BlockCirculantSpec:
@@ -104,9 +117,12 @@ class CirCore:
             )
         n = spec.block_size
         padded = pad_to_multiple(features, n, axis=-1).reshape(features.shape[0], spec.q, n)
-        spectral_inputs = self.fft_unit.process(padded)
+        spectral_inputs = self.fft_unit.process(padded, real=self._use_rfft)
         spectral_outputs = self.systolic.process(spectral_inputs)
-        spatial = np.real(self.ifft_unit.process(spectral_outputs))
+        if self._use_rfft:
+            spatial = self.ifft_unit.process(spectral_outputs, real=True)
+        else:
+            spatial = np.real(self.ifft_unit.process(spectral_outputs))
         outputs = spatial.reshape(features.shape[0], spec.padded_out)[:, : spec.out_features]
         return outputs[0] if squeeze else outputs
 

@@ -52,22 +52,37 @@ class FFTUnit:
             return 0
         return self.cycles_per_transform * math.ceil(num_transforms / self.channels)
 
-    def process(self, sub_vectors: np.ndarray) -> np.ndarray:
-        """Transform sub-vectors of shape ``(..., n)``; returns complex spectra.
+    def process(self, sub_vectors: np.ndarray, real: bool = False) -> np.ndarray:
+        """Transform sub-vectors; returns spectra (or real signals when inverting).
+
+        With ``real=False`` (default) this is the complex n-point (I)DFT on
+        ``(..., n)`` inputs.  With ``real=True`` the unit runs in the rFFT mode
+        of Section V: forward transforms consume real ``(..., n)`` inputs and
+        emit the ``n // 2 + 1`` non-redundant bins; inverse transforms consume
+        ``(..., n // 2 + 1)`` Hermitian half-spectra and emit real ``(..., n)``
+        signals.  The cycle model is unchanged — the same Xilinx FFT IP
+        processes half-spectra, the saving shows up as half the bin traffic
+        through the systolic stage.
 
         Also accumulates the cycle/transform statistics so that the functional
         simulation and the analytical model can be cross-checked.
         """
         sub_vectors = np.asarray(sub_vectors)
-        if sub_vectors.shape[-1] != self.block_size:
+        expected = self.block_size // 2 + 1 if (real and self.inverse) else self.block_size
+        if sub_vectors.shape[-1] != expected:
             raise ValueError(
-                f"sub-vector length {sub_vectors.shape[-1]} does not match block size {self.block_size}"
+                f"sub-vector length {sub_vectors.shape[-1]} does not match the expected "
+                f"{expected} (block size {self.block_size}, real={real}, inverse={self.inverse})"
             )
         count = int(np.prod(sub_vectors.shape[:-1])) if sub_vectors.ndim > 1 else 1
         self.transforms_processed += count
         self.busy_cycles += self.cycles_for(count)
         if self.inverse:
+            if real:
+                return np.fft.irfft(sub_vectors, n=self.block_size, axis=-1)
             return np.fft.ifft(sub_vectors, axis=-1)
+        if real:
+            return np.fft.rfft(sub_vectors, axis=-1)
         return np.fft.fft(sub_vectors, axis=-1)
 
     def reset_stats(self) -> None:

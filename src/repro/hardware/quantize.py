@@ -102,11 +102,13 @@ def quantize_layer_weights(model: Module, fmt: FixedPointFormat = Q32_16) -> Dic
         if isinstance(module, (Linear, BlockCirculantLinear)):
             original = module.weight.data.copy()
             module.weight.data[...] = quantize(original, fmt)
+            module.weight.bump_version()
             errors[path or module.__class__.__name__] = float(
                 np.abs(original - module.weight.data).max()
             )
             if module.bias is not None:
                 module.bias.data[...] = quantize(module.bias.data, fmt)
+                module.bias.bump_version()
     return errors
 
 

@@ -45,10 +45,20 @@ class SystolicArray:
     # -- weight loading -----------------------------------------------------------
 
     def load_weights(self, spectral_weights: np.ndarray) -> None:
-        """Pre-load the spectral weights (weight-stationary dataflow)."""
+        """Pre-load the spectral weights (weight-stationary dataflow).
+
+        Accepts either complex-FFT spectra (``(p, q, n)``) or the
+        ``(p, q, n // 2 + 1)``-bin rFFT half-spectra of Section V — the MAC
+        stage is agnostic, it simply multiplies whatever bins flow through.
+        """
         spectral_weights = np.asarray(spectral_weights)
-        if spectral_weights.ndim != 3 or spectral_weights.shape[-1] != self.block_size:
-            raise ValueError("spectral weights must have shape (p, q, n)")
+        if spectral_weights.ndim != 3 or spectral_weights.shape[-1] not in (
+            self.block_size,
+            self.block_size // 2 + 1,
+        ):
+            raise ValueError(
+                "spectral weights must have shape (p, q, n) or (p, q, n // 2 + 1)"
+            )
         self._weights = spectral_weights
 
     @property
@@ -86,14 +96,14 @@ class SystolicArray:
         spectral_inputs = np.asarray(spectral_inputs)
         if spectral_inputs.ndim == 2:
             spectral_inputs = spectral_inputs[None, ...]
-        p, q, n = self._weights.shape
-        if spectral_inputs.shape[1] != q or spectral_inputs.shape[2] != n:
+        p, q, bins = self._weights.shape
+        if spectral_inputs.shape[1] != q or spectral_inputs.shape[2] != bins:
             raise ValueError(
-                f"spectral input shape {spectral_inputs.shape} incompatible with weights {(p, q, n)}"
+                f"spectral input shape {spectral_inputs.shape} incompatible with weights {(p, q, bins)}"
             )
         outputs = np.einsum("pqn,vqn->vpn", self._weights, spectral_inputs)
         vectors = spectral_inputs.shape[0]
-        self.macs_processed += vectors * p * q * n
+        self.macs_processed += vectors * p * q * bins
         self.busy_cycles += self.cycles_for(vectors, p, q)
         return outputs
 

@@ -27,7 +27,16 @@ from ..nn.dropout import Dropout
 from ..nn.module import Module
 from ..tensor.tensor import Tensor
 
-__all__ = ["GNNLayer", "GNNModel", "register_model", "create_model", "available_models", "apply_linear"]
+__all__ = [
+    "GNNLayer",
+    "GNNModel",
+    "register_model",
+    "create_model",
+    "available_models",
+    "apply_linear",
+    "segment_reduce",
+    "edge_destinations",
+]
 
 
 def apply_linear(layer: Module, x: Tensor) -> Tensor:
@@ -45,12 +54,59 @@ def apply_linear(layer: Module, x: Tensor) -> Tensor:
     return out.reshape(*leading, out.shape[-1])
 
 
+def segment_reduce(values: np.ndarray, indptr: np.ndarray, ufunc: np.ufunc):
+    """Reduce per-edge ``values`` into per-node rows along CSR segments.
+
+    ``values`` is ``(num_edges, ...)`` in CSR edge order; segment ``i`` spans
+    ``indptr[i]:indptr[i + 1]``.  Returns ``(out, nonempty)`` where ``out`` is
+    ``(num_nodes, ...)`` and ``nonempty`` marks nodes with at least one edge —
+    empty segments are left as zeros and must be filled by the caller (the
+    models mirror the sampler's self-loop fallback for isolated nodes).
+
+    Built on ``ufunc.reduceat``: empty segments are *filtered out first*
+    because ``reduceat`` mis-handles zero-width slices; the remaining starts
+    still tile ``[0, num_edges)`` exactly, so one vectorised call covers every
+    connected node.
+    """
+    indptr = np.asarray(indptr)
+    lengths = np.diff(indptr)
+    nonempty = lengths > 0
+    out = np.zeros((len(lengths),) + values.shape[1:], dtype=np.float64)
+    if nonempty.any():
+        starts = indptr[:-1][nonempty].astype(np.intp)
+        out[nonempty] = ufunc.reduceat(values, starts, axis=0)
+    return out, nonempty
+
+
+def edge_destinations(graph: Graph) -> np.ndarray:
+    """Centre node ``v`` of every CSR edge ``(v, u)``, in edge order.
+
+    The ``(num_edges,)`` companion of ``graph.indices`` (which holds the
+    neighbours ``u``): per-edge gathers in the full-graph layers index
+    node-level arrays with it before a :func:`segment_reduce`.  Memoised on
+    the graph (alongside its propagation operators) and returned read-only,
+    since the adjacency structure is immutable.
+    """
+    key = ("edge_destinations",)
+    if key not in graph._operator_cache:
+        dst = np.repeat(np.arange(graph.num_nodes), np.diff(graph.indptr))
+        dst.flags.writeable = False
+        graph._operator_cache[key] = dst
+    return graph._operator_cache[key]
+
+
 class GNNLayer(Module):
     """One Aggregate + Combine layer.
 
     Sub-classes implement :meth:`forward` taking the previous representations
     ``h`` (``(num_src, in_features)``) and the :class:`SampledBlock` of this
     layer, and returning ``(num_dst, out_features)``.
+
+    Sub-classes additionally implement :meth:`forward_full`, the *full-graph*
+    variant used by layer-wise inference: it takes the representations of
+    **all** nodes and the :class:`~repro.graph.graph.Graph`, aggregates over
+    every true neighbour (CSR SpMM / segment reductions instead of sampled
+    fancy indexing) and returns all nodes' new representations.
     """
 
     #: set by sub-classes: does this layer contain weight matrices in its aggregator?
@@ -63,6 +119,9 @@ class GNNLayer(Module):
         self.compression = compression
 
     def forward(self, h: Tensor, block: SampledBlock) -> Tensor:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def forward_full(self, h: Tensor, graph: Graph) -> Tensor:  # pragma: no cover - interface
         raise NotImplementedError
 
 
@@ -115,6 +174,36 @@ class GNNModel(Module):
         with no_grad():
             logits = self.forward(batch, graph=graph)
         return logits.data.argmax(axis=-1)
+
+    def full_forward(self, graph: Graph, features: Optional[np.ndarray] = None) -> Tensor:
+        """Full-graph layer-wise inference: logits for **every** node.
+
+        Instead of building one sampled computation tree per seed batch — which
+        recomputes shared neighbourhood representations over and over — each
+        layer propagates all node representations at once through the true
+        adjacency, so every intermediate representation is computed exactly
+        once (the spectral-domain-reuse strategy of CirCNN / the
+        caching-oriented inference engines surveyed in PAPERS.md).
+
+        Inference-only: runs without autograd and skips dropout.  Returns a
+        ``(num_nodes, num_classes)`` logits tensor.
+        """
+        from ..tensor.tensor import no_grad
+
+        data = graph.features if features is None else features
+        h = Tensor(np.asarray(data, dtype=np.float64))
+        if h.shape[0] != graph.num_nodes:
+            raise ValueError(
+                f"features have {h.shape[0]} rows but the graph has {graph.num_nodes} nodes"
+            )
+        with no_grad():
+            for layer in self.layers:
+                h = layer.forward_full(h, graph)
+        return h
+
+    def predict_full(self, graph: Graph) -> np.ndarray:
+        """Arg-max class predictions for all nodes via :meth:`full_forward`."""
+        return self.full_forward(graph).data.argmax(axis=-1)
 
 
 # ---------------------------------------------------------------------------

@@ -18,7 +18,14 @@ from ..graph.sampling import SampledBlock
 from ..nn.module import Module, Parameter
 from ..tensor import functional as F
 from ..tensor.tensor import Tensor, concatenate
-from .base import GNNLayer, GNNModel, apply_linear, register_model
+from .base import (
+    GNNLayer,
+    GNNModel,
+    apply_linear,
+    edge_destinations,
+    register_model,
+    segment_reduce,
+)
 
 __all__ = ["GATHead", "GATLayer", "GAT"]
 
@@ -61,6 +68,32 @@ class GATHead(Module):
         weighted = z_neigh * attention.reshape(num_dst, fanout, 1)
         return weighted.sum(axis=1)                                     # (D, H)
 
+    def forward_full(self, h: Tensor, graph, dst: Optional[np.ndarray] = None) -> Tensor:
+        """Full-graph attention: softmax over each node's true neighbourhood.
+
+        The shared projection and both attention dot products are computed
+        once per node; the edge dimension only sees scalar logits and the
+        segment-wise (numerically stabilised) softmax.  ``dst`` (the centre
+        node of every CSR edge) can be passed in so multi-head layers build
+        the O(E) array once instead of once per head.
+        """
+        z = apply_linear(self.project, h).data                          # (N, H)
+        logit_self = z @ self.attention_self.data                       # (N,)
+        logit_neigh = z @ self.attention_neighbor.data                  # (N,)
+        src = graph.indices
+        if dst is None:
+            dst = edge_destinations(graph)
+        logits = logit_neigh[src] + logit_self[dst]                     # (E,)
+        logits = np.where(logits > 0.0, logits, self.negative_slope * logits)
+        seg_max, nonempty = segment_reduce(logits[:, None], graph.indptr, np.maximum)
+        exponentials = np.exp(logits - seg_max[dst, 0])
+        seg_sum, _ = segment_reduce(exponentials[:, None], graph.indptr, np.add)
+        attention = exponentials / seg_sum[dst, 0]                      # (E,)
+        out, _ = segment_reduce(z[src] * attention[:, None], graph.indptr, np.add)
+        # Isolated nodes attend to themselves (softmax over {v} is 1).
+        out[~nonempty] = z[~nonempty]
+        return Tensor(out)
+
 
 class GATLayer(GNNLayer):
     """One multi-head GAT layer (heads concatenated, ELU output)."""
@@ -95,6 +128,12 @@ class GATLayer(GNNLayer):
         h_neigh = h.index_select(block.neighbor_index.reshape(-1))
         h_neigh = h_neigh.reshape(block.num_dst, block.fanout, self.in_features)
         outputs = [head(h_self, h_neigh) for head in self.heads]
+        out = outputs[0] if len(outputs) == 1 else concatenate(outputs, axis=1)
+        return out.elu() if self.activation else out
+
+    def forward_full(self, h: Tensor, graph) -> Tensor:
+        dst = edge_destinations(graph)
+        outputs = [head.forward_full(h, graph, dst=dst) for head in self.heads]
         out = outputs[0] if len(outputs) == 1 else concatenate(outputs, axis=1)
         return out.elu() if self.activation else out
 

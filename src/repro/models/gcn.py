@@ -49,6 +49,14 @@ class GCNLayer(GNNLayer):
         out = apply_linear(self.fc, aggregated)
         return out.relu() if self.activation else out
 
+    def forward_full(self, h: Tensor, graph) -> Tensor:
+        # Full-graph limit of the sampled mean: one CSR SpMM with the
+        # self-loop row-normalised operator D̂^{-1} (A + I).
+        operator = graph.random_walk_adjacency(add_self_loops=True)
+        aggregated = Tensor(operator @ h.data)
+        out = apply_linear(self.fc, aggregated)
+        return out.relu() if self.activation else out
+
 
 @register_model("gcn")
 class GCN(GNNModel):

@@ -11,11 +11,19 @@ from __future__ import annotations
 from typing import List, Optional
 
 import numpy as np
+from scipy.special import expit
 
 from ..compression.compress import CompressionConfig
 from ..graph.sampling import SampledBlock
 from ..tensor.tensor import Tensor
-from .base import GNNLayer, GNNModel, apply_linear, register_model
+from .base import (
+    GNNLayer,
+    GNNModel,
+    apply_linear,
+    edge_destinations,
+    register_model,
+    segment_reduce,
+)
 
 __all__ = ["GGCNLayer", "GGCN"]
 
@@ -53,6 +61,26 @@ class GGCNLayer(GNNLayer):
         gates = gate_logits.sigmoid()                                                # (D, S, F)
         aggregated = (gates * h_neigh).sum(axis=1) / float(block.fanout)             # (D, F)
         out = apply_linear(self.fc, aggregated)
+        return out.relu() if self.activation else out
+
+    def forward_full(self, h: Tensor, graph) -> Tensor:
+        # Both gate projections are computed once per node; the per-edge gate
+        # only combines the two cached projections, so the weight matrices
+        # never touch the (much larger) edge dimension.
+        gate_n = apply_linear(self.gate_neighbor, h).data                            # (N, F)
+        gate_s = apply_linear(self.gate_self, h).data                                # (N, F)
+        features = h.data
+        src = graph.indices                                                          # (E,) neighbour u per edge
+        degrees = np.diff(graph.indptr)
+        dst = edge_destinations(graph)                                               # (E,) centre node v
+        gates = expit(gate_n[src] + gate_s[dst])                                     # (E, F)
+        summed, nonempty = segment_reduce(gates * features[src], graph.indptr, np.add)
+        aggregated = summed / np.maximum(degrees, 1)[:, None]
+        if not nonempty.all():
+            # Sampler fallback: isolated nodes gate and aggregate themselves.
+            isolated = ~nonempty
+            aggregated[isolated] = expit(gate_n[isolated] + gate_s[isolated]) * features[isolated]
+        out = apply_linear(self.fc, Tensor(aggregated))
         return out.relu() if self.activation else out
 
 

@@ -15,7 +15,7 @@ import numpy as np
 from ..compression.compress import CompressionConfig
 from ..graph.sampling import SampledBlock
 from ..tensor.tensor import Tensor, concatenate
-from .base import GNNLayer, GNNModel, apply_linear, register_model
+from .base import GNNLayer, GNNModel, apply_linear, register_model, segment_reduce
 
 __all__ = ["GraphSAGEPoolLayer", "GraphSAGEPool"]
 
@@ -53,6 +53,18 @@ class GraphSAGEPoolLayer(GNNLayer):
         aggregated = pooled.max(axis=1)                                              # (D, P)
         combined = concatenate([aggregated, h_self], axis=1)                          # (D, P + F)
         out = apply_linear(self.combine_fc, combined)
+        return out.relu() if self.activation else out
+
+    def forward_full(self, h: Tensor, graph) -> Tensor:
+        # Project every node once, then take the neighbourhood max with a CSR
+        # segment reduction — each node's pooled representation is shared by
+        # all of its neighbours instead of being recomputed per sampled block.
+        projected = apply_linear(self.pool_fc, h).relu().data                        # (N, P)
+        pooled, nonempty = segment_reduce(projected[graph.indices], graph.indptr, np.maximum)
+        # Isolated nodes mirror the sampler's self-loop fallback.
+        pooled[~nonempty] = projected[~nonempty]
+        combined = np.concatenate([pooled, h.data], axis=1)                          # (N, P + F)
+        out = apply_linear(self.combine_fc, Tensor(combined))
         return out.relu() if self.activation else out
 
 

@@ -9,6 +9,7 @@ Table III accuracy study sweeps over.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -21,12 +22,27 @@ from ..tensor import functional as F
 from ..tensor.tensor import no_grad
 from .base import GNNModel
 
-__all__ = ["TrainingConfig", "TrainingHistory", "Trainer", "evaluate_accuracy"]
+__all__ = [
+    "TrainingConfig",
+    "TrainingHistory",
+    "Trainer",
+    "evaluate_accuracy",
+    "InferenceComparison",
+    "compare_inference_modes",
+]
 
 
 @dataclass(frozen=True)
 class TrainingConfig:
-    """Hyper-parameters of a node-classification training run."""
+    """Hyper-parameters of a node-classification training run.
+
+    ``eval_mode`` selects how validation/test accuracy is computed:
+    ``"sampled"`` replays the training-time neighbour sampling per seed batch;
+    ``"full"`` runs full-graph layer-wise inference
+    (:meth:`repro.models.base.GNNModel.full_forward`), which computes every
+    intermediate representation exactly once and is both deterministic and
+    much faster on graphs that fit in memory.
+    """
 
     epochs: int = 5
     batch_size: int = 64
@@ -34,6 +50,11 @@ class TrainingConfig:
     weight_decay: float = 0.0
     fanouts: Sequence[int] = (10, 5)
     seed: int = 0
+    eval_mode: str = "sampled"
+
+    def __post_init__(self) -> None:
+        if self.eval_mode not in ("sampled", "full"):
+            raise ValueError(f"eval_mode must be 'sampled' or 'full', got {self.eval_mode!r}")
 
 
 @dataclass
@@ -57,14 +78,31 @@ def evaluate_accuracy(
     model: GNNModel,
     graph: Graph,
     nodes: Sequence[int],
-    fanouts: Sequence[int],
+    fanouts: Optional[Sequence[int]] = None,
     batch_size: int = 256,
     seed: int = 0,
+    mode: str = "sampled",
 ) -> float:
-    """Sampled-inference accuracy of ``model`` on ``nodes``."""
+    """Inference accuracy of ``model`` on ``nodes``.
+
+    ``mode="sampled"`` replays GraphSAGE-style neighbour sampling per seed
+    batch (``fanouts`` required).  ``mode="full"`` propagates **all** node
+    representations one layer at a time (:meth:`GNNModel.full_forward`), so
+    shared neighbourhoods are computed once instead of once per batch.
+    """
     nodes = np.asarray(nodes, dtype=np.int64)
     if len(nodes) == 0:
         return float("nan")
+    if mode == "full":
+        model.eval()
+        logits = model.full_forward(graph)
+        model.train()
+        predictions = logits.data[nodes].argmax(axis=-1)
+        return float((predictions == graph.labels[nodes]).mean())
+    if mode != "sampled":
+        raise ValueError(f"mode must be 'sampled' or 'full', got {mode!r}")
+    if fanouts is None:
+        raise ValueError("fanouts are required for sampled evaluation")
     sampler = NeighborSampler(graph, fanouts, seed=seed)
     model.eval()
     correct = 0
@@ -75,6 +113,64 @@ def evaluate_accuracy(
             correct += int((predictions == batch.labels(graph)).sum())
     model.train()
     return correct / len(nodes)
+
+
+@dataclass(frozen=True)
+class InferenceComparison:
+    """Accuracy and wall-clock of sampled vs. full-graph inference."""
+
+    sampled_accuracy: float
+    full_accuracy: float
+    sampled_seconds: float
+    full_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.sampled_seconds / max(self.full_seconds, 1e-12)
+
+    @property
+    def accuracy_difference(self) -> float:
+        return abs(self.sampled_accuracy - self.full_accuracy)
+
+
+def compare_inference_modes(
+    model: GNNModel,
+    graph: Graph,
+    fanouts: Sequence[int],
+    nodes: Optional[Sequence[int]] = None,
+    batch_size: int = 256,
+    seed: int = 0,
+    repeats: int = 1,
+) -> InferenceComparison:
+    """Time :func:`evaluate_accuracy` in both modes on the same node set.
+
+    ``nodes`` defaults to the graph's test split; ``repeats`` takes the best
+    of several timed runs (the accuracies themselves are deterministic given
+    ``seed``).  Shared by the ``eval-bench`` CLI command, the examples and
+    the kernel benchmarks.
+    """
+    if nodes is None:
+        _, _, nodes = graph.split_nodes()
+
+    def timed(evaluate) -> tuple:
+        best = float("inf")
+        accuracy = float("nan")
+        for _ in range(max(repeats, 1)):
+            start = time.perf_counter()
+            accuracy = evaluate()
+            best = min(best, time.perf_counter() - start)
+        return accuracy, best
+
+    sampled, sampled_seconds = timed(
+        lambda: evaluate_accuracy(model, graph, nodes, fanouts, batch_size=batch_size, seed=seed)
+    )
+    full, full_seconds = timed(lambda: evaluate_accuracy(model, graph, nodes, mode="full"))
+    return InferenceComparison(
+        sampled_accuracy=sampled,
+        full_accuracy=full,
+        sampled_seconds=sampled_seconds,
+        full_seconds=full_seconds,
+    )
 
 
 class Trainer:
@@ -142,6 +238,7 @@ class Trainer:
                 self.config.fanouts,
                 batch_size=max(self.config.batch_size, 128),
                 seed=self.config.seed,
+                mode=self.config.eval_mode,
             )
             self.history.val_accuracy.append(val_acc)
             if verbose:  # pragma: no cover - console output only
@@ -162,4 +259,5 @@ class Trainer:
             self.config.fanouts,
             batch_size=max(self.config.batch_size, 128),
             seed=self.config.seed,
+            mode=self.config.eval_mode,
         )

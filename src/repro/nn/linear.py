@@ -18,7 +18,7 @@ from ..compression.circulant import (
     expand_block_circulant,
     project_to_block_circulant,
 )
-from ..compression.spectral import circulant_linear
+from ..compression.spectral import circulant_linear, spectral_weights
 from ..tensor.tensor import Tensor
 from . import init
 from .module import Module, Parameter
@@ -69,6 +69,16 @@ class BlockCirculantLinear(Module):
     the FFT kernel of Algorithm 1 (:func:`repro.compression.spectral.circulant_linear`),
     so the layer's forward complexity is ``O(N M log(n) / n)`` instead of
     ``O(N M)`` and its parameter count is ``N M / n``.
+
+    Two execution optimisations make this the fast path of the repository:
+
+    * **Cached spectral weights** — the weights are static between optimiser
+      steps, so ``FFT(W)`` is computed once per weight :attr:`~repro.nn.Parameter.version`
+      and reused by every forward *and* backward call (the software analogue
+      of the accelerator's Weight Buffer; see :meth:`spectral`).
+    * **rFFT kernels** — by default all transforms are real-input rFFTs over
+      ``n // 2 + 1`` bins (Section V of the paper); ``use_rfft=False``
+      restores the complex-FFT datapath.
     """
 
     def __init__(
@@ -78,6 +88,7 @@ class BlockCirculantLinear(Module):
         block_size: int,
         bias: bool = True,
         rng: Optional[np.random.Generator] = None,
+        use_rfft: bool = True,
     ) -> None:
         super().__init__()
         generator = rng if rng is not None else np.random.default_rng()
@@ -85,14 +96,50 @@ class BlockCirculantLinear(Module):
         self.in_features = in_features
         self.out_features = out_features
         self.block_size = block_size
+        self.use_rfft = use_rfft
         std = float(np.sqrt(2.0 / (in_features + out_features)))
         self.weight = Parameter(
             generator.normal(0.0, std, size=self.spec.weight_shape()), name="circulant_weight"
         )
         self.bias = Parameter(init.zeros(out_features), name="bias") if bias else None
+        self._spectral_cache: Optional[tuple] = None
+
+    def spectral(self) -> np.ndarray:
+        """The spectral weights ``FFT(W)``, cached per weight version.
+
+        The cache key is ``(weight identity, weight.version, use_rfft)`` —
+        identity so torch-style parameter replacement (``layer.weight =
+        Parameter(...)``, whose fresh version counter restarts at 0) cannot
+        serve the old parameter's spectra.  Any code path that mutates
+        ``weight.data`` in place must call ``weight.bump_version()`` (the
+        optimisers, ``load_state_dict`` and the quantisation utilities
+        already do).  The returned array is shared (the accelerator's Weight
+        Buffer holds the same object) and therefore frozen read-only —
+        ``.copy()`` it before editing.
+        """
+        weight = self.weight
+        cache = self._spectral_cache
+        if (
+            cache is None
+            or cache[0] is not weight
+            or cache[1] != weight.version
+            or cache[2] != self.use_rfft
+        ):
+            w_hat = spectral_weights(weight.data, use_rfft=self.use_rfft)
+            w_hat.flags.writeable = False
+            cache = (weight, weight.version, self.use_rfft, w_hat)
+            self._spectral_cache = cache
+        return cache[3]
+
+    def invalidate_spectral_cache(self) -> None:
+        """Drop the cached ``FFT(W)`` (for callers that mutated ``weight.data``
+        without bumping the parameter version)."""
+        self._spectral_cache = None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = circulant_linear(x, self.weight, self.spec)
+        out = circulant_linear(
+            x, self.weight, self.spec, use_rfft=self.use_rfft, spectral=self.spectral()
+        )
         if self.bias is not None:
             out = out + self.bias
         return out
@@ -121,8 +168,10 @@ class BlockCirculantLinear(Module):
         )
         weights, _ = project_to_block_circulant(dense.weight.data, block_size)
         layer.weight.data[...] = weights
+        layer.weight.bump_version()
         if dense.bias is not None and layer.bias is not None:
             layer.bias.data[...] = dense.bias.data
+            layer.bias.bump_version()
         return layer
 
     def compression_ratio(self) -> float:

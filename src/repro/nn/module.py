@@ -13,10 +13,27 @@ __all__ = ["Parameter", "Module", "Sequential"]
 
 
 class Parameter(Tensor):
-    """A :class:`Tensor` that is registered as a learnable model parameter."""
+    """A :class:`Tensor` that is registered as a learnable model parameter.
+
+    Parameters carry a monotonically increasing ``version`` counter that is
+    bumped whenever their values change in place (optimiser steps,
+    ``load_state_dict``, quantisation, ...).  Layers that derive expensive
+    state from a parameter — e.g. the spectral weights ``FFT(W)`` of
+    :class:`repro.nn.BlockCirculantLinear` — key their caches on this counter
+    so the derived state is recomputed exactly once per weight update.
+    """
 
     def __init__(self, data, name: Optional[str] = None) -> None:
         super().__init__(data, requires_grad=True, name=name)
+        self.version: int = 0
+
+    def bump_version(self) -> None:
+        """Record an in-place mutation of :attr:`data`.
+
+        Every code path that writes to ``param.data`` without replacing the
+        parameter object must call this so version-keyed caches invalidate.
+        """
+        self.version += 1
 
 
 class Module:
@@ -95,6 +112,7 @@ class Module:
                     f"shape mismatch for '{name}': {own[name].data.shape} vs {np.asarray(values).shape}"
                 )
             own[name].data[...] = values
+            own[name].bump_version()
 
     def num_parameters(self) -> int:
         """Total number of scalar parameters in the module tree."""

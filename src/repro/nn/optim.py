@@ -59,6 +59,7 @@ class SGD(Optimizer):
             else:
                 update = grad
             param.data -= self.lr * update
+            param.bump_version()
 
 
 class Adam(Optimizer):
@@ -100,3 +101,4 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            param.bump_version()

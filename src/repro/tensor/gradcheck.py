@@ -28,13 +28,19 @@ def numerical_gradient(
     grad = np.zeros_like(target.data)
     flat = target.data.reshape(-1)
     grad_flat = grad.reshape(-1)
+    # Parameters key derived-state caches (e.g. cached spectral weights) on a
+    # version counter; each in-place perturbation must invalidate them.
+    bump = getattr(target, "bump_version", lambda: None)
     for position in range(flat.size):
         original = flat[position]
         flat[position] = original + epsilon
+        bump()
         plus = float(func(*inputs).data.sum())
         flat[position] = original - epsilon
+        bump()
         minus = float(func(*inputs).data.sum())
         flat[position] = original
+        bump()
         grad_flat[position] = (plus - minus) / (2.0 * epsilon)
     return grad
 

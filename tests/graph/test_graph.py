@@ -78,6 +78,18 @@ class TestPropagationMatrices:
         walk = triangle_graph.random_walk_adjacency().toarray()
         assert np.allclose(walk[:3].sum(axis=1), 1.0)
 
+    def test_random_walk_with_self_loops_is_inclusive_mean(self, triangle_graph):
+        walk = triangle_graph.random_walk_adjacency(add_self_loops=True).toarray()
+        assert np.allclose(walk.sum(axis=1), 1.0)
+        assert (np.diag(walk)[:3] > 0).all()
+
+    def test_propagation_operators_memoised_and_read_only(self, triangle_graph):
+        first = triangle_graph.normalized_adjacency()
+        assert triangle_graph.normalized_adjacency() is first
+        with pytest.raises(ValueError):
+            first.data *= 2.0  # shared cache entry must reject in-place mutation
+        assert triangle_graph.random_walk_adjacency() is triangle_graph.random_walk_adjacency()
+
     def test_adjacency_binary(self, triangle_graph):
         adjacency = triangle_graph.adjacency().toarray()
         assert set(np.unique(adjacency)) <= {0.0, 1.0}

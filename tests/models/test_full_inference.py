@@ -1,0 +1,119 @@
+"""Tests for full-graph layer-wise inference (``GNNModel.full_forward``).
+
+The exactness claim: on a graph where the sampler can cover every
+neighbourhood exactly — every node has degree 1, sampled with fanout 1 — the
+full-graph logits must *equal* the sampled-forward logits for all four model
+variants, dense and compressed, including the sampler's self-loop fallback
+for isolated nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressionConfig
+from repro.graph.graph import Graph
+from repro.graph.sampling import NeighborSampler
+from repro.models import Trainer, TrainingConfig, create_model
+from repro.models.trainer import evaluate_accuracy
+from repro.tensor.tensor import no_grad
+
+MODELS = ["GCN", "GS-Pool", "G-GCN", "GAT"]
+
+
+@pytest.fixture
+def matching_graph():
+    """A perfect matching (degree 1 everywhere) plus one isolated node.
+
+    With fanout 1 the with-replacement sampler enumerates each neighbourhood
+    exactly, so sampled and full-graph forwards must agree to float tolerance.
+    """
+    num_nodes = 11
+    edges = np.array([[2 * i, 2 * i + 1] for i in range(5)])
+    rng = np.random.default_rng(0)
+    features = rng.standard_normal((num_nodes, 12))
+    labels = rng.integers(0, 3, num_nodes)
+    return Graph.from_edges(num_nodes, edges, features, labels, name="matching")
+
+
+class TestFullForwardEquivalence:
+    @pytest.mark.parametrize("model_name", MODELS)
+    @pytest.mark.parametrize("block_size", [1, 4])
+    def test_matches_full_fanout_sampled_forward(self, matching_graph, model_name, block_size):
+        model = create_model(
+            model_name,
+            in_features=matching_graph.num_features,
+            hidden_features=8,
+            num_classes=matching_graph.num_classes,
+            compression=CompressionConfig(block_size=block_size),
+            seed=1,
+        )
+        model.eval()
+        sampler = NeighborSampler(matching_graph, fanouts=(1, 1), seed=0)
+        batch = sampler.sample(np.arange(matching_graph.num_nodes))
+        with no_grad():
+            sampled = model.forward(batch, graph=matching_graph).data
+        full = model.full_forward(matching_graph).data
+        assert full.shape == (matching_graph.num_nodes, matching_graph.num_classes)
+        assert np.allclose(sampled, full, atol=1e-10)
+
+    def test_rejects_mismatched_features(self, matching_graph):
+        model = create_model("GCN", 12, 8, 3, seed=0)
+        with pytest.raises(ValueError):
+            model.full_forward(matching_graph, features=np.zeros((3, 12)))
+
+    def test_predict_full_shape(self, matching_graph):
+        model = create_model("GCN", 12, 8, 3, seed=0)
+        predictions = model.predict_full(matching_graph)
+        assert predictions.shape == (matching_graph.num_nodes,)
+        assert predictions.dtype.kind == "i"
+
+
+class TestFullEvaluation:
+    def test_evaluate_accuracy_full_mode(self, small_graph):
+        model = create_model("GCN", small_graph.num_features, 16, small_graph.num_classes, seed=0)
+        nodes = np.arange(30)
+        accuracy = evaluate_accuracy(model, small_graph, nodes, mode="full")
+        assert 0.0 <= accuracy <= 1.0
+        # Full-graph inference is deterministic.
+        assert accuracy == evaluate_accuracy(model, small_graph, nodes, mode="full")
+        expected = float(
+            (model.predict_full(small_graph)[nodes] == small_graph.labels[nodes]).mean()
+        )
+        assert accuracy == expected
+
+    def test_full_mode_restores_training_flag(self, small_graph):
+        model = create_model("GCN", small_graph.num_features, 16, small_graph.num_classes, seed=0)
+        evaluate_accuracy(model, small_graph, np.arange(10), mode="full")
+        assert model.training
+
+    def test_unknown_mode_rejected(self, small_graph):
+        model = create_model("GCN", small_graph.num_features, 16, small_graph.num_classes, seed=0)
+        with pytest.raises(ValueError):
+            evaluate_accuracy(model, small_graph, np.arange(10), mode="bogus")
+
+    def test_sampled_mode_requires_fanouts(self, small_graph):
+        model = create_model("GCN", small_graph.num_features, 16, small_graph.num_classes, seed=0)
+        with pytest.raises(ValueError):
+            evaluate_accuracy(model, small_graph, np.arange(10))
+
+    def test_trainer_full_eval_mode(self, small_graph):
+        model = create_model(
+            "GCN",
+            small_graph.num_features,
+            16,
+            small_graph.num_classes,
+            compression=CompressionConfig(block_size=4),
+            seed=0,
+        )
+        config = TrainingConfig(epochs=2, batch_size=32, fanouts=(4, 3), seed=0, eval_mode="full")
+        trainer = Trainer(model, small_graph, config)
+        history = trainer.fit()
+        assert len(history.val_accuracy) == 2
+        assert all(0.0 <= acc <= 1.0 for acc in history.val_accuracy)
+        assert 0.0 <= trainer.test_accuracy() <= 1.0
+
+    def test_invalid_eval_mode_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(eval_mode="nope")

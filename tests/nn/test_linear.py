@@ -88,6 +88,80 @@ class TestBlockCirculantLinear:
         compressed = nn.BlockCirculantLinear(64, 64, 8, rng=rng)
         assert compressed.weight.size * 8 == dense.weight.size
 
+    def test_use_rfft_false_matches_default(self, rng):
+        layer = nn.BlockCirculantLinear(14, 10, 4, rng=rng)
+        complex_layer = nn.BlockCirculantLinear(14, 10, 4, use_rfft=False, rng=rng)
+        complex_layer.load_state_dict(layer.state_dict())
+        x = rng.standard_normal((5, 14))
+        assert np.allclose(layer(Tensor(x)).data, complex_layer(Tensor(x)).data)
+
+
+class TestSpectralWeightCache:
+    """The per-version FFT(W) cache that makes the compressed path fast."""
+
+    def test_parameter_version_increments_on_optimizer_step(self, rng):
+        layer = nn.BlockCirculantLinear(8, 8, 4, rng=rng)
+        optimizer = nn.SGD(layer.parameters(), lr=0.1)
+        before = layer.weight.version
+        layer(Tensor(rng.standard_normal((2, 8)))).sum().backward()
+        optimizer.step()
+        assert layer.weight.version == before + 1
+
+    def test_cache_hit_returns_same_array(self, rng):
+        layer = nn.BlockCirculantLinear(8, 8, 4, rng=rng)
+        first = layer.spectral()
+        assert layer.spectral() is first
+        # Forward passes do not invalidate the cache either.
+        layer(Tensor(rng.standard_normal((3, 8))))
+        assert layer.spectral() is first
+
+    @pytest.mark.parametrize("optimizer_cls", [nn.SGD, nn.Adam])
+    def test_cache_refreshes_after_optimizer_step(self, rng, optimizer_cls):
+        layer = nn.BlockCirculantLinear(8, 8, 4, rng=rng)
+        optimizer = optimizer_cls(layer.parameters(), lr=0.1)
+        stale = layer.spectral().copy()
+        layer(Tensor(rng.standard_normal((4, 8)))).sum().backward()
+        optimizer.step()
+        refreshed = layer.spectral()
+        assert not np.allclose(refreshed, stale)
+        assert np.allclose(refreshed, np.fft.rfft(layer.weight.data, axis=-1))
+        # The forward pass consumes the refreshed spectra, not the stale ones.
+        x = rng.standard_normal((3, 8))
+        assert np.allclose(layer(Tensor(x)).data, x @ layer.weight_matrix().T + layer.bias.data)
+
+    def test_cache_refreshes_after_load_state_dict(self, rng):
+        layer = nn.BlockCirculantLinear(8, 6, 4, rng=rng)
+        donor = nn.BlockCirculantLinear(8, 6, 4, rng=rng)
+        stale = layer.spectral()
+        layer.load_state_dict(donor.state_dict())
+        assert np.allclose(layer.spectral(), donor.spectral())
+        assert layer.spectral() is not stale
+
+    def test_complex_fft_cache_domain(self, rng):
+        layer = nn.BlockCirculantLinear(8, 8, 4, use_rfft=False, rng=rng)
+        w_hat = layer.spectral()
+        assert w_hat.shape[-1] == 4
+        assert np.allclose(w_hat, np.fft.fft(layer.weight.data, axis=-1))
+
+    def test_cache_refreshes_after_parameter_replacement(self, rng):
+        from repro.nn.module import Parameter
+
+        layer = nn.BlockCirculantLinear(8, 8, 4, bias=False, rng=rng)
+        x = rng.standard_normal((2, 8))
+        layer(Tensor(x))  # warm the cache at (old weight, version 0)
+        layer.weight = Parameter(np.zeros(layer.spec.weight_shape()), name="circulant_weight")
+        assert np.allclose(layer(Tensor(x)).data, 0.0)
+
+    def test_manual_invalidation(self, rng):
+        layer = nn.BlockCirculantLinear(8, 8, 4, rng=rng)
+        stale = layer.spectral()
+        layer.weight.data[...] = 0.0
+        layer.invalidate_spectral_cache()
+        assert np.allclose(layer.spectral(), 0.0)
+        assert stale is not layer.spectral()
+
+
+class TestBlockCirculantLinearTraining:
     def test_training_reduces_loss_on_regression(self, rng):
         layer = nn.BlockCirculantLinear(12, 4, 4, rng=rng)
         target_layer = nn.BlockCirculantLinear(12, 4, 4, rng=rng)
