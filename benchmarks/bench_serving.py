@@ -1,0 +1,194 @@
+"""Online serving benchmarks with in-repo acceptance gates.
+
+Three gates on the synthetic Reddit-like graph:
+
+1. **Exactness** (always asserted): served predictions are identical to
+   offline full-graph inference (``evaluate_accuracy(mode="full")``) for the
+   same nodes.
+2. **Micro-batching** (wall-clock, skipped when ``BLOCKGNN_STRICT_PERF=0``):
+   micro-batched throughput >= 3x request-at-a-time.
+3. **Embedding cache** (wall-clock, same switch): warm-cache p50 latency
+   beats cold p50.
+
+``BLOCKGNN_QUICK=1`` shrinks the graph and the request stream so CI can
+exercise every code path without timing flakiness (combined with
+``BLOCKGNN_STRICT_PERF=0``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressionConfig
+from repro.graph import load_dataset
+from repro.models import Trainer, TrainingConfig, create_model
+from repro.models.trainer import evaluate_accuracy
+from repro.serving import (
+    InferenceServer,
+    ManualClock,
+    ServingConfig,
+    estimate_shard_request_cycles,
+)
+
+STRICT_PERF = os.environ.get("BLOCKGNN_STRICT_PERF", "1") != "0"
+QUICK = os.environ.get("BLOCKGNN_QUICK", "0") == "1"
+
+SCALE = 0.001 if QUICK else 0.003
+NUM_REQUESTS = 128 if QUICK else 768
+HIDDEN = 32 if QUICK else 64
+EPOCHS = 1 if QUICK else 2
+NUM_SHARDS = 2
+BATCH_SIZE = 32
+
+
+@pytest.fixture(scope="module")
+def served_setup():
+    """A trained block-circulant GCN on the Reddit-like graph + request stream."""
+    graph = load_dataset("reddit", scale=SCALE, seed=0, num_features=HIDDEN)
+    model = create_model(
+        "GCN",
+        in_features=graph.num_features,
+        hidden_features=HIDDEN,
+        num_classes=graph.num_classes,
+        compression=CompressionConfig(block_size=8),
+        seed=0,
+    )
+    Trainer(model, graph, TrainingConfig(epochs=EPOCHS, fanouts=(10, 5), seed=0)).fit()
+    requests = np.random.default_rng(0).choice(graph.num_nodes, size=NUM_REQUESTS, replace=True)
+    return graph, model, requests
+
+
+def _server(model, graph, batch_size: int, cache: int) -> InferenceServer:
+    return InferenceServer(
+        model,
+        graph,
+        ServingConfig(
+            num_shards=NUM_SHARDS,
+            max_batch_size=batch_size,
+            max_delay=0.002,
+            cache_capacity=cache,
+            seed=0,
+        ),
+    )
+
+
+def test_served_predictions_match_full_graph_inference(served_setup):
+    """Gate: serving == evaluate_accuracy(mode='full') for the same nodes."""
+    graph, model, requests = served_setup
+    server = _server(model, graph, BATCH_SIZE, cache=4096)
+    served = server.predict(requests)
+
+    reference = model.full_forward(graph).data[requests].argmax(axis=-1)
+    assert np.array_equal(served, reference)
+
+    served_accuracy = float((served == graph.labels[requests]).mean())
+    offline_accuracy = evaluate_accuracy(model, graph, requests, mode="full")
+    assert served_accuracy == offline_accuracy
+
+    # And again through a warm cache: reuse must not change a single answer.
+    assert np.array_equal(server.predict(requests), reference)
+
+
+def test_serving_is_deterministic_under_simulated_clock(served_setup):
+    """Gate: fixed seed + ManualClock => identical predictions and latencies."""
+    graph, model, requests = served_setup
+    outcomes = []
+    for _ in range(2):
+        server = InferenceServer(
+            model,
+            graph,
+            ServingConfig(num_shards=NUM_SHARDS, max_batch_size=BATCH_SIZE, seed=0),
+            clock=ManualClock(),
+        )
+        predictions = server.predict(requests)
+        stats = server.stats()
+        outcomes.append((predictions, stats.latencies, stats.batch_sizes))
+    for left, right in zip(outcomes[0], outcomes[1]):
+        assert np.array_equal(left, right)
+
+
+def test_microbatch_throughput_gate(served_setup, save_result):
+    """Gate: micro-batched serving >= 3x request-at-a-time throughput."""
+    graph, model, requests = served_setup
+
+    baseline_server = _server(model, graph, batch_size=1, cache=0)
+    start = time.perf_counter()
+    baseline_predictions = baseline_server.predict(requests)
+    baseline_seconds = time.perf_counter() - start
+
+    batched_server = _server(model, graph, batch_size=BATCH_SIZE, cache=4096)
+    start = time.perf_counter()
+    batched_predictions = batched_server.predict(requests)
+    batched_seconds = time.perf_counter() - start
+
+    assert np.array_equal(baseline_predictions, batched_predictions)
+    speedup = baseline_seconds / batched_seconds
+    stats = batched_server.stats()
+    save_result(
+        "serving_microbatch_throughput",
+        f"GCN n=8 serving {NUM_REQUESTS} requests on {graph.summary()}\n"
+        f"  request-at-a-time : {baseline_seconds * 1e3:.1f} ms "
+        f"({NUM_REQUESTS / baseline_seconds:.0f} req/s)\n"
+        f"  micro-batched (<= {BATCH_SIZE}) : {batched_seconds * 1e3:.1f} ms "
+        f"({NUM_REQUESTS / batched_seconds:.0f} req/s)\n"
+        f"  speedup           : {speedup:.1f}x\n"
+        f"  mean batch size   : {stats.mean_batch_size:.1f}, "
+        f"cache hit rate {stats.cache_hit_rate * 100:.1f}%",
+    )
+    if STRICT_PERF:
+        assert speedup >= 3.0, f"micro-batching only {speedup:.2f}x over request-at-a-time"
+
+
+def test_warm_cache_latency_gate(served_setup, save_result):
+    """Gate: warm embedding-cache p50 latency < cold p50 latency."""
+    graph, model, requests = served_setup
+    server = _server(model, graph, BATCH_SIZE, cache=8192)
+
+    server.predict(requests)
+    cold = server.stats()
+    server.reset_stats()
+    server.predict(requests)
+    warm = server.stats()
+
+    save_result(
+        "serving_warm_cache_latency",
+        f"GCN n=8 serving {NUM_REQUESTS} requests on {graph.summary()}\n"
+        f"  cold pass: p50 {cold.p50_latency * 1e3:.3f} ms  p95 {cold.p95_latency * 1e3:.3f} ms  "
+        f"hit rate {cold.cache_hit_rate * 100:.1f}%\n"
+        f"  warm pass: p50 {warm.p50_latency * 1e3:.3f} ms  p95 {warm.p95_latency * 1e3:.3f} ms  "
+        f"hit rate {warm.cache_hit_rate * 100:.1f}%",
+    )
+    assert warm.cache_hit_rate > cold.cache_hit_rate
+    assert warm.cache_hit_rate == 1.0  # repeat stream fully memoised
+    if STRICT_PERF:
+        assert warm.p50_latency < cold.p50_latency, (
+            f"warm p50 {warm.p50_latency * 1e3:.3f} ms not below "
+            f"cold p50 {cold.p50_latency * 1e3:.3f} ms"
+        )
+
+
+def test_per_shard_accelerator_cost_estimates(served_setup, save_result):
+    """Perfmodel bridge: price one request in CirCore cycles per shard."""
+    graph, model, _ = served_setup
+    server = _server(model, graph, BATCH_SIZE, cache=0)
+    estimates = estimate_shard_request_cycles(
+        "GCN",
+        server.shards,
+        num_classes=graph.num_classes,
+        hidden_features=HIDDEN,
+        num_layers=model.num_layers,
+        sample_sizes=(10, 5),
+    )
+    lines = [f"per-request CirCore cost on {graph.summary()}"]
+    for shard, estimate in zip(server.shards, estimates):
+        assert estimate.cycles_per_node > 0
+        lines.append(
+            f"  shard {shard.part_id} ({shard.num_core} core + {shard.num_halo} halo): "
+            f"{estimate.cycles_per_node:.0f} cycles/request "
+            f"({estimate.cycles_per_node / estimate.config.frequency_hz * 1e6:.1f} us @ 100 MHz)"
+        )
+    save_result("serving_shard_cycles", "\n".join(lines))

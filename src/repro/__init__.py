@@ -18,13 +18,28 @@ Python/NumPy:
   accelerator (functional + analytical), and the HyGCN / CPU baselines;
 * ``repro.perfmodel`` — the performance & resource model (Equations 3–8) and
   the design-space exploration behind Tables V/VI;
+* ``repro.serving`` — the online inference engine: micro-batching,
+  partition-sharded workers with halos, a versioned embedding cache and
+  latency/throughput metrics;
 * ``repro.experiments`` — one harness per paper table/figure, shared by the
   ``benchmarks/`` suite and the ``examples/`` scripts.
 """
 
-from . import compression, experiments, graph, hardware, models, nn, perfmodel, profiling, tensor, workloads
+from . import (
+    compression,
+    experiments,
+    graph,
+    hardware,
+    models,
+    nn,
+    perfmodel,
+    profiling,
+    serving,
+    tensor,
+    workloads,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "tensor",
@@ -36,6 +51,7 @@ __all__ = [
     "profiling",
     "hardware",
     "perfmodel",
+    "serving",
     "experiments",
     "__version__",
 ]

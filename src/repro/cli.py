@@ -13,6 +13,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli eval-bench --model GCN --block-size 8
     python -m repro.cli profile --model GS-Pool
     python -m repro.cli search --model GS-Pool --dataset reddit
+    python -m repro.cli partition --dataset reddit --parts 4
+    python -m repro.cli serve-bench --model GCN --shards 2 --requests 512
 
 Each sub-command prints the regenerated table next to the paper's reference
 numbers (where applicable).  The same code paths back the ``benchmarks/``
@@ -87,6 +89,43 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--dataset", default="reddit")
     search.add_argument("--hidden", type=int, default=512)
     search.add_argument("--block-size", type=int, default=128)
+
+    partition = subparsers.add_parser(
+        "partition",
+        help="partition a graph and report per-part node/edge/cut statistics",
+    )
+    partition.add_argument("--dataset", default="reddit")
+    partition.add_argument("--scale", type=float, default=0.004)
+    partition.add_argument("--parts", type=int, default=2)
+    partition.add_argument("--method", choices=["bfs", "hash"], default="bfs")
+    partition.add_argument("--seed", type=int, default=0)
+    partition.add_argument(
+        "--halo-hops",
+        type=int,
+        default=2,
+        help="also report the halo each serving shard would hold at this depth",
+    )
+
+    serve = subparsers.add_parser(
+        "serve-bench",
+        help="online serving benchmark: micro-batching + sharded workers + embedding cache",
+    )
+    serve.add_argument("--model", default="GCN", help="GCN | GS-Pool | G-GCN | GAT")
+    serve.add_argument("--dataset", default="reddit")
+    serve.add_argument("--scale", type=float, default=0.002)
+    serve.add_argument("--hidden", type=int, default=64)
+    serve.add_argument("--block-size", type=int, default=1)
+    serve.add_argument("--epochs", type=int, default=2)
+    serve.add_argument("--shards", type=int, default=2)
+    serve.add_argument("--replicas", type=int, default=1)
+    serve.add_argument("--dispatch", choices=["round_robin", "least_loaded"], default="round_robin")
+    serve.add_argument("--batch-size", type=int, default=32, help="micro-batch flush size")
+    serve.add_argument("--max-delay-ms", type=float, default=2.0)
+    serve.add_argument("--cache", type=int, default=4096, help="embedding-cache entries per worker")
+    serve.add_argument("--requests", type=int, default=512)
+    serve.add_argument("--mode", choices=["exact", "sampled"], default="exact")
+    serve.add_argument("--fanouts", type=int, nargs="+", default=[10, 5], help="sampled mode only")
+    serve.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -234,6 +273,142 @@ def _run_search(args: argparse.Namespace) -> str:
     )
 
 
+def _run_partition(args: argparse.Namespace) -> str:
+    import numpy as np
+
+    from .experiments.tables import format_table
+    from .graph import load_dataset
+    from .serving import build_shards
+
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    # build_shards runs the partitioner internally; derive the per-part stats
+    # from the shards' core node sets instead of partitioning twice.
+    shards = build_shards(graph, args.parts, args.halo_hops, method=args.method, seed=args.seed)
+    parts = [shard.core_nodes for shard in shards]
+    assignment = np.empty(graph.num_nodes, dtype=np.int64)
+    for part_id, nodes in enumerate(parts):
+        assignment[nodes] = part_id
+    src = np.repeat(np.arange(graph.num_nodes), np.diff(graph.indptr))
+    same = assignment[src] == assignment[graph.indices]
+
+    rows = []
+    for part_id, nodes in enumerate(parts):
+        in_part = assignment[src] == part_id
+        internal = int((in_part & same).sum()) // 2
+        cut = int((in_part & ~same).sum())
+        rows.append(
+            [
+                str(part_id),
+                str(len(nodes)),
+                str(internal),
+                str(cut),
+                str(shards[part_id].num_halo),
+            ]
+        )
+    total_cut = int((~same).sum()) // 2
+    table = format_table(
+        ["part", "nodes", "internal edges", "cut edges", f"halo ({args.halo_hops}-hop)"], rows
+    )
+    return (
+        f"{graph.summary()}\n"
+        f"method={args.method} parts={args.parts} seed={args.seed}\n"
+        f"{table}\n"
+        f"total cut edges: {total_cut} "
+        f"({100.0 * total_cut / max(graph.num_edges // 2, 1):.1f}% of undirected edges)"
+    )
+
+
+def _run_serve_bench(args: argparse.Namespace) -> str:
+    import time
+
+    import numpy as np
+
+    from .compression import CompressionConfig
+    from .graph import load_dataset
+    from .models import Trainer, TrainingConfig, create_model
+    from .serving import InferenceServer, ServingConfig, estimate_shard_request_cycles
+
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed, num_features=args.hidden)
+    model = create_model(
+        args.model,
+        in_features=graph.num_features,
+        hidden_features=args.hidden,
+        num_classes=graph.num_classes,
+        compression=CompressionConfig(block_size=args.block_size),
+        seed=args.seed,
+    )
+    fanouts = tuple(args.fanouts)
+    Trainer(model, graph, TrainingConfig(epochs=args.epochs, fanouts=fanouts, seed=args.seed)).fit()
+
+    rng = np.random.default_rng(args.seed)
+    nodes = rng.choice(graph.num_nodes, size=args.requests, replace=True)
+
+    def build_server(batch_size: int, cache: int) -> InferenceServer:
+        return InferenceServer(
+            model,
+            graph,
+            ServingConfig(
+                num_shards=args.shards,
+                max_batch_size=batch_size,
+                max_delay=args.max_delay_ms / 1e3,
+                mode=args.mode,
+                fanouts=fanouts if args.mode == "sampled" else None,
+                cache_capacity=cache,
+                num_replicas=args.replicas,
+                dispatch=args.dispatch,
+                seed=args.seed,
+            ),
+        )
+
+    # Naive baseline: one request per batch, no cache — what "no serving
+    # engine" looks like.  Then the engine with micro-batching + cache.
+    baseline = build_server(1, 0)
+    start = time.perf_counter()
+    baseline.predict(nodes)
+    baseline_seconds = time.perf_counter() - start
+
+    server = build_server(args.batch_size, args.cache)
+    start = time.perf_counter()
+    server.predict(nodes)
+    batched_seconds = time.perf_counter() - start
+    cold = server.stats()
+
+    server.reset_stats()
+    start = time.perf_counter()
+    server.predict(nodes)
+    warm_seconds = time.perf_counter() - start
+    warm = server.stats()
+
+    estimates = estimate_shard_request_cycles(
+        args.model,
+        server.shards,
+        num_classes=graph.num_classes,
+        hidden_features=args.hidden,
+        num_layers=model.num_layers,
+        sample_sizes=fanouts,
+    )
+    cycle_lines = "\n".join(
+        f"  shard {shard.part_id}: {estimate.cycles_per_node:.0f} cycles/request "
+        f"({estimate.cycles_per_node / estimate.config.frequency_hz * 1e6:.1f} us @ 100 MHz)"
+        for shard, estimate in zip(server.shards, estimates)
+    )
+    return (
+        f"{server.describe()}\n"
+        f"--- cold pass ({args.requests} requests) ---\n{cold.render()}\n"
+        f"--- warm pass (same requests) ---\n{warm.render()}\n"
+        f"--- wall-clock ---\n"
+        f"  request-at-a-time (no cache): {baseline_seconds * 1e3:.1f} ms "
+        f"({args.requests / baseline_seconds:.0f} req/s)\n"
+        f"  micro-batched cold          : {batched_seconds * 1e3:.1f} ms "
+        f"({args.requests / batched_seconds:.0f} req/s, "
+        f"{baseline_seconds / batched_seconds:.1f}x)\n"
+        f"  micro-batched warm          : {warm_seconds * 1e3:.1f} ms "
+        f"({args.requests / warm_seconds:.0f} req/s, "
+        f"{baseline_seconds / warm_seconds:.1f}x)\n"
+        f"--- perfmodel: estimated accelerator cost per request ---\n{cycle_lines}"
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "table2":
@@ -258,6 +433,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         output = _run_profile(args)
     elif args.command == "search":
         output = _run_search(args)
+    elif args.command == "partition":
+        output = _run_partition(args)
+    elif args.command == "serve-bench":
+        output = _run_serve_bench(args)
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(f"unknown command {args.command}")
     print(output)

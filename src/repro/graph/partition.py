@@ -48,7 +48,10 @@ def _bfs_partition(graph: Graph, num_parts: int, seed: Optional[int]) -> np.ndar
     for part in range(num_parts):
         filled = 0
         queue: deque = deque()
-        while filled < target and cursor <= graph.num_nodes:
+        # The part keeps growing while it is under target and there is anything
+        # left to grow from: a non-empty BFS frontier, or an unassigned node to
+        # seed a new frontier (cursor can never overrun the order array).
+        while filled < target and (queue or cursor < graph.num_nodes):
             if not queue:
                 # Find the next unassigned node to seed a new BFS frontier.
                 while cursor < graph.num_nodes and assignment[order[cursor]] != -1:

@@ -147,6 +147,24 @@ class NeighborSampler:
             layer_nodes.append(dst)
         return MiniBatch(seeds=seeds, layer_nodes=layer_nodes, blocks=blocks)
 
+    def sample_batches(self, nodes: Sequence[int], batch_size: int) -> Iterator[MiniBatch]:
+        """Yield batches covering an arbitrary seed-node subset, in order.
+
+        Unlike :func:`minibatch_iterator` — which is built for epoch-style
+        sweeps (shuffling, its own seeding) — this is the entry point for
+        callers that already hold a specific, possibly small or duplicated,
+        set of seed nodes: the serving engine's micro-batcher coalesces each
+        flush's queued requests into exactly one such batch.  Nothing beyond
+        the current batch is materialised.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        for start in range(0, len(nodes), batch_size):
+            batch = nodes[start: start + batch_size]
+            if len(batch):
+                yield self.sample(batch)
+
 
 def minibatch_iterator(
     sampler: NeighborSampler,
@@ -157,12 +175,7 @@ def minibatch_iterator(
 ) -> Iterator[MiniBatch]:
     """Yield :class:`MiniBatch` objects covering ``nodes`` in batches."""
     nodes = np.asarray(nodes, dtype=np.int64)
-    if batch_size <= 0:
-        raise ValueError("batch size must be positive")
     order = np.arange(len(nodes))
     if shuffle:
         np.random.default_rng(seed).shuffle(order)
-    for start in range(0, len(nodes), batch_size):
-        batch = nodes[order[start: start + batch_size]]
-        if len(batch):
-            yield sampler.sample(batch)
+    yield from sampler.sample_batches(nodes[order], batch_size)

@@ -93,10 +93,13 @@ def evaluate_accuracy(
     nodes = np.asarray(nodes, dtype=np.int64)
     if len(nodes) == 0:
         return float("nan")
+    was_training = model.training
     if mode == "full":
         model.eval()
-        logits = model.full_forward(graph)
-        model.train()
+        try:
+            logits = model.full_forward(graph)
+        finally:
+            model.train(was_training)
         predictions = logits.data[nodes].argmax(axis=-1)
         return float((predictions == graph.labels[nodes]).mean())
     if mode != "sampled":
@@ -106,12 +109,14 @@ def evaluate_accuracy(
     sampler = NeighborSampler(graph, fanouts, seed=seed)
     model.eval()
     correct = 0
-    with no_grad():
-        for batch in minibatch_iterator(sampler, nodes, batch_size, shuffle=False):
-            logits = model.forward(batch, graph=graph)
-            predictions = logits.data.argmax(axis=-1)
-            correct += int((predictions == batch.labels(graph)).sum())
-    model.train()
+    try:
+        with no_grad():
+            for batch in minibatch_iterator(sampler, nodes, batch_size, shuffle=False):
+                logits = model.forward(batch, graph=graph)
+                predictions = logits.data.argmax(axis=-1)
+                correct += int((predictions == batch.labels(graph)).sum())
+    finally:
+        model.train(was_training)
     return correct / len(nodes)
 
 

@@ -118,6 +118,18 @@ class Module:
         """Total number of scalar parameters in the module tree."""
         return int(sum(param.size for param in self.parameters()))
 
+    def weight_signature(self) -> Tuple[int, ...]:
+        """The tuple of all parameter ``version`` counters, in traversal order.
+
+        Any in-place weight mutation that goes through :meth:`Parameter.
+        bump_version` (optimiser steps, ``load_state_dict``, quantisation)
+        changes the signature, so caches of *derived* state — spectral weights
+        inside a layer, or the serving engine's per-node embedding cache —
+        can key on it to detect staleness in O(num parameters) without
+        hashing any array data.
+        """
+        return tuple(param.version for param in self.parameters())
+
     # -- forward ------------------------------------------------------------------------
 
     def forward(self, *args, **kwargs):

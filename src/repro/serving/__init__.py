@@ -1,0 +1,46 @@
+"""Online inference serving engine.
+
+Turns "predict the label of node X now" into efficient execution on a
+trained (optionally block-circulant-compressed) GNN:
+
+* :class:`MicroBatcher` coalesces queued requests into one batch per flush
+  (``max_batch_size`` / ``max_delay``, driven by a pluggable :class:`Clock`);
+* :func:`build_shards` / :class:`ShardWorker` split the graph into
+  partitions with K-hop halos so each worker serves its core nodes from its
+  own slice of memory, exactly reproducing full-graph inference results;
+* :class:`EmbeddingCache` memoises per-layer hidden states for hot nodes
+  (LRU, invalidated by the model's ``weight_signature`` when training bumps
+  ``Parameter.version``);
+* :class:`InferenceServer` ties it together and exposes :class:`ServerStats`
+  (p50/p95 latency, cache hit rate, per-shard load) plus a perfmodel bridge
+  (:func:`estimate_shard_request_cycles`) pricing requests in accelerator
+  cycles per shard.
+"""
+
+from .batcher import InferenceRequest, MicroBatcher
+from .cache import CacheStats, EmbeddingCache
+from .clock import Clock, ManualClock, SystemClock
+from .config import ServingConfig
+from .engine import InferenceServer
+from .shard import GraphShard, build_shards, expand_neighborhood
+from .stats import ServerStats, WorkerLoad, estimate_shard_request_cycles
+from .worker import ShardWorker
+
+__all__ = [
+    "Clock",
+    "SystemClock",
+    "ManualClock",
+    "CacheStats",
+    "EmbeddingCache",
+    "InferenceRequest",
+    "MicroBatcher",
+    "GraphShard",
+    "build_shards",
+    "expand_neighborhood",
+    "ShardWorker",
+    "ServingConfig",
+    "InferenceServer",
+    "ServerStats",
+    "WorkerLoad",
+    "estimate_shard_request_cycles",
+]

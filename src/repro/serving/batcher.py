@@ -1,0 +1,108 @@
+"""Request futures and the micro-batching queues.
+
+Requests are coalesced per shard: a queue flushes as soon as it holds
+``max_batch_size`` requests, or when its oldest request has waited
+``max_delay`` seconds — the classic latency/throughput knob of online
+inference servers.  All timing goes through the engine's
+:class:`~repro.serving.clock.Clock`, so with a ``ManualClock`` the flush
+schedule (and therefore every latency statistic) is fully deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+__all__ = ["InferenceRequest", "MicroBatcher"]
+
+
+@dataclass
+class InferenceRequest:
+    """A single "predict the label of node X" request (future-style handle)."""
+
+    request_id: int
+    node: int
+    shard_id: int
+    enqueue_time: float
+    prediction: Optional[int] = None
+    completion_time: Optional[float] = None
+    worker_id: Optional[int] = None
+    batch_size: Optional[int] = None
+
+    @property
+    def done(self) -> bool:
+        return self.prediction is not None
+
+    @property
+    def latency(self) -> float:
+        """Queueing + service time, in clock seconds."""
+        if self.completion_time is None:
+            raise RuntimeError(f"request {self.request_id} has not completed yet")
+        return self.completion_time - self.enqueue_time
+
+    def result(self) -> int:
+        if not self.done:
+            raise RuntimeError(
+                f"request {self.request_id} is still pending; call server.drain() first"
+            )
+        return int(self.prediction)
+
+
+class MicroBatcher:
+    """Per-shard FIFO queues with size- and delay-triggered flushing."""
+
+    def __init__(self, num_shards: int, max_batch_size: int, max_delay: float) -> None:
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        self.max_batch_size = int(max_batch_size)
+        self.max_delay = float(max_delay)
+        self._queues: List[Deque[InferenceRequest]] = [deque() for _ in range(num_shards)]
+        # Flush-cause counters, surfaced by ServerStats.
+        self.size_flushes = 0
+        self.delay_flushes = 0
+        self.forced_flushes = 0
+
+    @property
+    def pending(self) -> int:
+        return sum(len(queue) for queue in self._queues)
+
+    def pending_per_shard(self) -> List[int]:
+        return [len(queue) for queue in self._queues]
+
+    def enqueue(self, request: InferenceRequest) -> None:
+        self._queues[request.shard_id].append(request)
+
+    def due_shards(self, now: float) -> List[int]:
+        """Shards whose queue must flush at time ``now`` (size or delay)."""
+        due: List[int] = []
+        for shard_id, queue in enumerate(self._queues):
+            if not queue:
+                continue
+            if len(queue) >= self.max_batch_size:
+                due.append(shard_id)
+            elif now - queue[0].enqueue_time >= self.max_delay:
+                due.append(shard_id)
+        return due
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest time at which a delay-triggered flush becomes due."""
+        oldest = [queue[0].enqueue_time for queue in self._queues if queue]
+        return min(oldest) + self.max_delay if oldest else None
+
+    def pop_batch(self, shard_id: int, forced: bool = False) -> List[InferenceRequest]:
+        """Dequeue up to ``max_batch_size`` requests from one shard's queue."""
+        queue = self._queues[shard_id]
+        batch = [queue.popleft() for _ in range(min(len(queue), self.max_batch_size))]
+        if forced:
+            self.forced_flushes += 1
+        elif len(batch) >= self.max_batch_size:
+            self.size_flushes += 1
+        else:
+            self.delay_flushes += 1
+        return batch
+
+    def nonempty_shards(self) -> List[int]:
+        return [shard_id for shard_id, queue in enumerate(self._queues) if queue]

@@ -1,0 +1,154 @@
+"""Versioned LRU cache of per-layer node embeddings.
+
+Exact per-node inference recomputes the same hidden states over and over when
+requests' receptive fields overlap (the power-law access pattern GNNIE
+exploits with its degree-aware cache).  :class:`EmbeddingCache` memoises
+layer-``k`` hidden vectors per *global* node id so a warm request touches
+only the layers whose inputs are not already known.
+
+Invalidation follows the discipline introduced with the spectral weight cache
+of :class:`repro.nn.BlockCirculantLinear`: every cached value is tied to the
+model's *weight signature* — the tuple of ``Parameter.version`` counters
+(see :meth:`repro.nn.Module.weight_signature`).  A training step bumps the
+versions, the signature changes, and the whole cache is dropped on the next
+access, so serving can never return embeddings computed with stale weights.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CacheStats", "EmbeddingCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counters describing cache effectiveness."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Element-wise sum (used to aggregate per-worker stats)."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            insertions=self.insertions + other.insertions,
+            evictions=self.evictions + other.evictions,
+            invalidations=self.invalidations + other.invalidations,
+        )
+
+
+class EmbeddingCache:
+    """LRU cache of ``(layer, node) -> hidden vector`` with versioned drops.
+
+    ``capacity`` bounds the number of cached vectors across all layers
+    (``0`` disables the cache entirely).  :meth:`take` copies hit rows out
+    eagerly, so later insertions evicting those entries cannot corrupt an
+    in-flight batch.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self.capacity = int(capacity)
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Tuple[int, int], np.ndarray]" = OrderedDict()
+        self._signature: Optional[Hashable] = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    # -- versioning -----------------------------------------------------------
+
+    def ensure_signature(self, signature: Hashable) -> bool:
+        """Drop every entry if the weight signature changed since last use.
+
+        Returns ``True`` when an invalidation happened.  The first call simply
+        records the signature (an empty cache has nothing stale in it).
+        """
+        if self._signature is None:
+            self._signature = signature
+            return False
+        if signature == self._signature:
+            return False
+        self._entries.clear()
+        self._signature = signature
+        self.stats.invalidations += 1
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- lookup / insert --------------------------------------------------------
+
+    def take(self, layer: int, nodes: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray], np.ndarray]:
+        """Split ``nodes`` into cache hits and misses for ``layer``.
+
+        Returns ``(hit_nodes, hit_rows, miss_nodes)`` where ``hit_rows[i]`` is
+        the cached vector of ``hit_nodes[i]`` (already copied out).  Hits are
+        touched in LRU order; stats are updated here and only here.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if not self.enabled:
+            self.stats.misses += len(nodes)
+            return nodes[:0], [], nodes
+        hit_nodes: List[int] = []
+        hit_rows: List[np.ndarray] = []
+        miss_nodes: List[int] = []
+        for node in nodes.tolist():
+            key = (layer, node)
+            row = self._entries.get(key)
+            if row is None:
+                miss_nodes.append(node)
+            else:
+                self._entries.move_to_end(key)
+                hit_nodes.append(node)
+                hit_rows.append(row)
+        self.stats.hits += len(hit_nodes)
+        self.stats.misses += len(miss_nodes)
+        return (
+            np.asarray(hit_nodes, dtype=np.int64),
+            hit_rows,
+            np.asarray(miss_nodes, dtype=np.int64),
+        )
+
+    def put(self, layer: int, nodes: Sequence[int], values: np.ndarray) -> None:
+        """Insert one hidden vector per node, evicting LRU entries if full."""
+        if not self.enabled:
+            return
+        values = np.asarray(values)
+        for node, row in zip(np.asarray(nodes, dtype=np.int64).tolist(), values):
+            key = (layer, node)
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            frozen = np.array(row, copy=True)
+            frozen.flags.writeable = False
+            self._entries[key] = frozen
+            self.stats.insertions += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def contains(self, layer: int, node: int) -> bool:
+        """Membership check that does not touch LRU order or stats."""
+        return (layer, int(node)) in self._entries

@@ -1,0 +1,70 @@
+"""Configuration of the online inference server."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["ServingConfig"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of :class:`repro.serving.InferenceServer`.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of graph partitions; each gets ``num_replicas`` workers.
+    max_batch_size, max_delay:
+        Micro-batching policy: a shard's queue flushes once it holds
+        ``max_batch_size`` requests or its oldest request has waited
+        ``max_delay`` (clock) seconds.
+    mode:
+        ``"exact"`` — receptive-field-restricted layer-wise inference whose
+        predictions match offline full-graph evaluation, with the embedding
+        cache enabled; ``"sampled"`` — GraphSAGE-style sampled inference
+        (requires ``fanouts``), cheaper on huge graphs but stochastic.
+    fanouts:
+        Per-layer sample sizes for ``mode="sampled"``.
+    cache_capacity:
+        Embedding-cache entries *per worker* (0 disables caching).
+    partition_method:
+        ``"bfs"`` (locality-aware) or ``"hash"`` — see
+        :func:`repro.graph.partition_nodes`.
+    num_replicas, dispatch:
+        Replicas per shard and how batches are spread across them
+        (``"round_robin"`` or ``"least_loaded"``).
+    halo_hops:
+        Halo depth per shard; defaults to the model depth, which is the
+        minimum for exact serving (the server rejects shallower overrides
+        in ``mode="exact"``).
+    seed:
+        Seeds partitioning and the per-worker samplers (determinism).
+    """
+
+    num_shards: int = 2
+    max_batch_size: int = 32
+    max_delay: float = 0.002
+    mode: str = "exact"
+    fanouts: Optional[Tuple[int, ...]] = None
+    cache_capacity: int = 4096
+    partition_method: str = "bfs"
+    num_replicas: int = 1
+    dispatch: str = "round_robin"
+    halo_hops: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if self.num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+        if self.mode not in ("exact", "sampled"):
+            raise ValueError(f"mode must be 'exact' or 'sampled', got {self.mode!r}")
+        if self.dispatch not in ("round_robin", "least_loaded"):
+            raise ValueError(
+                f"dispatch must be 'round_robin' or 'least_loaded', got {self.dispatch!r}"
+            )
+        if self.halo_hops is not None and self.halo_hops < 1:
+            raise ValueError("halo_hops must be at least 1 (the direct neighbourhood)")

@@ -1,0 +1,248 @@
+"""The online inference server: routing, micro-batching, sharded execution.
+
+Request lifecycle::
+
+    submit(node) ──▶ route by node id to the owning shard's queue
+                     │  (MicroBatcher: flush at max_batch_size or max_delay)
+                     ▼
+    poll()/drain() ──▶ dispatcher picks a shard replica (round-robin or
+                     │  least-loaded) ──▶ ShardWorker.predict(batch)
+                     ▼
+    InferenceRequest.prediction / .latency      ServerStats (p50/p95, cache
+                                                hit rate, per-shard load)
+
+The engine is single-threaded and simulation-friendly: all timing flows
+through a :class:`~repro.serving.clock.Clock`, and with ``mode="exact"`` the
+served predictions are identical to offline full-graph evaluation
+(``evaluate_accuracy(mode="full")``) for the same nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..models.base import GNNModel
+from .batcher import InferenceRequest, MicroBatcher
+from .cache import CacheStats, EmbeddingCache
+from .clock import Clock, SystemClock
+from .config import ServingConfig
+from .shard import GraphShard, build_shards
+from .stats import ServerStats, WorkerLoad
+from .worker import ShardWorker
+
+__all__ = ["ServingConfig", "InferenceServer"]
+
+
+class InferenceServer:
+    """Serves per-node prediction requests for one trained model + graph."""
+
+    def __init__(
+        self,
+        model: GNNModel,
+        graph: Graph,
+        config: Optional[ServingConfig] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self.model = model
+        self.graph = graph
+        self.config = config if config is not None else ServingConfig()
+        self.clock = clock if clock is not None else SystemClock()
+        if self.config.mode == "sampled":
+            fanouts = self.config.fanouts
+            if fanouts is None or len(fanouts) != model.num_layers:
+                raise ValueError("sampled serving needs config.fanouts, one per model layer")
+
+        halo_hops = (
+            self.config.halo_hops if self.config.halo_hops is not None else model.num_layers
+        )
+        if self.config.mode == "exact" and halo_hops < model.num_layers:
+            # A truncated halo silently corrupts boundary nodes' receptive
+            # fields (and poisons the embedding cache with them).
+            raise ValueError(
+                f"exact serving needs halo_hops >= model depth "
+                f"({halo_hops} < {model.num_layers})"
+            )
+        self.shards: List[GraphShard] = build_shards(
+            graph,
+            self.config.num_shards,
+            halo_hops,
+            method=self.config.partition_method,
+            seed=self.config.seed,
+        )
+        self._owner = np.full(graph.num_nodes, -1, dtype=np.int64)
+        for shard in self.shards:
+            self._owner[shard.core_nodes] = shard.part_id
+
+        self.workers: List[ShardWorker] = []
+        self._replicas: List[List[ShardWorker]] = []
+        for shard in self.shards:
+            group: List[ShardWorker] = []
+            for replica in range(self.config.num_replicas):
+                worker = ShardWorker(
+                    worker_id=len(self.workers),
+                    shard=shard,
+                    model=model,
+                    cache=EmbeddingCache(self.config.cache_capacity),
+                    mode=self.config.mode,
+                    fanouts=self.config.fanouts,
+                    seed=self.config.seed + 9176 * len(self.workers),
+                )
+                group.append(worker)
+                self.workers.append(worker)
+            self._replicas.append(group)
+
+        self.batcher = MicroBatcher(
+            len(self.shards), self.config.max_batch_size, self.config.max_delay
+        )
+        self._round_robin = [0] * len(self.shards)
+        self._request_counter = 0
+        self._latencies: List[float] = []
+        self._batch_sizes: List[int] = []
+        self._completed = 0
+        self._first_enqueue: Optional[float] = None
+        self._last_completion: Optional[float] = None
+
+    # -- request intake ----------------------------------------------------------
+
+    def submit(self, node: int) -> InferenceRequest:
+        """Enqueue one prediction request; flushes any batch that became due."""
+        node = int(node)
+        if not 0 <= node < self.graph.num_nodes:
+            raise ValueError(f"node {node} is outside the graph (0..{self.graph.num_nodes - 1})")
+        now = self.clock.now()
+        request = InferenceRequest(
+            request_id=self._request_counter,
+            node=node,
+            shard_id=int(self._owner[node]),
+            enqueue_time=now,
+        )
+        self._request_counter += 1
+        if self._first_enqueue is None:
+            self._first_enqueue = now
+        self.batcher.enqueue(request)
+        self.poll()
+        return request
+
+    def submit_many(self, nodes: Sequence[int]) -> List[InferenceRequest]:
+        return [self.submit(node) for node in nodes]
+
+    # -- execution ---------------------------------------------------------------
+
+    def poll(self) -> int:
+        """Flush every queue that is due at the current clock time."""
+        flushed = 0
+        for shard_id in self.batcher.due_shards(self.clock.now()):
+            flushed += self._flush(shard_id)
+        return flushed
+
+    def drain(self) -> int:
+        """Force-flush until no request is pending (end of a request stream)."""
+        flushed = 0
+        while self.batcher.pending:
+            for shard_id in self.batcher.nonempty_shards():
+                flushed += self._flush(shard_id, forced=True)
+        return flushed
+
+    def predict(self, nodes: Sequence[int]) -> np.ndarray:
+        """Synchronous convenience: submit ``nodes``, drain, return predictions."""
+        requests = self.submit_many(nodes)
+        self.drain()
+        return np.array([request.result() for request in requests], dtype=np.int64)
+
+    def _flush(self, shard_id: int, forced: bool = False) -> int:
+        batch = self.batcher.pop_batch(shard_id, forced=forced)
+        if not batch:
+            return 0
+        worker = self._pick_worker(shard_id)
+        nodes = np.array([request.node for request in batch], dtype=np.int64)
+        predictions = worker.predict(nodes)
+        now = self.clock.now()
+        for request, prediction in zip(batch, predictions):
+            request.prediction = int(prediction)
+            request.completion_time = now
+            request.worker_id = worker.worker_id
+            request.batch_size = len(batch)
+            self._latencies.append(request.latency)
+        self._completed += len(batch)
+        self._batch_sizes.append(len(batch))
+        self._last_completion = now
+        return 1
+
+    def _pick_worker(self, shard_id: int) -> ShardWorker:
+        """Dispatch among a shard's replicas (trivial when num_replicas == 1)."""
+        group = self._replicas[shard_id]
+        if len(group) == 1:
+            return group[0]
+        if self.config.dispatch == "round_robin":
+            index = self._round_robin[shard_id]
+            self._round_robin[shard_id] = (index + 1) % len(group)
+            return group[index]
+        # least_loaded: fewest nodes served so far, lowest worker id on ties.
+        return min(group, key=lambda worker: (worker.nodes_served, worker.worker_id))
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> ServerStats:
+        cache = CacheStats()
+        for worker in self.workers:
+            cache = cache.merge(worker.cache.stats)
+        loads = tuple(
+            WorkerLoad(
+                worker_id=worker.worker_id,
+                shard_id=worker.shard.part_id,
+                batches=worker.batches_served,
+                nodes=worker.nodes_served,
+                core_nodes=worker.shard.num_core,
+                halo_nodes=worker.shard.num_halo,
+            )
+            for worker in self.workers
+        )
+        if self._first_enqueue is not None and self._last_completion is not None:
+            duration = self._last_completion - self._first_enqueue
+        else:
+            duration = 0.0
+        return ServerStats(
+            mode=self.config.mode,
+            completed_requests=self._completed,
+            latencies=np.asarray(self._latencies, dtype=np.float64),
+            batch_sizes=np.asarray(self._batch_sizes, dtype=np.int64),
+            cache=cache,
+            workers=loads,
+            size_flushes=self.batcher.size_flushes,
+            delay_flushes=self.batcher.delay_flushes,
+            forced_flushes=self.batcher.forced_flushes,
+            duration=duration,
+        )
+
+    def reset_stats(self) -> None:
+        """Zero every counter while keeping cache *contents* (warm state).
+
+        Used to measure warm-cache behaviour separately from the cold pass
+        that populated the caches.
+        """
+        self._latencies.clear()
+        self._batch_sizes.clear()
+        self._completed = 0
+        self._first_enqueue = None
+        self._last_completion = None
+        self.batcher.size_flushes = 0
+        self.batcher.delay_flushes = 0
+        self.batcher.forced_flushes = 0
+        for worker in self.workers:
+            worker.batches_served = 0
+            worker.nodes_served = 0
+            worker.cache.stats = CacheStats()
+
+    def describe(self) -> str:
+        lines = [
+            f"InferenceServer[{self.config.mode}] over {self.graph.name}: "
+            f"{len(self.shards)} shards x {self.config.num_replicas} replicas, "
+            f"batch<= {self.config.max_batch_size}, delay<= {self.config.max_delay * 1e3:.1f} ms, "
+            f"cache {self.config.cache_capacity} entries/worker"
+        ]
+        lines.extend(f"  {shard.summary()}" for shard in self.shards)
+        return "\n".join(lines)

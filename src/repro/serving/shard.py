@@ -1,0 +1,125 @@
+"""Partition shards: induced subgraph + halo held by one serving worker.
+
+The BlockGNN paper splits Reddit into sub-graphs because the full graph
+exceeds device DRAM (Section IV-C); a serving deployment does the same, with
+each worker owning one partition.  A worker must answer requests for its
+*core* nodes exactly, which for a K-layer GNN requires the K-hop
+neighbourhood of the core — the *halo*.  :func:`build_shards` grows that halo
+by repeated sparse mat-vec over the adjacency and materialises the induced
+subgraph, so a worker never touches the full graph again at serve time.
+
+Within the shard, the relabelling core ∪ halo → ``0..len-1`` is *monotone*
+(:meth:`repro.graph.Graph.subgraph` sorts the node set), which preserves each
+node's CSR neighbour order.  Combined with the fact that every model's
+``forward_full`` aggregation is row-local, this is what lets the serving
+engine reproduce full-graph inference results exactly from a shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..graph.partition import partition_nodes
+
+__all__ = ["GraphShard", "expand_neighborhood", "build_shards"]
+
+
+def expand_neighborhood(graph: Graph, nodes: np.ndarray, hops: int) -> np.ndarray:
+    """Global ids of the ``hops``-hop ball around ``nodes`` (sorted).
+
+    One boolean sparse mat-vec per hop; the ball always contains ``nodes``
+    itself (hop 0).
+    """
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    reach = np.zeros(graph.num_nodes, dtype=bool)
+    reach[np.asarray(nodes, dtype=np.int64)] = True
+    adjacency = graph.adjacency()
+    for _ in range(hops):
+        reached = adjacency @ reach.astype(np.float64)
+        grown = reach | (reached > 0.0)
+        if np.array_equal(grown, reach):
+            break
+        reach = grown
+    return np.where(reach)[0].astype(np.int64)
+
+
+@dataclass
+class GraphShard:
+    """One worker's slice of the graph: owned core nodes plus their halo."""
+
+    part_id: int
+    core_nodes: np.ndarray   # sorted global ids owned (served) by this shard
+    nodes: np.ndarray        # sorted global ids of core ∪ halo
+    graph: Graph             # induced subgraph on `nodes`, local ids 0..len-1
+    halo_hops: int
+
+    @property
+    def num_core(self) -> int:
+        return len(self.core_nodes)
+
+    @property
+    def num_halo(self) -> int:
+        return len(self.nodes) - len(self.core_nodes)
+
+    def to_local(self, global_ids: np.ndarray) -> np.ndarray:
+        """Translate global node ids to shard-local row indices."""
+        global_ids = np.asarray(global_ids, dtype=np.int64)
+        if len(self.nodes) == 0:
+            if len(global_ids):
+                raise KeyError(f"nodes {global_ids.tolist()} are not held by shard {self.part_id}")
+            return global_ids.copy()
+        local = np.searchsorted(self.nodes, global_ids)
+        clipped = np.minimum(local, len(self.nodes) - 1)
+        out_of_shard = self.nodes[clipped] != global_ids
+        if np.any(out_of_shard):
+            missing = global_ids[out_of_shard]
+            raise KeyError(f"nodes {missing.tolist()} are not held by shard {self.part_id}")
+        return local
+
+    def to_global(self, local_ids: np.ndarray) -> np.ndarray:
+        return self.nodes[np.asarray(local_ids, dtype=np.int64)]
+
+    def summary(self) -> str:
+        return (
+            f"shard {self.part_id}: {self.num_core} core + {self.num_halo} halo nodes "
+            f"({self.halo_hops}-hop), {self.graph.num_edges // 2} undirected edges"
+        )
+
+
+def build_shards(
+    graph: Graph,
+    num_parts: int,
+    halo_hops: int,
+    method: str = "bfs",
+    seed: Optional[int] = None,
+) -> List[GraphShard]:
+    """Partition ``graph`` and materialise one halo-extended shard per part.
+
+    ``halo_hops`` should be the model depth ``K`` so every core node's full
+    K-hop receptive field (and the complete neighbour list of every node the
+    serving recursion expands, which stays within ``K - 1`` hops of the core)
+    lives inside the shard.
+    """
+    parts = partition_nodes(graph, num_parts, method=method, seed=seed)
+    shards: List[GraphShard] = []
+    for part_id, core in enumerate(parts):
+        core = np.sort(np.asarray(core, dtype=np.int64))
+        if len(core):
+            held = expand_neighborhood(graph, core, halo_hops)
+        else:
+            held = core
+        shards.append(
+            GraphShard(
+                part_id=part_id,
+                core_nodes=core,
+                nodes=held,
+                graph=graph.subgraph(held, name=f"{graph.name}-shard{part_id}"),
+                halo_hops=halo_hops,
+            )
+        )
+    return shards

@@ -1,0 +1,159 @@
+"""Latency / load / cache metrics of the serving engine, plus the perfmodel
+bridge that prices a request in accelerator cycles per shard.
+
+``ServerStats`` is an immutable snapshot assembled by
+:meth:`repro.serving.InferenceServer.stats`; ``render()`` gives the text
+surface printed by the ``serve-bench`` CLI command and saved by
+``benchmarks/bench_serving.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.datasets import DatasetStats
+from ..hardware.config import CirCoreConfig
+from ..perfmodel.model import PerformanceEstimate, estimate_performance
+from ..workloads.builder import build_workload
+from .cache import CacheStats
+from .shard import GraphShard
+
+__all__ = ["WorkerLoad", "ServerStats", "estimate_shard_request_cycles"]
+
+
+def _percentile(values: np.ndarray, q: float) -> float:
+    return float(np.percentile(values, q)) if len(values) else float("nan")
+
+
+@dataclass(frozen=True)
+class WorkerLoad:
+    """Work executed by one worker (one shard replica)."""
+
+    worker_id: int
+    shard_id: int
+    batches: int
+    nodes: int
+    core_nodes: int
+    halo_nodes: int
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Snapshot of a serving run: latency percentiles, cache, per-shard load."""
+
+    mode: str
+    completed_requests: int
+    latencies: np.ndarray            # seconds, one entry per completed request
+    batch_sizes: np.ndarray          # executed batch sizes, one per flush
+    cache: CacheStats
+    workers: Tuple[WorkerLoad, ...]
+    size_flushes: int
+    delay_flushes: int
+    forced_flushes: int
+    duration: float                  # clock time from first submit to last completion
+
+    # -- latency ---------------------------------------------------------------
+
+    @property
+    def p50_latency(self) -> float:
+        return _percentile(self.latencies, 50.0)
+
+    @property
+    def p95_latency(self) -> float:
+        return _percentile(self.latencies, 95.0)
+
+    @property
+    def mean_latency(self) -> float:
+        return float(self.latencies.mean()) if len(self.latencies) else float("nan")
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per clock second."""
+        return self.completed_requests / self.duration if self.duration > 0 else float("inf")
+
+    @property
+    def mean_batch_size(self) -> float:
+        return float(self.batch_sizes.mean()) if len(self.batch_sizes) else float("nan")
+
+    # -- cache / load ------------------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache.hit_rate
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max over mean nodes served per worker (1.0 = perfectly balanced)."""
+        nodes = np.array([worker.nodes for worker in self.workers], dtype=np.float64)
+        busy = nodes[nodes > 0]
+        if len(busy) == 0:
+            return float("nan")
+        mean = nodes.mean()
+        return float(nodes.max() / mean) if mean > 0 else float("nan")
+
+    def render(self) -> str:
+        lines = [
+            f"mode {self.mode}: {self.completed_requests} requests in "
+            f"{len(self.batch_sizes)} batches (mean size {self.mean_batch_size:.1f})",
+            f"  latency p50 {self.p50_latency * 1e3:.3f} ms   "
+            f"p95 {self.p95_latency * 1e3:.3f} ms   mean {self.mean_latency * 1e3:.3f} ms",
+            f"  throughput {self.throughput:.1f} req/s over {self.duration * 1e3:.1f} ms",
+            f"  flushes: {self.size_flushes} size, {self.delay_flushes} delay, "
+            f"{self.forced_flushes} forced",
+            f"  embedding cache: {self.cache.hits} hits / {self.cache.lookups} lookups "
+            f"({self.cache_hit_rate * 100:.1f}%), {self.cache.evictions} evictions, "
+            f"{self.cache.invalidations} invalidations",
+        ]
+        for worker in self.workers:
+            lines.append(
+                f"  worker {worker.worker_id} (shard {worker.shard_id}): "
+                f"{worker.nodes} nodes in {worker.batches} batches "
+                f"[{worker.core_nodes} core + {worker.halo_nodes} halo]"
+            )
+        return "\n".join(lines)
+
+
+def estimate_shard_request_cycles(
+    model_name: str,
+    shards: Sequence[GraphShard],
+    num_classes: int,
+    hidden_features: int = 512,
+    num_layers: int = 2,
+    sample_sizes: Sequence[int] = (25, 10),
+    config: Optional[CirCoreConfig] = None,
+    block_size: int = 128,
+) -> List[PerformanceEstimate]:
+    """Per-shard accelerator cost of serving one request batch (Eqs. 3–7).
+
+    Each shard is priced as its own :class:`~repro.workloads.GNNWorkload`
+    built from the shard's actual node/edge statistics, so the estimate
+    reflects the partition's load balance: ``estimate.cycles_per_node`` is
+    the accelerator cycles one core-node request costs on that shard.
+    """
+    if config is None:
+        config = CirCoreConfig(
+            fft_channels=16, ifft_channels=16, systolic_rows=4, systolic_cols=4,
+            pe_parallelism=4, vpu_lanes=2, block_size=block_size,
+        )
+    estimates: List[PerformanceEstimate] = []
+    for shard in shards:
+        stats = DatasetStats(
+            name=f"shard{shard.part_id}",
+            num_nodes=max(shard.num_core, 1),
+            num_edges=max(shard.graph.num_edges // 2, 1),
+            num_features=shard.graph.num_features,
+            num_classes=num_classes,
+        )
+        workload = build_workload(
+            model_name,
+            stats,
+            hidden_features=hidden_features,
+            num_layers=num_layers,
+            sample_sizes=tuple(sample_sizes),
+            num_classes=num_classes,
+        )
+        estimates.append(estimate_performance(workload, config, num_nodes=stats.num_nodes))
+    return estimates

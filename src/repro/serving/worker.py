@@ -1,0 +1,144 @@
+"""Shard workers: execute micro-batches of per-node prediction requests.
+
+A :class:`ShardWorker` owns one :class:`~repro.serving.shard.GraphShard` and
+answers prediction requests for the shard's core nodes in one of two modes:
+
+``exact``
+    Layer-wise inference restricted to the batch's receptive field.  For each
+    layer ``k`` (output side first) the worker asks the
+    :class:`~repro.serving.cache.EmbeddingCache` which layer-``k`` hidden
+    states it already knows; only the *misses* are expanded by one hop and
+    recomputed, by running the layer's ``forward_full`` on the induced
+    subgraph of the miss set plus its neighbours.  Because every model's
+    full-graph aggregation is row-local (a node's output depends only on its
+    own neighbour rows) and node relabelling is monotone, the rows kept are
+    exactly what :meth:`repro.models.GNNModel.full_forward` would produce on
+    the whole graph — so served predictions match offline full-graph
+    evaluation, and cached rows can be reused across batches safely.
+
+``sampled``
+    GraphSAGE-style approximate inference: the flushed requests become the
+    seed set of a single :class:`~repro.graph.NeighborSampler` mini-batch and
+    go through the model's training-time ``forward``.  Cheaper per request on
+    huge graphs, stochastic (seeded per worker), never cached.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..graph.sampling import NeighborSampler
+from ..models.base import GNNModel
+from ..tensor.tensor import Tensor, no_grad
+from .cache import EmbeddingCache
+from .shard import GraphShard, expand_neighborhood
+
+__all__ = ["ShardWorker"]
+
+
+class ShardWorker:
+    """Serves prediction requests for one shard (optionally one of R replicas)."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        shard: GraphShard,
+        model: GNNModel,
+        cache: EmbeddingCache,
+        mode: str = "exact",
+        fanouts: Optional[Sequence[int]] = None,
+        seed: int = 0,
+    ) -> None:
+        if mode not in ("exact", "sampled"):
+            raise ValueError(f"mode must be 'exact' or 'sampled', got {mode!r}")
+        if mode == "sampled":
+            if fanouts is None or len(fanouts) != model.num_layers:
+                raise ValueError("sampled mode needs one fanout per model layer")
+        self.worker_id = worker_id
+        self.shard = shard
+        self.model = model
+        self.cache = cache
+        self.mode = mode
+        self.sampler = (
+            NeighborSampler(shard.graph, fanouts, seed=seed) if mode == "sampled" else None
+        )
+        # Load counters (read by the least-loaded dispatcher and ServerStats).
+        self.batches_served = 0
+        self.nodes_served = 0
+
+    # -- public API ------------------------------------------------------------
+
+    def predict(self, global_nodes: np.ndarray) -> np.ndarray:
+        """Class predictions for a batch of (shard-core) global node ids."""
+        local = self.shard.to_local(np.asarray(global_nodes, dtype=np.int64))
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with no_grad():
+                if self.mode == "exact":
+                    logits = self._exact_logits(local)
+                else:
+                    batch = self.sampler.sample(local)
+                    logits = self.model.forward(batch, graph=self.shard.graph).data
+        finally:
+            self.model.train(was_training)
+        self.batches_served += 1
+        self.nodes_served += len(local)
+        return logits.argmax(axis=-1)
+
+    # -- exact mode --------------------------------------------------------------
+
+    def _layer_dim(self, layer: int) -> int:
+        return self.shard.graph.num_features if layer == 0 else self.model.layers[layer - 1].out_features
+
+    def _exact_logits(self, seeds_local: np.ndarray) -> np.ndarray:
+        """Receptive-field-restricted layer-wise inference with caching.
+
+        Works in shard-local node ids throughout; the cache is keyed on global
+        ids so its contents mean the same thing across shards and restarts.
+        """
+        graph = self.shard.graph
+        num_layers = self.model.num_layers
+        self.cache.ensure_signature(self.model.weight_signature())
+
+        unique_seeds = np.unique(seeds_local)
+        # Top-down pass: which layer-k values are missing, and which layer-(k-1)
+        # values computing them will require (the misses plus their neighbours).
+        needed: List[np.ndarray] = [np.empty(0, dtype=np.int64)] * (num_layers + 1)
+        miss: List[np.ndarray] = list(needed)
+        hits: List[tuple] = [(np.empty(0, dtype=np.int64), [])] * (num_layers + 1)
+        needed[num_layers] = unique_seeds
+        for k in range(num_layers, 0, -1):
+            hit_global, hit_rows, miss_global = self.cache.take(k, self.shard.to_global(needed[k]))
+            hits[k] = (self.shard.to_local(hit_global), hit_rows)
+            miss[k] = self.shard.to_local(miss_global)
+            if len(miss[k]):
+                needed[k - 1] = expand_neighborhood(graph, miss[k], 1)
+
+        # Bottom-up pass: raw features feed layer 1; each layer recomputes its
+        # misses on the induced restriction graph, then hits and fresh rows are
+        # assembled into the next layer's input.
+        nodes_prev = needed[0]
+        h_prev = graph.features[nodes_prev]
+        for k in range(1, num_layers + 1):
+            out_dim = self._layer_dim(k)
+            if len(miss[k]):
+                restriction = graph.subgraph(nodes_prev)
+                layer_out = self.model.layers[k - 1].forward_full(
+                    Tensor(np.asarray(h_prev, dtype=np.float64)), restriction
+                ).data
+                computed = layer_out[np.searchsorted(nodes_prev, miss[k])]
+                self.cache.put(k, self.shard.to_global(miss[k]), computed)
+            else:
+                computed = np.empty((0, out_dim))
+            values = np.empty((len(needed[k]), out_dim))
+            if len(miss[k]):
+                values[np.searchsorted(needed[k], miss[k])] = computed
+            hit_local, hit_rows = hits[k]
+            if len(hit_local):
+                values[np.searchsorted(needed[k], hit_local)] = np.stack(hit_rows)
+            nodes_prev, h_prev = needed[k], values
+
+        return h_prev[np.searchsorted(unique_seeds, seeds_local)]

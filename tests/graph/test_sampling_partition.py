@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
-from repro.graph import NeighborSampler, minibatch_iterator, partition_graph, partition_nodes
+from repro.graph import Graph, NeighborSampler, minibatch_iterator, partition_graph, partition_nodes
 
 
 class TestNeighborSampler:
@@ -95,6 +96,102 @@ class TestMinibatchIterator:
         sampler = NeighborSampler(small_graph, fanouts=(2,), seed=0)
         with pytest.raises(ValueError):
             list(minibatch_iterator(sampler, np.arange(4), 0))
+
+
+class TestSampleBatches:
+    def test_covers_subset_in_order_without_shuffle(self, small_graph):
+        sampler = NeighborSampler(small_graph, fanouts=(3, 2), seed=0)
+        subset = np.array([7, 3, 3, 50, 12, 9, 31])
+        seen = [batch.seeds.tolist() for batch in sampler.sample_batches(subset, batch_size=3)]
+        assert seen == [[7, 3, 3], [50, 12, 9], [31]]
+
+    def test_single_flush_batch_matches_direct_sample_shapes(self, small_graph):
+        # The serving micro-batcher coalesces a flush into exactly one batch.
+        sampler = NeighborSampler(small_graph, fanouts=(4, 2), seed=0)
+        seeds = np.array([5, 1, 60])
+        (batch,) = list(sampler.sample_batches(seeds, batch_size=8))
+        assert np.array_equal(batch.seeds, seeds)
+        assert batch.blocks[-1].num_dst == 3
+
+    def test_empty_subset_yields_nothing(self, small_graph):
+        sampler = NeighborSampler(small_graph, fanouts=(2,), seed=0)
+        assert list(sampler.sample_batches(np.array([], dtype=np.int64), 4)) == []
+
+    def test_invalid_batch_size(self, small_graph):
+        sampler = NeighborSampler(small_graph, fanouts=(2,), seed=0)
+        with pytest.raises(ValueError):
+            list(sampler.sample_batches(np.arange(4), 0))
+
+
+def _arbitrary_graph(num_nodes: int, edges, num_isolated: int) -> Graph:
+    """A (possibly disconnected) graph: random edges plus isolated tail nodes."""
+    total = num_nodes + num_isolated
+    edge_array = np.asarray(
+        [(src % num_nodes, dst % num_nodes) for src, dst in edges], dtype=np.int64
+    ).reshape(-1, 2)
+    return Graph.from_edges(
+        total,
+        edge_array,
+        features=np.zeros((total, 2)),
+        labels=np.zeros(total, dtype=np.int64),
+        name="hypothesis-graph",
+    )
+
+
+class TestPartitionProperties:
+    """Property tests for the satellite fix: every node lands in exactly one
+    part, for adversarial shapes (num_parts > num_nodes, disconnected graphs,
+    graphs that are mostly isolated nodes)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        num_nodes=st.integers(min_value=1, max_value=30),
+        num_isolated=st.integers(min_value=0, max_value=6),
+        edges=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=200), st.integers(min_value=0, max_value=200)),
+            max_size=60,
+        ),
+        num_parts=st.integers(min_value=1, max_value=40),
+        method=st.sampled_from(["bfs", "hash"]),
+        seed=st.integers(min_value=0, max_value=5),
+    )
+    def test_every_node_assigned_exactly_once(
+        self, num_nodes, num_isolated, edges, num_parts, method, seed
+    ):
+        graph = _arbitrary_graph(num_nodes, edges, num_isolated)
+        parts = partition_nodes(graph, num_parts, method=method, seed=seed)
+        assert len(parts) == num_parts
+        combined = np.concatenate(parts) if parts else np.array([], dtype=np.int64)
+        assert sorted(combined.tolist()) == list(range(graph.num_nodes))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        num_nodes=st.integers(min_value=2, max_value=25),
+        num_parts=st.integers(min_value=1, max_value=30),
+        seed=st.integers(min_value=0, max_value=3),
+    )
+    def test_bfs_respects_balance_target_on_edgeless_graphs(self, num_nodes, num_parts, seed):
+        graph = _arbitrary_graph(num_nodes, [], 0)
+        parts = partition_nodes(graph, num_parts, method="bfs", seed=seed)
+        target = -(-graph.num_nodes // num_parts)
+        # All parts except possibly the last stay within the ceil-balanced target.
+        for nodes in parts[:-1]:
+            assert len(nodes) <= target
+
+    def test_more_parts_than_nodes_yields_empty_tail_parts(self):
+        graph = _arbitrary_graph(3, [(0, 1), (1, 2)], 0)
+        for method in ("bfs", "hash"):
+            parts = partition_nodes(graph, 7, method=method, seed=0)
+            combined = np.concatenate(parts)
+            assert sorted(combined.tolist()) == [0, 1, 2]
+            assert sum(len(part) == 0 for part in parts) >= 4
+
+    def test_partition_graph_on_disconnected_graph(self):
+        graph = _arbitrary_graph(6, [(0, 1), (2, 3)], 4)  # 10 nodes, 2 components + isolates
+        subgraphs = partition_graph(graph, 3, seed=1)
+        assert sum(subgraph.num_nodes for subgraph in subgraphs) == graph.num_nodes
+        for subgraph in subgraphs:
+            subgraph.validate()
 
 
 class TestPartitioning:

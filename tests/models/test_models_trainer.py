@@ -123,3 +123,14 @@ class TestTrainer:
         model = create_model("GCN", small_graph.num_features, 8, small_graph.num_classes, seed=0)
         value = evaluate_accuracy(model, small_graph, np.arange(30), fanouts=(4, 3))
         assert 0.0 <= value <= 1.0
+
+    @pytest.mark.parametrize("mode,fanouts", [("sampled", (4, 3)), ("full", None)])
+    def test_evaluate_accuracy_restores_training_state(self, small_graph, mode, fanouts):
+        # A deployed (eval-mode) model must not come back in training mode.
+        model = create_model("GCN", small_graph.num_features, 8, small_graph.num_classes, seed=0)
+        model.eval()
+        evaluate_accuracy(model, small_graph, np.arange(20), fanouts=fanouts, mode=mode)
+        assert not model.training
+        model.train()
+        evaluate_accuracy(model, small_graph, np.arange(20), fanouts=fanouts, mode=mode)
+        assert model.training

@@ -1,0 +1,137 @@
+"""Unit tests for the serving building blocks: clock, cache, micro-batcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import EmbeddingCache, InferenceRequest, ManualClock, MicroBatcher
+
+
+class TestManualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = ManualClock()
+        assert clock.now() == 0.0
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == 2.0
+
+    def test_rejects_negative_advance(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)
+
+
+class TestEmbeddingCache:
+    def test_take_and_put_roundtrip(self):
+        cache = EmbeddingCache(capacity=8)
+        cache.ensure_signature((0,))
+        values = np.arange(6, dtype=np.float64).reshape(2, 3)
+        cache.put(1, [10, 20], values)
+        hit_nodes, hit_rows, miss_nodes = cache.take(1, np.array([10, 15, 20]))
+        assert hit_nodes.tolist() == [10, 20]
+        assert miss_nodes.tolist() == [15]
+        assert np.array_equal(np.stack(hit_rows), values)
+        assert cache.stats.hits == 2 and cache.stats.misses == 1
+
+    def test_layers_are_distinct_keyspaces(self):
+        cache = EmbeddingCache(capacity=8)
+        cache.put(1, [5], np.ones((1, 2)))
+        assert cache.contains(1, 5)
+        assert not cache.contains(2, 5)
+
+    def test_lru_eviction_order(self):
+        cache = EmbeddingCache(capacity=2)
+        cache.put(1, [1], np.ones((1, 2)))
+        cache.put(1, [2], np.ones((1, 2)))
+        cache.take(1, np.array([1]))  # touch 1 -> 2 becomes LRU
+        cache.put(1, [3], np.ones((1, 2)))
+        assert cache.contains(1, 1) and cache.contains(1, 3)
+        assert not cache.contains(1, 2)
+        assert cache.stats.evictions == 1
+
+    def test_signature_change_invalidates_everything(self):
+        cache = EmbeddingCache(capacity=8)
+        assert not cache.ensure_signature((0, 0))
+        cache.put(1, [7], np.ones((1, 2)))
+        assert not cache.ensure_signature((0, 0))  # unchanged -> keep
+        assert cache.contains(1, 7)
+        assert cache.ensure_signature((1, 1))      # training step -> drop
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+
+    def test_capacity_zero_disables_caching(self):
+        cache = EmbeddingCache(capacity=0)
+        cache.put(1, [1], np.ones((1, 2)))
+        hit_nodes, _, miss_nodes = cache.take(1, np.array([1]))
+        assert len(hit_nodes) == 0 and miss_nodes.tolist() == [1]
+        assert not cache.enabled
+
+    def test_cached_rows_are_immutable_copies(self):
+        cache = EmbeddingCache(capacity=4)
+        source = np.ones((1, 3))
+        cache.put(1, [1], source)
+        source[:] = 99.0  # mutating the producer's buffer must not leak in
+        _, rows, _ = cache.take(1, np.array([1]))
+        assert np.array_equal(rows[0], np.ones(3))
+        with pytest.raises(ValueError):
+            rows[0][0] = 5.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingCache(capacity=-1)
+
+
+def _request(request_id: int, node: int, shard: int, at: float) -> InferenceRequest:
+    return InferenceRequest(request_id=request_id, node=node, shard_id=shard, enqueue_time=at)
+
+
+class TestMicroBatcher:
+    def test_size_trigger(self):
+        batcher = MicroBatcher(num_shards=1, max_batch_size=3, max_delay=10.0)
+        for index in range(2):
+            batcher.enqueue(_request(index, index, 0, at=0.0))
+        assert batcher.due_shards(now=0.0) == []
+        batcher.enqueue(_request(2, 2, 0, at=0.0))
+        assert batcher.due_shards(now=0.0) == [0]
+        batch = batcher.pop_batch(0)
+        assert [request.request_id for request in batch] == [0, 1, 2]
+        assert batcher.size_flushes == 1 and batcher.delay_flushes == 0
+
+    def test_delay_trigger_uses_oldest_request(self):
+        batcher = MicroBatcher(num_shards=2, max_batch_size=10, max_delay=0.5)
+        batcher.enqueue(_request(0, 0, 0, at=1.0))
+        batcher.enqueue(_request(1, 1, 1, at=1.4))
+        assert batcher.due_shards(now=1.2) == []
+        assert batcher.due_shards(now=1.5) == [0]
+        assert batcher.next_deadline() == pytest.approx(1.5)
+        batcher.pop_batch(0)
+        assert batcher.delay_flushes == 1
+        assert batcher.next_deadline() == pytest.approx(1.9)
+
+    def test_forced_flush_counts_separately(self):
+        batcher = MicroBatcher(num_shards=1, max_batch_size=10, max_delay=10.0)
+        batcher.enqueue(_request(0, 0, 0, at=0.0))
+        batcher.pop_batch(0, forced=True)
+        assert batcher.forced_flushes == 1
+        assert batcher.pending == 0
+
+    def test_pop_respects_max_batch_size(self):
+        batcher = MicroBatcher(num_shards=1, max_batch_size=2, max_delay=0.0)
+        for index in range(5):
+            batcher.enqueue(_request(index, index, 0, at=0.0))
+        assert len(batcher.pop_batch(0)) == 2
+        assert batcher.pending == 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(1, max_batch_size=0, max_delay=0.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(1, max_batch_size=1, max_delay=-1.0)
+
+    def test_pending_request_result_raises(self):
+        request = _request(0, 0, 0, at=0.0)
+        assert not request.done
+        with pytest.raises(RuntimeError):
+            request.result()
+        with pytest.raises(RuntimeError):
+            _ = request.latency

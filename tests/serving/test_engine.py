@@ -1,0 +1,263 @@
+"""End-to-end tests of the online inference server.
+
+The engine's contract: served predictions in ``exact`` mode are identical to
+offline full-graph inference for the same nodes, everything is deterministic
+under a fixed seed + :class:`ManualClock`, and the embedding cache can never
+survive a weight update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressionConfig
+from repro.models import Trainer, TrainingConfig, create_model
+from repro.serving import InferenceServer, ManualClock, ServingConfig
+
+MODELS = ["GCN", "GS-Pool", "G-GCN", "GAT"]
+
+
+def _model(graph, name="GCN", block_size=1, seed=0):
+    return create_model(
+        name,
+        in_features=graph.num_features,
+        hidden_features=16,
+        num_classes=graph.num_classes,
+        compression=CompressionConfig(block_size=block_size),
+        seed=seed,
+    )
+
+
+def _server(model, graph, **overrides):
+    defaults = dict(num_shards=2, max_batch_size=8, max_delay=0.5, cache_capacity=1024, seed=0)
+    defaults.update(overrides)
+    return InferenceServer(model, graph, ServingConfig(**defaults), clock=ManualClock())
+
+
+class TestExactServing:
+    @pytest.mark.parametrize("name", MODELS)
+    def test_matches_full_graph_inference(self, small_graph, name):
+        model = _model(small_graph, name)
+        reference = model.full_forward(small_graph).data.argmax(axis=-1)
+        server = _server(model, small_graph, num_shards=3)
+        nodes = np.random.default_rng(0).choice(small_graph.num_nodes, size=60, replace=True)
+        predictions = server.predict(nodes)
+        assert np.array_equal(predictions, reference[nodes])
+
+    def test_matches_with_block_circulant_compression(self, small_graph):
+        model = _model(small_graph, "GCN", block_size=4)
+        reference = model.full_forward(small_graph).data.argmax(axis=-1)
+        server = _server(model, small_graph)
+        nodes = np.arange(small_graph.num_nodes)
+        assert np.array_equal(server.predict(nodes), reference[nodes])
+
+    def test_warm_cache_still_matches_and_hits(self, small_graph):
+        model = _model(small_graph)
+        reference = model.full_forward(small_graph).data.argmax(axis=-1)
+        server = _server(model, small_graph)
+        nodes = np.arange(0, small_graph.num_nodes, 2)
+        server.predict(nodes)
+        cold_misses = server.stats().cache.misses
+        server.reset_stats()
+        assert np.array_equal(server.predict(nodes), reference[nodes])
+        warm = server.stats()
+        assert warm.cache_hit_rate == 1.0
+        assert warm.cache.misses < cold_misses
+
+    def test_cache_disabled_still_exact(self, small_graph):
+        model = _model(small_graph)
+        reference = model.full_forward(small_graph).data.argmax(axis=-1)
+        server = _server(model, small_graph, cache_capacity=0)
+        nodes = np.arange(20)
+        assert np.array_equal(server.predict(nodes), reference[nodes])
+        assert server.stats().cache.hits == 0
+
+    def test_tiny_lru_cache_under_eviction_pressure_stays_exact(self, small_graph):
+        model = _model(small_graph)
+        reference = model.full_forward(small_graph).data.argmax(axis=-1)
+        server = _server(model, small_graph, cache_capacity=8)
+        nodes = np.random.default_rng(3).choice(small_graph.num_nodes, size=80, replace=True)
+        assert np.array_equal(server.predict(nodes), reference[nodes])
+        assert server.stats().cache.evictions > 0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("mode,fanouts", [("exact", None), ("sampled", (4, 3))])
+    def test_identical_runs_produce_identical_results(self, small_graph, mode, fanouts):
+        nodes = np.random.default_rng(1).choice(small_graph.num_nodes, size=40, replace=True)
+        outcomes = []
+        for _ in range(2):
+            model = _model(small_graph)
+            server = _server(model, small_graph, mode=mode, fanouts=fanouts)
+            predictions = server.predict(nodes)
+            stats = server.stats()
+            outcomes.append((predictions, stats.batch_sizes, stats.latencies))
+        assert np.array_equal(outcomes[0][0], outcomes[1][0])
+        assert np.array_equal(outcomes[0][1], outcomes[1][1])
+        assert np.array_equal(outcomes[0][2], outcomes[1][2])
+
+    def test_manual_clock_latencies_are_simulated_time(self, small_graph):
+        model = _model(small_graph)
+        clock = ManualClock()
+        server = InferenceServer(
+            model,
+            small_graph,
+            ServingConfig(num_shards=1, max_batch_size=4, max_delay=1.0, seed=0),
+            clock=clock,
+        )
+        first = server.submit(0)
+        clock.advance(0.3)
+        second = server.submit(1)
+        assert not first.done and not second.done  # under batch size, delay not hit
+        clock.advance(0.8)  # oldest is now 1.1s old -> due
+        server.poll()
+        assert first.done and second.done
+        assert first.latency == pytest.approx(1.1)
+        assert second.latency == pytest.approx(0.8)
+        stats = server.stats()
+        assert stats.delay_flushes == 1 and stats.size_flushes == 0
+        assert stats.p95_latency >= stats.p50_latency
+
+    def test_batch_size_triggers_immediate_flush(self, small_graph):
+        model = _model(small_graph)
+        server = _server(model, small_graph, num_shards=1, max_batch_size=2)
+        first = server.submit(3)
+        assert not first.done
+        second = server.submit(4)
+        assert first.done and second.done  # size trigger, no clock advance needed
+        assert first.latency == 0.0
+        assert first.batch_size == 2
+        assert server.stats().size_flushes == 1
+
+
+class TestCacheInvalidationUnderTraining:
+    def test_serving_after_a_training_step_is_not_stale(self, small_graph):
+        model = _model(small_graph)
+        server = _server(model, small_graph)
+        nodes = np.arange(small_graph.num_nodes)
+        before = server.predict(nodes)
+        assert np.array_equal(before, model.full_forward(small_graph).data.argmax(axis=-1))
+
+        # One optimiser step bumps every Parameter.version via the trainer.
+        signature = model.weight_signature()
+        trainer = Trainer(
+            model, small_graph, TrainingConfig(epochs=1, fanouts=(4, 3), seed=0, learning_rate=0.5)
+        )
+        trainer.train_epoch(0)
+        assert model.weight_signature() != signature
+
+        after = server.predict(nodes)
+        fresh = model.full_forward(small_graph).data.argmax(axis=-1)
+        assert np.array_equal(after, fresh)
+        assert not np.array_equal(after, before)  # lr=0.5 step must move something
+        assert server.stats().cache.invalidations >= 1
+
+    def test_manual_weight_update_with_bump_version_invalidates(self, small_graph):
+        model = _model(small_graph)
+        server = _server(model, small_graph, num_shards=1)
+        nodes = np.arange(16)
+        server.predict(nodes)
+        parameter = model.parameters()[0]
+        parameter.data[...] = -parameter.data
+        parameter.bump_version()
+        after = server.predict(nodes)
+        fresh = model.full_forward(small_graph).data.argmax(axis=-1)[nodes]
+        assert np.array_equal(after, fresh)
+
+
+class TestDispatchAndSharding:
+    def test_round_robin_spreads_batches_over_replicas(self, small_graph):
+        model = _model(small_graph)
+        server = _server(
+            model, small_graph, num_shards=1, num_replicas=2, dispatch="round_robin",
+            max_batch_size=4,
+        )
+        server.predict(np.arange(16))
+        loads = [worker.batches for worker in server.stats().workers]
+        assert len(loads) == 2 and loads[0] == loads[1] == 2
+
+    def test_least_loaded_balances_nodes(self, small_graph):
+        model = _model(small_graph)
+        server = _server(
+            model, small_graph, num_shards=1, num_replicas=2, dispatch="least_loaded",
+            max_batch_size=4,
+        )
+        server.predict(np.arange(24))
+        loads = sorted(worker.nodes for worker in server.stats().workers)
+        assert loads == [12, 12]
+
+    def test_requests_route_to_owning_shard(self, small_graph):
+        model = _model(small_graph)
+        server = _server(model, small_graph, num_shards=3, max_batch_size=4)
+        nodes = np.arange(small_graph.num_nodes)
+        server.predict(nodes)
+        stats = server.stats()
+        for load in stats.workers:
+            assert load.nodes == load.core_nodes  # every core node requested once
+        assert stats.completed_requests == small_graph.num_nodes
+
+    def test_halo_hops_override_must_cover_model_depth_to_be_exact(self, small_graph):
+        model = _model(small_graph)
+        reference = model.full_forward(small_graph).data.argmax(axis=-1)
+        server = InferenceServer(
+            model,
+            small_graph,
+            ServingConfig(num_shards=2, halo_hops=3, seed=0),  # deeper than needed is fine
+            clock=ManualClock(),
+        )
+        nodes = np.arange(small_graph.num_nodes)
+        assert np.array_equal(server.predict(nodes), reference[nodes])
+
+    def test_exact_mode_rejects_truncated_halo(self, small_graph):
+        # A halo shallower than the model depth would silently corrupt
+        # boundary predictions (and the cache); the server must refuse it.
+        model = _model(small_graph)  # 2 layers
+        with pytest.raises(ValueError, match="halo_hops"):
+            InferenceServer(
+                model, small_graph, ServingConfig(num_shards=2, halo_hops=1), clock=ManualClock()
+            )
+        # Sampled mode tolerates it (approximate by construction).
+        InferenceServer(
+            model,
+            small_graph,
+            ServingConfig(num_shards=2, halo_hops=1, mode="sampled", fanouts=(3, 2)),
+            clock=ManualClock(),
+        )
+
+
+class TestValidationAndStats:
+    def test_invalid_node_rejected(self, small_graph):
+        server = _server(_model(small_graph), small_graph)
+        with pytest.raises(ValueError):
+            server.submit(small_graph.num_nodes)
+        with pytest.raises(ValueError):
+            server.submit(-1)
+
+    def test_sampled_mode_requires_fanouts(self, small_graph):
+        with pytest.raises(ValueError):
+            _server(_model(small_graph), small_graph, mode="sampled")
+
+    def test_invalid_config_values(self):
+        with pytest.raises(ValueError):
+            ServingConfig(num_shards=0)
+        with pytest.raises(ValueError):
+            ServingConfig(mode="turbo")
+        with pytest.raises(ValueError):
+            ServingConfig(dispatch="random")
+        with pytest.raises(ValueError):
+            ServingConfig(halo_hops=0)
+
+    def test_predictions_returned_in_submission_order(self, small_graph):
+        model = _model(small_graph)
+        reference = model.full_forward(small_graph).data.argmax(axis=-1)
+        server = _server(model, small_graph, num_shards=3, max_batch_size=5)
+        nodes = np.array([17, 3, 99, 3, 42, 0])
+        assert np.array_equal(server.predict(nodes), reference[nodes])
+
+    def test_render_mentions_the_key_metrics(self, small_graph):
+        server = _server(_model(small_graph), small_graph)
+        server.predict(np.arange(10))
+        text = server.stats().render()
+        assert "latency p50" in text and "embedding cache" in text and "worker" in text
+        assert "shards" in server.describe()

@@ -1,0 +1,77 @@
+"""Tests for halo-extended graph shards."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.serving import build_shards, expand_neighborhood
+
+
+def _reference_ball(graph: Graph, nodes, hops: int) -> set:
+    """Plain BFS ball, the spec for expand_neighborhood."""
+    ball = set(int(node) for node in nodes)
+    frontier = set(ball)
+    for _ in range(hops):
+        frontier = {
+            int(neighbor) for node in frontier for neighbor in graph.neighbors(node)
+        } - ball
+        ball |= frontier
+    return ball
+
+
+class TestExpandNeighborhood:
+    @pytest.mark.parametrize("hops", [0, 1, 2, 3])
+    def test_matches_bfs_ball(self, small_graph, hops):
+        seeds = np.array([0, 5, 17])
+        ball = expand_neighborhood(small_graph, seeds, hops)
+        assert set(ball.tolist()) == _reference_ball(small_graph, seeds, hops)
+        assert np.array_equal(ball, np.sort(ball))
+
+    def test_isolated_node_ball_is_itself(self):
+        graph = Graph.from_edges(3, np.array([[0, 1]]), np.zeros((3, 2)), np.zeros(3, dtype=int))
+        assert expand_neighborhood(graph, np.array([2]), 5).tolist() == [2]
+
+    def test_negative_hops_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            expand_neighborhood(small_graph, np.array([0]), -1)
+
+
+class TestBuildShards:
+    def test_cores_partition_the_graph(self, small_graph):
+        shards = build_shards(small_graph, 3, halo_hops=2, seed=0)
+        cores = np.concatenate([shard.core_nodes for shard in shards])
+        assert sorted(cores.tolist()) == list(range(small_graph.num_nodes))
+
+    def test_halo_is_the_k_hop_ball_minus_core(self, small_graph):
+        shards = build_shards(small_graph, 2, halo_hops=2, seed=0)
+        for shard in shards:
+            ball = _reference_ball(small_graph, shard.core_nodes, 2)
+            assert set(shard.nodes.tolist()) == ball
+            assert shard.num_core + shard.num_halo == len(ball)
+            shard.graph.validate()
+
+    def test_local_global_roundtrip(self, small_graph):
+        shard = build_shards(small_graph, 2, halo_hops=1, seed=0)[0]
+        local = shard.to_local(shard.core_nodes)
+        assert np.array_equal(shard.to_global(local), shard.core_nodes)
+        # Local features really are the global nodes' features.
+        assert np.array_equal(shard.graph.features[local], small_graph.features[shard.core_nodes])
+
+    def test_to_local_rejects_foreign_nodes(self, small_graph):
+        shards = build_shards(small_graph, 2, halo_hops=1, seed=0)
+        outside = np.setdiff1d(np.arange(small_graph.num_nodes), shards[0].nodes)
+        if len(outside):
+            with pytest.raises(KeyError):
+                shards[0].to_local(outside[:1])
+
+    def test_more_parts_than_nodes_gives_empty_shards(self):
+        graph = Graph.from_edges(3, np.array([[0, 1], [1, 2]]), np.zeros((3, 2)), np.zeros(3, dtype=int))
+        shards = build_shards(graph, 5, halo_hops=1, method="hash", seed=0)
+        assert len(shards) == 5
+        cores = np.concatenate([shard.core_nodes for shard in shards])
+        assert sorted(cores.tolist()) == [0, 1, 2]
+        for shard in shards:
+            if shard.num_core == 0:
+                assert len(shard.nodes) == 0 and shard.graph.num_nodes == 0

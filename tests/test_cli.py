@@ -24,6 +24,8 @@ class TestParser:
             ["profile", "--model", "GAT"],
             ["search", "--dataset", "cora"],
             ["table3", "--epochs", "2", "--block-sizes", "1", "4"],
+            ["partition", "--parts", "4", "--method", "hash"],
+            ["serve-bench", "--shards", "2", "--mode", "sampled"],
         ):
             args = parser.parse_args(command)
             assert args.command == command[0]
@@ -51,3 +53,28 @@ class TestExecution:
         assert main(["search", "--model", "GCN", "--dataset", "cora", "--hidden", "128"]) == 0
         output = capsys.readouterr().out
         assert "optimal" in output and "cycles" in output
+
+    def test_partition_command_reports_per_part_stats(self, capsys):
+        assert main(
+            ["partition", "--dataset", "cora", "--scale", "0.05", "--parts", "3", "--seed", "1"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "cut edges" in output and "halo" in output and "total cut edges" in output
+
+    def test_serve_bench_command_on_tiny_graph(self, capsys):
+        assert main(
+            [
+                "serve-bench",
+                "--dataset", "cora",
+                "--scale", "0.05",
+                "--hidden", "16",
+                "--epochs", "1",
+                "--requests", "48",
+                "--batch-size", "16",
+                "--shards", "2",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "latency p50" in output
+        assert "embedding cache" in output
+        assert "cycles/request" in output
