@@ -8,7 +8,6 @@ aggregator-only) on the synthetic Reddit stand-in and reports the trade-off.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments import render_aggregator_only, run_aggregator_only_ablation
 

@@ -13,7 +13,6 @@ are analytical roofline models, see EXPERIMENTS.md for the calibration notes).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments import render_figure6, run_figure6
 

@@ -1,14 +1,22 @@
 """Online serving benchmarks with in-repo acceptance gates.
 
-Three gates on the synthetic Reddit-like graph:
+Gates on the synthetic Reddit-like graph:
 
 1. **Exactness** (always asserted): served predictions are identical to
    offline full-graph inference (``evaluate_accuracy(mode="full")``) for the
-   same nodes.
+   same nodes — under *both* the serial and the concurrent executor.
 2. **Micro-batching** (wall-clock, skipped when ``BLOCKGNN_STRICT_PERF=0``):
    micro-batched throughput >= 3x request-at-a-time.
 3. **Embedding cache** (wall-clock, same switch): warm-cache p50 latency
    beats cold p50.
+4. **Concurrent executor** (wall-clock, same switch, needs >= 2 CPUs):
+   concurrent throughput >= serial on a >= 4-shard workload, with
+   bitwise-identical predictions.
+5. **Admission control** (simulated clock, always asserted): under a
+   sustained 2x-overload open loop, ``shed_oldest`` + bounded queues keep
+   completed-request p99 within the analytic queueing bound while the
+   unbounded server's p99 grows with the stream — and every request is
+   accounted for (completed + shed + rejected + expired == submitted).
 
 ``BLOCKGNN_QUICK=1`` shrinks the graph and the request stream so CI can
 exercise every code path without timing flakiness (combined with
@@ -42,6 +50,7 @@ NUM_REQUESTS = 128 if QUICK else 768
 HIDDEN = 32 if QUICK else 64
 EPOCHS = 1 if QUICK else 2
 NUM_SHARDS = 2
+CONCURRENT_SHARDS = 4     # the concurrent-vs-serial gate runs a wider workload
 BATCH_SIZE = 32
 
 
@@ -62,35 +71,39 @@ def served_setup():
     return graph, model, requests
 
 
-def _server(model, graph, batch_size: int, cache: int) -> InferenceServer:
+def _server(
+    model, graph, batch_size: int, cache: int, executor: str = "serial", shards: int = NUM_SHARDS
+) -> InferenceServer:
     return InferenceServer(
         model,
         graph,
         ServingConfig(
-            num_shards=NUM_SHARDS,
+            num_shards=shards,
             max_batch_size=batch_size,
             max_delay=0.002,
             cache_capacity=cache,
+            executor=executor,
             seed=0,
         ),
     )
 
 
-def test_served_predictions_match_full_graph_inference(served_setup):
-    """Gate: serving == evaluate_accuracy(mode='full') for the same nodes."""
+@pytest.mark.parametrize("executor", ["serial", "concurrent"])
+def test_served_predictions_match_full_graph_inference(served_setup, executor):
+    """Gate: serving == evaluate_accuracy(mode='full'), under both executors."""
     graph, model, requests = served_setup
-    server = _server(model, graph, BATCH_SIZE, cache=4096)
-    served = server.predict(requests)
+    with _server(model, graph, BATCH_SIZE, cache=4096, executor=executor) as server:
+        served = server.predict(requests)
 
-    reference = model.full_forward(graph).data[requests].argmax(axis=-1)
-    assert np.array_equal(served, reference)
+        reference = model.full_forward(graph).data[requests].argmax(axis=-1)
+        assert np.array_equal(served, reference)
 
-    served_accuracy = float((served == graph.labels[requests]).mean())
-    offline_accuracy = evaluate_accuracy(model, graph, requests, mode="full")
-    assert served_accuracy == offline_accuracy
+        served_accuracy = float((served == graph.labels[requests]).mean())
+        offline_accuracy = evaluate_accuracy(model, graph, requests, mode="full")
+        assert served_accuracy == offline_accuracy
 
-    # And again through a warm cache: reuse must not change a single answer.
-    assert np.array_equal(server.predict(requests), reference)
+        # And again through a warm cache: reuse must not change a single answer.
+        assert np.array_equal(server.predict(requests), reference)
 
 
 def test_serving_is_deterministic_under_simulated_clock(served_setup):
@@ -169,6 +182,121 @@ def test_warm_cache_latency_gate(served_setup, save_result):
             f"warm p50 {warm.p50_latency * 1e3:.3f} ms not below "
             f"cold p50 {cold.p50_latency * 1e3:.3f} ms"
         )
+
+
+def test_concurrent_executor_throughput_gate(served_setup, save_result):
+    """Gate: concurrent executor >= serial throughput on a >= 4-shard workload.
+
+    Predictions must stay bitwise identical either way; the throughput
+    assertion itself is wall-clock, so it follows ``BLOCKGNN_STRICT_PERF``
+    and is skipped on single-CPU machines where thread-level parallelism
+    cannot win by construction.
+    """
+    graph, model, requests = served_setup
+
+    timings = {}
+    predictions = {}
+    for executor in ("serial", "concurrent"):
+        with _server(
+            model, graph, BATCH_SIZE, cache=0, executor=executor, shards=CONCURRENT_SHARDS
+        ) as server:
+            server.predict(requests[: BATCH_SIZE * CONCURRENT_SHARDS])  # warm-up pass
+            start = time.perf_counter()
+            predictions[executor] = server.predict(requests)
+            timings[executor] = time.perf_counter() - start
+            stats = server.stats()
+            assert stats.executor == executor
+
+    assert np.array_equal(predictions["serial"], predictions["concurrent"])
+    reference = model.full_forward(graph).data[requests].argmax(axis=-1)
+    assert np.array_equal(predictions["concurrent"], reference)
+
+    ratio = timings["serial"] / timings["concurrent"]
+    save_result(
+        "serving_concurrent_throughput",
+        f"GCN n=8 serving {NUM_REQUESTS} requests on {graph.summary()}, "
+        f"{CONCURRENT_SHARDS} shards\n"
+        f"  serial executor    : {timings['serial'] * 1e3:.1f} ms "
+        f"({NUM_REQUESTS / timings['serial']:.0f} req/s)\n"
+        f"  concurrent executor: {timings['concurrent'] * 1e3:.1f} ms "
+        f"({NUM_REQUESTS / timings['concurrent']:.0f} req/s)\n"
+        f"  speedup            : {ratio:.2f}x on {os.cpu_count()} CPUs",
+    )
+    if STRICT_PERF:
+        if (os.cpu_count() or 1) < 2:
+            pytest.skip("concurrent >= serial needs >= 2 CPUs; correctness already asserted")
+        assert ratio >= 1.0, (
+            f"concurrent executor slower than serial ({ratio:.2f}x) on "
+            f"{os.cpu_count()} CPUs"
+        )
+
+
+def test_overload_p99_bounded_with_shedding_gate(served_setup, save_result):
+    """Gate: p99 stays bounded under 2x overload when shed_oldest is on.
+
+    Runs an open-loop simulation on a ``ManualClock`` (deterministic — always
+    asserted, regardless of ``BLOCKGNN_STRICT_PERF``): every round, twice the
+    service capacity arrives, the clock advances one service interval, and
+    the scheduler flushes one batch per shard.  Bounded queues with
+    ``shed_oldest`` must keep completed-request p99 within the analytic
+    queueing bound, while the unbounded server's p99 grows with the stream.
+    """
+    graph, model, _ = served_setup
+    shards = CONCURRENT_SHARDS
+    batch = 8
+    depth = 16
+    interval = 0.010          # simulated seconds between scheduler rounds
+    rounds = 8 if QUICK else 20
+
+    def run(config: ServingConfig):
+        rng = np.random.default_rng(1)  # identical arrival stream per config
+        clock = ManualClock()
+        server = InferenceServer(model, graph, config, clock=clock)
+        server.scheduler.flush_on_submit = False
+        submitted = []
+        for _ in range(rounds):     # arrival phase: 2x the per-round capacity
+            arrivals = rng.choice(graph.num_nodes, size=2 * shards * batch, replace=True)
+            submitted.extend(server.submit(int(node)) for node in arrivals)
+            clock.advance(interval)
+            server.poll()
+        while server.batcher.pending:   # service continues at the same rate
+            clock.advance(interval)
+            server.poll()
+        server.shutdown()
+        return submitted, server.stats()
+
+    base = dict(
+        num_shards=shards, max_batch_size=batch, max_delay=interval / 2, cache_capacity=4096,
+        seed=0,
+    )
+    unbounded_requests, unbounded = run(ServingConfig(**base))
+    shed_requests, shed = run(
+        ServingConfig(**base, max_queue_depth=depth, overload_policy="shed_oldest")
+    )
+
+    # Accounting: no request silently dropped in either configuration.
+    assert unbounded.submitted_requests == len(unbounded_requests)
+    assert shed.submitted_requests == len(shed_requests)
+    assert shed.shed_requests > 0
+
+    # The analytic bound: a completed request sits behind at most
+    # max_queue_depth queued requests, served one batch per round.
+    bound = (depth / batch + 2) * interval
+    save_result(
+        "serving_overload_p99",
+        f"2x-overload open loop, {rounds} rounds x {2 * shards * batch} arrivals, "
+        f"{shards} shards, batch {batch}, depth {depth} ({graph.summary()})\n"
+        f"  unbounded queues : p99 {unbounded.p99_latency * 1e3:8.1f} ms "
+        f"(completed {unbounded.completed_requests})\n"
+        f"  shed_oldest d={depth}: p99 {shed.p99_latency * 1e3:8.1f} ms "
+        f"(completed {shed.completed_requests}, shed {shed.shed_requests})\n"
+        f"  analytic bound   : {bound * 1e3:8.1f} ms",
+    )
+    assert shed.p99_latency <= bound, (
+        f"shedding p99 {shed.p99_latency * 1e3:.1f} ms exceeds the "
+        f"queueing bound {bound * 1e3:.1f} ms"
+    )
+    assert shed.p99_latency < unbounded.p99_latency
 
 
 def test_per_shard_accelerator_cost_estimates(served_setup, save_result):

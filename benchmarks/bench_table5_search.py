@@ -13,7 +13,6 @@ constraint, using the paper's aggregation-dominant approximation for GS-Pool.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments import PAPER_TABLE5, render_table5, run_table5
 

@@ -16,7 +16,6 @@ percentages.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments import render_table6, run_table6
 

@@ -14,7 +14,7 @@ Run with:  python examples/compress_train_evaluate.py
 
 from __future__ import annotations
 
-from repro.compression import CompressionConfig, compress_model, model_compression_report
+from repro.compression import CompressionConfig, compress_model
 from repro.experiments import render_table3, run_table3
 from repro.experiments.ablations import render_aggregator_only, run_aggregator_only_ablation
 from repro.graph import load_dataset

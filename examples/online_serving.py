@@ -1,4 +1,4 @@
-"""Online serving tour: micro-batching, sharded workers, embedding cache.
+"""Online serving tour: micro-batching, sharding, concurrency, overload.
 
 Walks through the serving engine end to end:
 
@@ -8,7 +8,11 @@ Walks through the serving engine end to end:
 3. replay a request stream three ways — request-at-a-time, micro-batched
    cold, micro-batched warm — and compare latency/throughput,
 4. verify the served answers are identical to offline full-graph inference,
-5. price one request in CirCore accelerator cycles per shard (perfmodel).
+5. price one request in CirCore accelerator cycles per shard (perfmodel),
+6. serve the same stream through the concurrent (thread-pool) executor and
+   check it answers bit-identically to the serial one,
+7. overload the server 2x with bounded queues + ``shed_oldest`` and watch
+   admission control keep p99 bounded while accounting for every request.
 
 Run with:  python examples/online_serving.py
 """
@@ -22,7 +26,12 @@ import numpy as np
 from repro.compression import CompressionConfig
 from repro.graph import load_dataset
 from repro.models import Trainer, TrainingConfig, create_model
-from repro.serving import InferenceServer, ServingConfig, estimate_shard_request_cycles
+from repro.serving import (
+    InferenceServer,
+    ManualClock,
+    ServingConfig,
+    estimate_shard_request_cycles,
+)
 
 
 def main() -> None:
@@ -101,6 +110,57 @@ def main() -> None:
             f"shard {shard.part_id}: {estimate.cycles_per_node:.0f} cycles/request "
             f"({estimate.cycles_per_node / estimate.config.frequency_hz * 1e6:.1f} us @ 100 MHz)"
         )
+
+    # 6. The concurrent executor: one flush task per shard on a thread pool.
+    #    Answers must be bit-identical — concurrency changes wall-clock only.
+    print("\n--- concurrent executor (4 shards, thread pool) ---")
+    for executor in ("serial", "concurrent"):
+        with InferenceServer(
+            model,
+            graph,
+            ServingConfig(num_shards=4, max_batch_size=32, cache_capacity=0, executor=executor),
+        ) as wide:
+            start = time.perf_counter()
+            wide_predictions = wide.predict(requests)
+            seconds = time.perf_counter() - start
+            peak = wide.stats().peak_concurrency
+        assert np.array_equal(wide_predictions, reference)
+        print(
+            f"{executor:10s}: {seconds * 1e3:7.1f} ms ({len(requests) / seconds:7.0f} req/s, "
+            f"peak {peak} flushes in flight)"
+        )
+
+    # 7. Overload: 2x the service rate against bounded queues.  shed_oldest
+    #    keeps latency bounded by dropping the stalest work — and every
+    #    request still terminates in exactly one state.
+    print("\n--- admission control under 2x overload (shed_oldest) ---")
+    clock = ManualClock()
+    overloaded = InferenceServer(
+        model,
+        graph,
+        ServingConfig(
+            num_shards=2, max_batch_size=16, max_delay=0.005,
+            max_queue_depth=32, overload_policy="shed_oldest", default_timeout=0.25,
+        ),
+        clock=clock,
+    )
+    overloaded.scheduler.flush_on_submit = False  # open loop: we drive the rounds
+    submitted = []
+    for _ in range(20):
+        arrivals = rng.choice(graph.num_nodes, size=64, replace=True)  # 2x capacity
+        submitted.extend(overloaded.submit(int(node)) for node in arrivals)
+        clock.advance(0.010)
+        overloaded.poll()
+    overloaded.shutdown()
+    stats = overloaded.stats()
+    print(
+        f"submitted {stats.submitted_requests}: {stats.completed_requests} completed, "
+        f"{stats.shed_requests} shed, {stats.expired_requests} expired, "
+        f"{stats.rejected_requests} rejected"
+    )
+    print(f"completed-request p99 latency: {stats.p99_latency * 1e3:.1f} ms (simulated clock)")
+    assert stats.submitted_requests == len(submitted)
+    print("every request accounted for: OK")
 
 
 if __name__ == "__main__":

@@ -125,6 +125,36 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--requests", type=int, default=512)
     serve.add_argument("--mode", choices=["exact", "sampled"], default="exact")
     serve.add_argument("--fanouts", type=int, nargs="+", default=[10, 5], help="sampled mode only")
+    serve.add_argument(
+        "--executor",
+        choices=["serial", "concurrent"],
+        default="serial",
+        help="flush execution: inline (deterministic) or thread-pool (parallel shards)",
+    )
+    serve.add_argument(
+        "--executor-workers",
+        type=int,
+        default=None,
+        help="thread-pool size for --executor concurrent (default: one per shard replica)",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="bound each shard queue (default: unbounded, no admission control)",
+    )
+    serve.add_argument(
+        "--overload-policy",
+        choices=["reject", "shed_oldest", "block"],
+        default="reject",
+        help="what to do when a bounded queue is full",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline; queued requests past it expire unserved",
+    )
     serve.add_argument("--seed", type=int, default=0)
 
     return parser
@@ -343,7 +373,7 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
     rng = np.random.default_rng(args.seed)
     nodes = rng.choice(graph.num_nodes, size=args.requests, replace=True)
 
-    def build_server(batch_size: int, cache: int) -> InferenceServer:
+    def build_server(batch_size: int, cache: int, executor: str) -> InferenceServer:
         return InferenceServer(
             model,
             graph,
@@ -356,28 +386,55 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
                 cache_capacity=cache,
                 num_replicas=args.replicas,
                 dispatch=args.dispatch,
+                executor=executor,
+                executor_workers=args.executor_workers,
+                max_queue_depth=args.max_queue_depth,
+                overload_policy=args.overload_policy,
+                default_timeout=None if args.deadline_ms is None else args.deadline_ms / 1e3,
                 seed=args.seed,
             ),
         )
 
+    def timed_stream(server: InferenceServer) -> float:
+        start = time.perf_counter()
+        requests = server.submit_many(nodes)
+        server.drain()
+        seconds = time.perf_counter() - start
+        incomplete = sum(1 for request in requests if not request.completed)
+        if incomplete:
+            print(
+                f"note: {incomplete}/{len(requests)} requests rejected/shed/expired "
+                f"under admission control"
+            )
+        return seconds
+
     # Naive baseline: one request per batch, no cache — what "no serving
     # engine" looks like.  Then the engine with micro-batching + cache.
-    baseline = build_server(1, 0)
-    start = time.perf_counter()
-    baseline.predict(nodes)
-    baseline_seconds = time.perf_counter() - start
+    baseline = build_server(1, 0, args.executor)
+    baseline_seconds = timed_stream(baseline)
+    baseline.shutdown()
 
-    server = build_server(args.batch_size, args.cache)
-    start = time.perf_counter()
-    server.predict(nodes)
-    batched_seconds = time.perf_counter() - start
+    server = build_server(args.batch_size, args.cache, args.executor)
+    batched_seconds = timed_stream(server)
     cold = server.stats()
 
     server.reset_stats()
-    start = time.perf_counter()
-    server.predict(nodes)
-    warm_seconds = time.perf_counter() - start
+    warm_seconds = timed_stream(server)
     warm = server.stats()
+    server.shutdown()
+
+    # Concurrent-vs-serial: replay the cold stream under both executors (no
+    # cache, so the comparison is pure flush execution).
+    executor_lines = []
+    for executor in ("serial", "concurrent"):
+        comparison = build_server(args.batch_size, 0, executor)
+        seconds = timed_stream(comparison)
+        peak = comparison.stats().peak_concurrency
+        comparison.shutdown()
+        executor_lines.append(
+            f"  {executor:10s}: {seconds * 1e3:8.1f} ms "
+            f"({args.requests / seconds:7.0f} req/s, peak concurrency {peak})"
+        )
 
     estimates = estimate_shard_request_cycles(
         args.model,
@@ -392,6 +449,7 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
         f"({estimate.cycles_per_node / estimate.config.frequency_hz * 1e6:.1f} us @ 100 MHz)"
         for shard, estimate in zip(server.shards, estimates)
     )
+    executor_comparison = "\n".join(executor_lines)
     return (
         f"{server.describe()}\n"
         f"--- cold pass ({args.requests} requests) ---\n{cold.render()}\n"
@@ -405,6 +463,8 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
         f"  micro-batched warm          : {warm_seconds * 1e3:.1f} ms "
         f"({args.requests / warm_seconds:.0f} req/s, "
         f"{baseline_seconds / warm_seconds:.1f}x)\n"
+        f"--- executor comparison ({args.shards} shards, cold, no cache) ---\n"
+        f"{executor_comparison}\n"
         f"--- perfmodel: estimated accelerator cost per request ---\n{cycle_lines}"
     )
 

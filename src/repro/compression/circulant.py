@@ -143,7 +143,6 @@ def expand_block_circulant(weights: np.ndarray, spec: BlockCirculantSpec) -> np.
         raise ValueError(
             f"weights shape {weights.shape} does not match spec {spec.weight_shape()}"
         )
-    n = spec.block_size
     blocks = circulant_from_first_column(weights)  # (p, q, n, n)
     dense = blocks.transpose(0, 2, 1, 3).reshape(spec.padded_out, spec.padded_in)
     return dense[: spec.out_features, : spec.in_features]

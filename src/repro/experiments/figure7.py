@@ -10,7 +10,7 @@ latency estimates and the published power numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..graph.datasets import dataset_stats
 from ..hardware.energy import BLOCKGNN_POWER_WATTS, CPU_POWER_WATTS, EnergyResult

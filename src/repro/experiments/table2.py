@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from ..profiling.flops import ModelProfile, profile_all_models
+from ..profiling.flops import profile_all_models
 from .tables import format_scientific, format_table
 
 __all__ = ["PAPER_TABLE2", "Table2Row", "run_table2", "render_table2"]

@@ -19,7 +19,7 @@ cannot be downloaded in this offline environment, so this module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -18,7 +18,6 @@ The class provides both views used throughout the repository:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 

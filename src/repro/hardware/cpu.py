@@ -18,7 +18,7 @@ explore other operating points.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 from ..workloads.spec import GNNWorkload, Phase
 

@@ -20,9 +20,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Tuple
 
-from ..workloads.spec import GNNWorkload, LayerWorkload, Phase
+from ..workloads.spec import GNNWorkload, LayerWorkload
 from .config import HYGCN_FPGA_CONFIG
 
 __all__ = ["HyGCNConfig", "HyGCNEstimate", "HyGCNModel"]

@@ -16,7 +16,7 @@ to study the numerical effect of that choice on the block-circulant datapath:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable
+from typing import Dict
 
 import numpy as np
 

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..compression.compress import CompressionConfig
 from ..graph.sampling import SampledBlock
-from ..tensor.tensor import Tensor, concatenate
+from ..tensor.tensor import Tensor
 from .base import GNNLayer, GNNModel, apply_linear, register_model
 
 __all__ = ["GCNLayer", "GCN"]

@@ -21,8 +21,8 @@ and, because the stages are pipelined, the per-node cycles of a layer are the
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hardware.config import CirCoreConfig, HardwareConstants, ZC706
 from ..workloads.spec import GNNWorkload, LayerWorkload, Phase

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from ..hardware.config import CirCoreConfig, HardwareConstants, ZC706
 from ..workloads.spec import GNNWorkload

@@ -9,7 +9,6 @@ a minute on a desktop PC; the same holds here.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 

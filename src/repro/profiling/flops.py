@@ -17,7 +17,7 @@ what motivates the design — are preserved.  EXPERIMENTS.md tabulates both.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..compression.ratios import theoretical_computation_reduction
 from ..workloads.builder import MODEL_NAMES, profiling_workload

@@ -11,17 +11,29 @@ trained (optionally block-circulant-compressed) GNN:
 * :class:`EmbeddingCache` memoises per-layer hidden states for hot nodes
   (LRU, invalidated by the model's ``weight_signature`` when training bumps
   ``Parameter.version``);
+* a :class:`Scheduler` owns the flush loop, dispatching one flush task per
+  due shard through a pluggable :class:`FlushExecutor` —
+  :class:`SerialExecutor` (deterministic, default) or
+  :class:`ConcurrentExecutor` (thread pool; NumPy kernels release the GIL so
+  shard flushes genuinely overlap);
+* admission control bounds each shard queue (``max_queue_depth``) with
+  ``reject`` / ``shed_oldest`` / ``block`` overload policies, and
+  deadline-aware expiry guarantees every request terminates as exactly one
+  of ``completed`` / ``rejected`` / ``shed`` / ``expired``;
 * :class:`InferenceServer` ties it together and exposes :class:`ServerStats`
-  (p50/p95 latency, cache hit rate, per-shard load) plus a perfmodel bridge
+  (p50/p95/p99 latency, cache hit rate, per-shard load, overload counters,
+  executor concurrency) plus a perfmodel bridge
   (:func:`estimate_shard_request_cycles`) pricing requests in accelerator
   cycles per shard.
 """
 
-from .batcher import InferenceRequest, MicroBatcher
+from .batcher import TERMINAL_STATUSES, InferenceRequest, MicroBatcher
 from .cache import CacheStats, EmbeddingCache
 from .clock import Clock, ManualClock, SystemClock
 from .config import ServingConfig
 from .engine import InferenceServer
+from .executor import ConcurrentExecutor, FlushExecutor, SerialExecutor, make_executor
+from .scheduler import Scheduler
 from .shard import GraphShard, build_shards, expand_neighborhood
 from .stats import ServerStats, WorkerLoad, estimate_shard_request_cycles
 from .worker import ShardWorker
@@ -33,7 +45,13 @@ __all__ = [
     "CacheStats",
     "EmbeddingCache",
     "InferenceRequest",
+    "TERMINAL_STATUSES",
     "MicroBatcher",
+    "FlushExecutor",
+    "SerialExecutor",
+    "ConcurrentExecutor",
+    "make_executor",
+    "Scheduler",
     "GraphShard",
     "build_shards",
     "expand_neighborhood",

@@ -1,11 +1,32 @@
 """Request futures and the micro-batching queues.
 
 Requests are coalesced per shard: a queue flushes as soon as it holds
-``max_batch_size`` requests, or when its oldest request has waited
-``max_delay`` seconds — the classic latency/throughput knob of online
-inference servers.  All timing goes through the engine's
+``max_batch_size`` requests, when its oldest request has waited ``max_delay``
+seconds, or when its oldest request's *deadline* has passed — the classic
+latency/throughput knob of online inference servers plus deadline-aware
+expiry.  All timing goes through the engine's
 :class:`~repro.serving.clock.Clock`, so with a ``ManualClock`` the flush
 schedule (and therefore every latency statistic) is fully deterministic.
+
+Every request terminates in exactly one state:
+
+``completed``
+    Served; ``prediction`` holds the answer.
+``rejected``
+    Turned away at admission because the shard queue was full
+    (``overload_policy="reject"``).
+``shed``
+    Admitted but later evicted from a full queue to make room for newer work
+    (``overload_policy="shed_oldest"``).
+``expired``
+    Flushed after its deadline had already passed, so it was not executed.
+``failed``
+    Abnormal path only: the worker raised while serving the batch.  The
+    engine marks the dequeued requests failed and re-raises, so even a
+    crashing flush can never strand a request in ``pending``.
+
+The benchmark/property suites assert that accounting: no request is ever
+silently dropped.
 """
 
 from __future__ import annotations
@@ -14,7 +35,16 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional
 
-__all__ = ["InferenceRequest", "MicroBatcher"]
+__all__ = ["InferenceRequest", "MicroBatcher", "TERMINAL_STATUSES"]
+
+PENDING = "pending"
+COMPLETED = "completed"
+REJECTED = "rejected"
+SHED = "shed"
+EXPIRED = "expired"
+FAILED = "failed"
+
+TERMINAL_STATUSES = (COMPLETED, REJECTED, SHED, EXPIRED, FAILED)
 
 
 @dataclass
@@ -25,6 +55,8 @@ class InferenceRequest:
     node: int
     shard_id: int
     enqueue_time: float
+    deadline: Optional[float] = None     # absolute clock time; None = no deadline
+    status: str = PENDING
     prediction: Optional[int] = None
     completion_time: Optional[float] = None
     worker_id: Optional[int] = None
@@ -32,7 +64,12 @@ class InferenceRequest:
 
     @property
     def done(self) -> bool:
-        return self.prediction is not None
+        """True once the request reached any terminal state."""
+        return self.status != PENDING
+
+    @property
+    def completed(self) -> bool:
+        return self.status == COMPLETED
 
     @property
     def latency(self) -> float:
@@ -42,23 +79,49 @@ class InferenceRequest:
         return self.completion_time - self.enqueue_time
 
     def result(self) -> int:
-        if not self.done:
+        if self.status == COMPLETED:
+            return int(self.prediction)
+        if self.status == PENDING:
             raise RuntimeError(
                 f"request {self.request_id} is still pending; call server.drain() first"
             )
-        return int(self.prediction)
+        raise RuntimeError(f"request {self.request_id} was {self.status}, not completed")
+
+    # -- terminal transitions (called by the engine, under its lock) -----------
+
+    def _finish(self, status: str, at: float) -> None:
+        if self.status != PENDING:
+            raise RuntimeError(
+                f"request {self.request_id} already terminated as {self.status}"
+            )
+        self.status = status
+        self.completion_time = at
 
 
 class MicroBatcher:
-    """Per-shard FIFO queues with size- and delay-triggered flushing."""
+    """Per-shard FIFO queues with size-, delay- and deadline-triggered flushing.
 
-    def __init__(self, num_shards: int, max_batch_size: int, max_delay: float) -> None:
+    ``max_queue_depth`` bounds each shard's queue (``None`` = unbounded); the
+    batcher only *reports* fullness — the admission policy (reject / shed /
+    block) lives in the engine, which owns request state transitions.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        max_batch_size: int,
+        max_delay: float,
+        max_queue_depth: Optional[int] = None,
+    ) -> None:
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         if max_delay < 0:
             raise ValueError("max_delay must be non-negative")
+        if max_queue_depth is not None and max_queue_depth <= 0:
+            raise ValueError("max_queue_depth must be positive (or None for unbounded)")
         self.max_batch_size = int(max_batch_size)
         self.max_delay = float(max_delay)
+        self.max_queue_depth = None if max_queue_depth is None else int(max_queue_depth)
         self._queues: List[Deque[InferenceRequest]] = [deque() for _ in range(num_shards)]
         # Flush-cause counters, surfaced by ServerStats.
         self.size_flushes = 0
@@ -72,30 +135,56 @@ class MicroBatcher:
     def pending_per_shard(self) -> List[int]:
         return [len(queue) for queue in self._queues]
 
+    def queue_depth(self, shard_id: int) -> int:
+        return len(self._queues[shard_id])
+
+    def is_full(self, shard_id: int) -> bool:
+        """Would admitting one more request exceed ``max_queue_depth``?"""
+        if self.max_queue_depth is None:
+            return False
+        return len(self._queues[shard_id]) >= self.max_queue_depth
+
     def enqueue(self, request: InferenceRequest) -> None:
         self._queues[request.shard_id].append(request)
 
+    def shed_oldest(self, shard_id: int) -> InferenceRequest:
+        """Evict the head of a full queue (the engine marks it ``shed``)."""
+        return self._queues[shard_id].popleft()
+
     def due_shards(self, now: float) -> List[int]:
-        """Shards whose queue must flush at time ``now`` (size or delay)."""
+        """Shards whose queue must flush at ``now`` (size, delay or deadline)."""
         due: List[int] = []
         for shard_id, queue in enumerate(self._queues):
             if not queue:
                 continue
+            head = queue[0]
             if len(queue) >= self.max_batch_size:
                 due.append(shard_id)
-            elif now - queue[0].enqueue_time >= self.max_delay:
+            elif now - head.enqueue_time >= self.max_delay:
+                due.append(shard_id)
+            elif head.deadline is not None and now >= head.deadline:
                 due.append(shard_id)
         return due
 
     def next_deadline(self) -> Optional[float]:
-        """Earliest time at which a delay-triggered flush becomes due."""
-        oldest = [queue[0].enqueue_time for queue in self._queues if queue]
-        return min(oldest) + self.max_delay if oldest else None
+        """Earliest time at which a delay- or deadline-triggered flush is due."""
+        times: List[float] = []
+        for queue in self._queues:
+            if not queue:
+                continue
+            head = queue[0]
+            when = head.enqueue_time + self.max_delay
+            if head.deadline is not None:
+                when = min(when, head.deadline)
+            times.append(when)
+        return min(times) if times else None
 
     def pop_batch(self, shard_id: int, forced: bool = False) -> List[InferenceRequest]:
         """Dequeue up to ``max_batch_size`` requests from one shard's queue."""
         queue = self._queues[shard_id]
         batch = [queue.popleft() for _ in range(min(len(queue), self.max_batch_size))]
+        if not batch:
+            return batch
         if forced:
             self.forced_flushes += 1
         elif len(batch) >= self.max_batch_size:

@@ -16,6 +16,7 @@ access, so serving can never return embeddings computed with stale weights.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, List, Optional, Sequence, Tuple
@@ -61,6 +62,11 @@ class EmbeddingCache:
     (``0`` disables the cache entirely).  :meth:`take` copies hit rows out
     eagerly, so later insertions evicting those entries cannot corrupt an
     in-flight batch.
+
+    The cache is thread-safe: every mutating operation holds an internal
+    ``RLock``, so a cache shared between workers served by the concurrent
+    executor cannot corrupt its LRU order or stats (workers additionally
+    serialise their own predict path, but the cache does not rely on that).
     """
 
     def __init__(self, capacity: int) -> None:
@@ -68,6 +74,7 @@ class EmbeddingCache:
             raise ValueError("cache capacity must be non-negative")
         self.capacity = int(capacity)
         self.stats = CacheStats()
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[Tuple[int, int], np.ndarray]" = OrderedDict()
         self._signature: Optional[Hashable] = None
 
@@ -86,18 +93,20 @@ class EmbeddingCache:
         Returns ``True`` when an invalidation happened.  The first call simply
         records the signature (an empty cache has nothing stale in it).
         """
-        if self._signature is None:
+        with self._lock:
+            if self._signature is None:
+                self._signature = signature
+                return False
+            if signature == self._signature:
+                return False
+            self._entries.clear()
             self._signature = signature
-            return False
-        if signature == self._signature:
-            return False
-        self._entries.clear()
-        self._signature = signature
-        self.stats.invalidations += 1
-        return True
+            self.stats.invalidations += 1
+            return True
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     # -- lookup / insert --------------------------------------------------------
 
@@ -109,46 +118,49 @@ class EmbeddingCache:
         touched in LRU order; stats are updated here and only here.
         """
         nodes = np.asarray(nodes, dtype=np.int64)
-        if not self.enabled:
-            self.stats.misses += len(nodes)
-            return nodes[:0], [], nodes
-        hit_nodes: List[int] = []
-        hit_rows: List[np.ndarray] = []
-        miss_nodes: List[int] = []
-        for node in nodes.tolist():
-            key = (layer, node)
-            row = self._entries.get(key)
-            if row is None:
-                miss_nodes.append(node)
-            else:
-                self._entries.move_to_end(key)
-                hit_nodes.append(node)
-                hit_rows.append(row)
-        self.stats.hits += len(hit_nodes)
-        self.stats.misses += len(miss_nodes)
-        return (
-            np.asarray(hit_nodes, dtype=np.int64),
-            hit_rows,
-            np.asarray(miss_nodes, dtype=np.int64),
-        )
+        with self._lock:
+            if not self.enabled:
+                self.stats.misses += len(nodes)
+                return nodes[:0], [], nodes
+            hit_nodes: List[int] = []
+            hit_rows: List[np.ndarray] = []
+            miss_nodes: List[int] = []
+            for node in nodes.tolist():
+                key = (layer, node)
+                row = self._entries.get(key)
+                if row is None:
+                    miss_nodes.append(node)
+                else:
+                    self._entries.move_to_end(key)
+                    hit_nodes.append(node)
+                    hit_rows.append(row)
+            self.stats.hits += len(hit_nodes)
+            self.stats.misses += len(miss_nodes)
+            return (
+                np.asarray(hit_nodes, dtype=np.int64),
+                hit_rows,
+                np.asarray(miss_nodes, dtype=np.int64),
+            )
 
     def put(self, layer: int, nodes: Sequence[int], values: np.ndarray) -> None:
         """Insert one hidden vector per node, evicting LRU entries if full."""
         if not self.enabled:
             return
         values = np.asarray(values)
-        for node, row in zip(np.asarray(nodes, dtype=np.int64).tolist(), values):
-            key = (layer, node)
-            if key in self._entries:
-                self._entries.move_to_end(key)
-            frozen = np.array(row, copy=True)
-            frozen.flags.writeable = False
-            self._entries[key] = frozen
-            self.stats.insertions += 1
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+        with self._lock:
+            for node, row in zip(np.asarray(nodes, dtype=np.int64).tolist(), values):
+                key = (layer, node)
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                frozen = np.array(row, copy=True)
+                frozen.flags.writeable = False
+                self._entries[key] = frozen
+                self.stats.insertions += 1
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
 
     def contains(self, layer: int, node: int) -> bool:
         """Membership check that does not touch LRU order or stats."""
-        return (layer, int(node)) in self._entries
+        with self._lock:
+            return (layer, int(node)) in self._entries

@@ -39,6 +39,22 @@ class ServingConfig:
         Halo depth per shard; defaults to the model depth, which is the
         minimum for exact serving (the server rejects shallower overrides
         in ``mode="exact"``).
+    executor, executor_workers:
+        ``"serial"`` runs flush rounds inline (deterministic, the default);
+        ``"concurrent"`` fans one flush task per shard out over a thread
+        pool of ``executor_workers`` threads (default: one per shard
+        replica).  NumPy kernels release the GIL, so shards genuinely
+        overlap.
+    max_queue_depth, overload_policy:
+        Admission control: each shard queue holds at most ``max_queue_depth``
+        waiting requests (``None`` = unbounded).  On a full queue,
+        ``"reject"`` turns the new request away, ``"shed_oldest"`` evicts the
+        oldest queued request to make room, and ``"block"`` synchronously
+        force-flushes the shard until there is capacity (backpressure).
+    default_timeout:
+        Deadline in clock seconds applied to every request that does not
+        carry its own (``None`` = no deadline).  A request flushed after its
+        deadline terminates as ``expired`` instead of being executed.
     seed:
         Seeds partitioning and the per-worker samplers (determinism).
     """
@@ -53,6 +69,11 @@ class ServingConfig:
     num_replicas: int = 1
     dispatch: str = "round_robin"
     halo_hops: Optional[int] = None
+    executor: str = "serial"
+    executor_workers: Optional[int] = None
+    max_queue_depth: Optional[int] = None
+    overload_policy: str = "reject"
+    default_timeout: Optional[float] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -68,3 +89,18 @@ class ServingConfig:
             )
         if self.halo_hops is not None and self.halo_hops < 1:
             raise ValueError("halo_hops must be at least 1 (the direct neighbourhood)")
+        if self.executor not in ("serial", "concurrent"):
+            raise ValueError(
+                f"executor must be 'serial' or 'concurrent', got {self.executor!r}"
+            )
+        if self.executor_workers is not None and self.executor_workers <= 0:
+            raise ValueError("executor_workers must be positive (or None for one per worker)")
+        if self.max_queue_depth is not None and self.max_queue_depth <= 0:
+            raise ValueError("max_queue_depth must be positive (or None for unbounded)")
+        if self.overload_policy not in ("reject", "shed_oldest", "block"):
+            raise ValueError(
+                "overload_policy must be 'reject', 'shed_oldest' or 'block', "
+                f"got {self.overload_policy!r}"
+            )
+        if self.default_timeout is not None and self.default_timeout <= 0:
+            raise ValueError("default_timeout must be positive (or None for no deadline)")

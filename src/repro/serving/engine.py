@@ -2,34 +2,56 @@
 
 Request lifecycle::
 
-    submit(node) ──▶ route by node id to the owning shard's queue
-                     │  (MicroBatcher: flush at max_batch_size or max_delay)
+    submit(node) ──▶ admission control (bounded per-shard queues:
+                     │  reject / shed_oldest / block on overload)
                      ▼
-    poll()/drain() ──▶ dispatcher picks a shard replica (round-robin or
-                     │  least-loaded) ──▶ ShardWorker.predict(batch)
+                     route by node id to the owning shard's queue
+                     │  (MicroBatcher: flush at max_batch_size, max_delay,
+                     │   or the oldest request's deadline)
                      ▼
-    InferenceRequest.prediction / .latency      ServerStats (p50/p95, cache
-                                                hit rate, per-shard load)
+    Scheduler ──────▶ one flush task per due shard, dispatched through a
+                     │  FlushExecutor (SerialExecutor inline, or
+                     │  ConcurrentExecutor over a thread pool)
+                     ▼
+    InferenceRequest.status ∈ {completed, rejected, shed, expired}
+    ServerStats (p50/p95/p99, hit rate, per-shard load, overload counters)
 
-The engine is single-threaded and simulation-friendly: all timing flows
-through a :class:`~repro.serving.clock.Clock`, and with ``mode="exact"`` the
-served predictions are identical to offline full-graph evaluation
-(``evaluate_accuracy(mode="full")``) for the same nodes.
+The :class:`~repro.serving.scheduler.Scheduler` owns the flush loop; by
+default it still polls after every ``submit()`` so size-triggered batches
+flush immediately, but open-loop drivers can set
+``server.scheduler.flush_on_submit = False`` and call ``poll()`` themselves.
+All timing flows through a :class:`~repro.serving.clock.Clock`; with the
+default ``SerialExecutor`` plus a ``ManualClock`` every run is bit-for-bit
+deterministic, and with ``mode="exact"`` the served predictions are identical
+to offline full-graph evaluation (``evaluate_accuracy(mode="full")``) under
+*either* executor.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+import contextlib
+import threading
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from ..graph.graph import Graph
 from ..models.base import GNNModel
-from .batcher import InferenceRequest, MicroBatcher
+from ..tensor.tensor import no_grad
+from .batcher import (
+    COMPLETED,
+    EXPIRED,
+    FAILED,
+    REJECTED,
+    SHED,
+    InferenceRequest,
+    MicroBatcher,
+)
 from .cache import CacheStats, EmbeddingCache
 from .clock import Clock, SystemClock
 from .config import ServingConfig
+from .executor import make_executor
+from .scheduler import Scheduler
 from .shard import GraphShard, build_shards
 from .stats import ServerStats, WorkerLoad
 from .worker import ShardWorker
@@ -81,7 +103,7 @@ class InferenceServer:
         self._replicas: List[List[ShardWorker]] = []
         for shard in self.shards:
             group: List[ShardWorker] = []
-            for replica in range(self.config.num_replicas):
+            for _replica in range(self.config.num_replicas):
                 worker = ShardWorker(
                     worker_id=len(self.workers),
                     shard=shard,
@@ -96,80 +118,204 @@ class InferenceServer:
             self._replicas.append(group)
 
         self.batcher = MicroBatcher(
-            len(self.shards), self.config.max_batch_size, self.config.max_delay
+            len(self.shards),
+            self.config.max_batch_size,
+            self.config.max_delay,
+            max_queue_depth=self.config.max_queue_depth,
         )
+        executor_workers = (
+            self.config.executor_workers
+            if self.config.executor_workers is not None
+            else len(self.workers)
+        )
+        self.executor = make_executor(self.config.executor, executor_workers)
+        self.scheduler = Scheduler(self.batcher, self.clock, self._flush, self.executor)
+
+        # Engine-wide lock: guards queue admission, dispatcher state and the
+        # stats accumulators.  Flush tasks run prediction *outside* it.
+        self._lock = threading.RLock()
+        self._serving_depth = 0
         self._round_robin = [0] * len(self.shards)
         self._request_counter = 0
         self._latencies: List[float] = []
         self._batch_sizes: List[int] = []
         self._completed = 0
+        self._rejected = 0
+        self._shed = 0
+        self._expired = 0
         self._first_enqueue: Optional[float] = None
         self._last_completion: Optional[float] = None
+        self._closed = False
 
     # -- request intake ----------------------------------------------------------
 
-    def submit(self, node: int) -> InferenceRequest:
-        """Enqueue one prediction request; flushes any batch that became due."""
+    def submit(self, node: int, timeout: Optional[float] = None) -> InferenceRequest:
+        """Enqueue one prediction request; the scheduler flushes due batches.
+
+        ``timeout`` (clock seconds, defaulting to ``config.default_timeout``)
+        sets the request's deadline: if it is still queued when its deadline
+        passes it terminates as ``expired`` instead of being executed.  Under
+        admission control the returned request may already be terminal
+        (``status == "rejected"``) — check ``request.completed`` before
+        calling ``result()``.
+        """
         node = int(node)
+        if self._closed:
+            raise RuntimeError("server is shut down")
         if not 0 <= node < self.graph.num_nodes:
             raise ValueError(f"node {node} is outside the graph (0..{self.graph.num_nodes - 1})")
+        if timeout is None:
+            timeout = self.config.default_timeout
+        elif timeout <= 0:
+            raise ValueError("timeout must be positive (or None for no deadline)")
         now = self.clock.now()
         request = InferenceRequest(
             request_id=self._request_counter,
             node=node,
             shard_id=int(self._owner[node]),
             enqueue_time=now,
+            deadline=None if timeout is None else now + timeout,
         )
         self._request_counter += 1
         if self._first_enqueue is None:
             self._first_enqueue = now
-        self.batcher.enqueue(request)
-        self.poll()
+        if self._admit(request):
+            self.scheduler.on_submit()
         return request
 
-    def submit_many(self, nodes: Sequence[int]) -> List[InferenceRequest]:
-        return [self.submit(node) for node in nodes]
+    def submit_many(
+        self, nodes: Sequence[int], timeout: Optional[float] = None
+    ) -> List[InferenceRequest]:
+        return [self.submit(node, timeout=timeout) for node in nodes]
+
+    def _admit(self, request: InferenceRequest) -> bool:
+        """Apply the overload policy; returns False when ``request`` was rejected."""
+        shard_id = request.shard_id
+        if self.batcher.is_full(shard_id):
+            policy = self.config.overload_policy
+            if policy == "reject":
+                with self._lock:
+                    request._finish(REJECTED, self.clock.now())
+                    self._rejected += 1
+                return False
+            if policy == "shed_oldest":
+                with self._lock:
+                    victim = self.batcher.shed_oldest(shard_id)
+                    victim._finish(SHED, self.clock.now())
+                    self._shed += 1
+            else:  # block: synchronous backpressure — serve until there is room
+                while self.batcher.is_full(shard_id):
+                    self._flush(shard_id, forced=True)
+        with self._lock:
+            self.batcher.enqueue(request)
+        return True
 
     # -- execution ---------------------------------------------------------------
 
     def poll(self) -> int:
         """Flush every queue that is due at the current clock time."""
-        flushed = 0
-        for shard_id in self.batcher.due_shards(self.clock.now()):
-            flushed += self._flush(shard_id)
-        return flushed
+        return self.scheduler.poll()
 
     def drain(self) -> int:
         """Force-flush until no request is pending (end of a request stream)."""
-        flushed = 0
-        while self.batcher.pending:
-            for shard_id in self.batcher.nonempty_shards():
-                flushed += self._flush(shard_id, forced=True)
-        return flushed
+        return self.scheduler.drain()
 
     def predict(self, nodes: Sequence[int]) -> np.ndarray:
-        """Synchronous convenience: submit ``nodes``, drain, return predictions."""
+        """Synchronous convenience: submit ``nodes``, drain, return predictions.
+
+        Raises when admission control turned any of the requests away — use
+        ``submit_many``/``drain`` and inspect per-request ``status`` when
+        serving with bounded queues.
+        """
         requests = self.submit_many(nodes)
         self.drain()
+        incomplete = sum(1 for request in requests if not request.completed)
+        if incomplete:
+            raise RuntimeError(
+                f"{incomplete} of {len(requests)} requests did not complete "
+                "(rejected/shed/expired by admission control); "
+                "use submit_many() + drain() and check request.status"
+            )
         return np.array([request.result() for request in requests], dtype=np.int64)
 
+    def shutdown(self) -> None:
+        """Drain pending work, then release executor threads (idempotent)."""
+        if self._closed:
+            return
+        self.drain()
+        self._closed = True
+        self.scheduler.shutdown()
+
+    def __enter__(self) -> "InferenceServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    @contextlib.contextmanager
+    def _serving_mode(self) -> Iterator[None]:
+        """Hold the model in eval/no-grad for a whole flush round.
+
+        The save/restore of ``model.training`` happens once, in the driving
+        thread, so concurrent flush tasks never observe (or cause) a
+        transition mid-batch.
+        """
+        with self._lock:
+            first = self._serving_depth == 0
+            self._serving_depth += 1
+            if first:
+                self._was_training = self.model.training
+                self.model.eval()
+        try:
+            with no_grad():
+                yield
+        finally:
+            with self._lock:
+                self._serving_depth -= 1
+                if self._serving_depth == 0:
+                    self.model.train(self._was_training)
+
     def _flush(self, shard_id: int, forced: bool = False) -> int:
-        batch = self.batcher.pop_batch(shard_id, forced=forced)
-        if not batch:
-            return 0
-        worker = self._pick_worker(shard_id)
-        nodes = np.array([request.node for request in batch], dtype=np.int64)
-        predictions = worker.predict(nodes)
-        now = self.clock.now()
-        for request, prediction in zip(batch, predictions):
-            request.prediction = int(prediction)
-            request.completion_time = now
-            request.worker_id = worker.worker_id
-            request.batch_size = len(batch)
-            self._latencies.append(request.latency)
-        self._completed += len(batch)
-        self._batch_sizes.append(len(batch))
-        self._last_completion = now
+        with self._lock:
+            batch = self.batcher.pop_batch(shard_id, forced=forced)
+            if not batch:
+                return 0
+            now = self.clock.now()
+            live: List[InferenceRequest] = []
+            for request in batch:
+                if request.deadline is not None and now >= request.deadline:
+                    request._finish(EXPIRED, now)
+                    self._expired += 1
+                else:
+                    live.append(request)
+            if not live:
+                return 1
+            worker = self._pick_worker(shard_id)
+
+        nodes = np.array([request.node for request in live], dtype=np.int64)
+        try:
+            with self._serving_mode():
+                predictions = worker.predict(nodes)
+        except BaseException:
+            # The batch was already dequeued; a crash must not strand it in
+            # "pending" (the exactly-once-termination contract).
+            with self._lock:
+                now = self.clock.now()
+                for request in live:
+                    request._finish(FAILED, now)
+            raise
+
+        with self._lock:
+            now = self.clock.now()
+            for request, prediction in zip(live, predictions):
+                request.prediction = int(prediction)
+                request.worker_id = worker.worker_id
+                request.batch_size = len(live)
+                request._finish(COMPLETED, now)
+                self._latencies.append(request.latency)
+            self._completed += len(live)
+            self._batch_sizes.append(len(live))
+            self._last_completion = now
         return 1
 
     def _pick_worker(self, shard_id: int) -> ShardWorker:
@@ -198,6 +344,7 @@ class InferenceServer:
                 nodes=worker.nodes_served,
                 core_nodes=worker.shard.num_core,
                 halo_nodes=worker.shard.num_halo,
+                peak_concurrency=worker.peak_inflight,
             )
             for worker in self.workers
         )
@@ -216,6 +363,11 @@ class InferenceServer:
             delay_flushes=self.batcher.delay_flushes,
             forced_flushes=self.batcher.forced_flushes,
             duration=duration,
+            executor=self.executor.name,
+            peak_concurrency=self.executor.peak_concurrency,
+            rejected_requests=self._rejected,
+            shed_requests=self._shed,
+            expired_requests=self._expired,
         )
 
     def reset_stats(self) -> None:
@@ -227,22 +379,33 @@ class InferenceServer:
         self._latencies.clear()
         self._batch_sizes.clear()
         self._completed = 0
+        self._rejected = 0
+        self._shed = 0
+        self._expired = 0
         self._first_enqueue = None
         self._last_completion = None
         self.batcher.size_flushes = 0
         self.batcher.delay_flushes = 0
         self.batcher.forced_flushes = 0
+        self.executor.reset_peak()
         for worker in self.workers:
             worker.batches_served = 0
             worker.nodes_served = 0
+            worker.peak_inflight = 0
             worker.cache.stats = CacheStats()
 
     def describe(self) -> str:
+        depth = (
+            "unbounded"
+            if self.config.max_queue_depth is None
+            else f"<= {self.config.max_queue_depth} ({self.config.overload_policy})"
+        )
         lines = [
             f"InferenceServer[{self.config.mode}] over {self.graph.name}: "
             f"{len(self.shards)} shards x {self.config.num_replicas} replicas, "
             f"batch<= {self.config.max_batch_size}, delay<= {self.config.max_delay * 1e3:.1f} ms, "
-            f"cache {self.config.cache_capacity} entries/worker"
+            f"cache {self.config.cache_capacity} entries/worker, "
+            f"executor {self.executor.name}, queues {depth}"
         ]
         lines.extend(f"  {shard.summary()}" for shard in self.shards)
         return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""The flush loop: decides *when* shards flush and dispatches the work.
+
+Before this module existed the engine flushed due queues as a side effect of
+``submit()``; the :class:`Scheduler` owns that loop instead.  Each call to
+:meth:`poll` runs one *round*: collect the shards whose queues are due at the
+current clock time, hand one flush task per shard to the
+:class:`~repro.serving.executor.FlushExecutor`, and wait for all of them (a
+barrier — no flush from round N+1 can overlap round N, which is what keeps
+concurrent execution deterministic per shard and lets a ``ManualClock`` stand
+still within a round).
+
+``flush_on_submit`` preserves the old ergonomic default: the engine polls
+after every ``submit()`` so size-triggered batches flush immediately.  Open-
+loop benchmarks turn it off and drive :meth:`poll` themselves to let queues
+actually build up (the admission-control scenarios).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from .batcher import MicroBatcher
+from .clock import Clock
+from .executor import FlushExecutor
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Drives flush rounds over a :class:`MicroBatcher` via a pluggable executor."""
+
+    def __init__(
+        self,
+        batcher: MicroBatcher,
+        clock: Clock,
+        flush: Callable[[int, bool], int],
+        executor: FlushExecutor,
+        flush_on_submit: bool = True,
+    ) -> None:
+        self.batcher = batcher
+        self.clock = clock
+        self._flush = flush
+        self.executor = executor
+        self.flush_on_submit = bool(flush_on_submit)
+        self.rounds = 0
+
+    # -- the loop ---------------------------------------------------------------
+
+    def poll(self) -> int:
+        """Run one round: flush every shard whose queue is due right now."""
+        due = self.batcher.due_shards(self.clock.now())
+        return self._run_round(due, forced=False)
+
+    def drain(self) -> int:
+        """Force-flush rounds until no request is pending (stream shutdown)."""
+        flushed = 0
+        while self.batcher.pending:
+            flushed += self._run_round(self.batcher.nonempty_shards(), forced=True)
+        return flushed
+
+    def on_submit(self) -> int:
+        """Hook called by the engine after each enqueue."""
+        return self.poll() if self.flush_on_submit else 0
+
+    def _run_round(self, shard_ids: List[int], forced: bool) -> int:
+        if not shard_ids:
+            return 0
+        self.rounds += 1
+        return sum(self.executor.map(lambda shard_id: self._flush(shard_id, forced), shard_ids))
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        self.executor.shutdown()

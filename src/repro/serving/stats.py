@@ -38,6 +38,7 @@ class WorkerLoad:
     nodes: int
     core_nodes: int
     halo_nodes: int
+    peak_concurrency: int = 0    # max batches in flight on this worker at once
 
 
 @dataclass(frozen=True)
@@ -54,6 +55,23 @@ class ServerStats:
     delay_flushes: int
     forced_flushes: int
     duration: float                  # clock time from first submit to last completion
+    executor: str = "serial"         # which FlushExecutor served the run
+    peak_concurrency: int = 0        # max flush tasks running simultaneously
+    rejected_requests: int = 0       # turned away at admission (queue full)
+    shed_requests: int = 0           # evicted from a full queue (shed_oldest)
+    expired_requests: int = 0        # flushed after their deadline passed
+
+    # -- accounting --------------------------------------------------------------
+
+    @property
+    def submitted_requests(self) -> int:
+        """Every request that reached a terminal state (nothing is dropped)."""
+        return (
+            self.completed_requests
+            + self.rejected_requests
+            + self.shed_requests
+            + self.expired_requests
+        )
 
     # -- latency ---------------------------------------------------------------
 
@@ -64,6 +82,10 @@ class ServerStats:
     @property
     def p95_latency(self) -> float:
         return _percentile(self.latencies, 95.0)
+
+    @property
+    def p99_latency(self) -> float:
+        return _percentile(self.latencies, 99.0)
 
     @property
     def mean_latency(self) -> float:
@@ -98,11 +120,16 @@ class ServerStats:
         lines = [
             f"mode {self.mode}: {self.completed_requests} requests in "
             f"{len(self.batch_sizes)} batches (mean size {self.mean_batch_size:.1f})",
+            f"  executor {self.executor} (peak concurrency {self.peak_concurrency})",
             f"  latency p50 {self.p50_latency * 1e3:.3f} ms   "
-            f"p95 {self.p95_latency * 1e3:.3f} ms   mean {self.mean_latency * 1e3:.3f} ms",
+            f"p95 {self.p95_latency * 1e3:.3f} ms   "
+            f"p99 {self.p99_latency * 1e3:.3f} ms   mean {self.mean_latency * 1e3:.3f} ms",
             f"  throughput {self.throughput:.1f} req/s over {self.duration * 1e3:.1f} ms",
             f"  flushes: {self.size_flushes} size, {self.delay_flushes} delay, "
             f"{self.forced_flushes} forced",
+            f"  admission: {self.rejected_requests} rejected, {self.shed_requests} shed, "
+            f"{self.expired_requests} expired "
+            f"({self.submitted_requests} requests accounted for)",
             f"  embedding cache: {self.cache.hits} hits / {self.cache.lookups} lookups "
             f"({self.cache_hit_rate * 100:.1f}%), {self.cache.evictions} evictions, "
             f"{self.cache.invalidations} invalidations",
@@ -111,7 +138,8 @@ class ServerStats:
             lines.append(
                 f"  worker {worker.worker_id} (shard {worker.shard_id}): "
                 f"{worker.nodes} nodes in {worker.batches} batches "
-                f"[{worker.core_nodes} core + {worker.halo_nodes} halo]"
+                f"[{worker.core_nodes} core + {worker.halo_nodes} halo, "
+                f"peak {worker.peak_concurrency} in flight]"
             )
         return "\n".join(lines)
 

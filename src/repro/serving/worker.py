@@ -25,6 +25,7 @@ answers prediction requests for the shard's core nodes in one of two modes:
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -67,25 +68,44 @@ class ShardWorker:
         # Load counters (read by the least-loaded dispatcher and ServerStats).
         self.batches_served = 0
         self.nodes_served = 0
+        # A worker serves one batch at a time: the lock serialises concurrent
+        # flushes dispatched to the same worker (its cache and sampler state
+        # must see batches in order), while distinct workers run in parallel.
+        self._lock = threading.Lock()
+        self._gauge_lock = threading.Lock()
+        self._inflight = 0
+        self.peak_inflight = 0
 
     # -- public API ------------------------------------------------------------
 
     def predict(self, global_nodes: np.ndarray) -> np.ndarray:
         """Class predictions for a batch of (shard-core) global node ids."""
         local = self.shard.to_local(np.asarray(global_nodes, dtype=np.int64))
-        was_training = self.model.training
-        self.model.eval()
+        with self._gauge_lock:
+            self._inflight += 1
+            self.peak_inflight = max(self.peak_inflight, self._inflight)
         try:
-            with no_grad():
-                if self.mode == "exact":
-                    logits = self._exact_logits(local)
-                else:
-                    batch = self.sampler.sample(local)
-                    logits = self.model.forward(batch, graph=self.shard.graph).data
+            with self._lock:
+                # Standalone-use guard only: when driven by InferenceServer the
+                # engine's _serving_mode already pinned eval/no-grad for the
+                # whole round (concurrent flushes must never see the training
+                # flag transition), making this save/restore a no-op.
+                was_training = self.model.training
+                self.model.eval()
+                try:
+                    with no_grad():
+                        if self.mode == "exact":
+                            logits = self._exact_logits(local)
+                        else:
+                            batch = self.sampler.sample(local)
+                            logits = self.model.forward(batch, graph=self.shard.graph).data
+                finally:
+                    self.model.train(was_training)
+                self.batches_served += 1
+                self.nodes_served += len(local)
         finally:
-            self.model.train(was_training)
-        self.batches_served += 1
-        self.nodes_served += len(local)
+            with self._gauge_lock:
+                self._inflight -= 1
         return logits.argmax(axis=-1)
 
     # -- exact mode --------------------------------------------------------------

@@ -17,6 +17,7 @@ analytically rather than composed from these primitives.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -24,15 +25,18 @@ import numpy as np
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "ensure_tensor"]
 
 # ---------------------------------------------------------------------------
-# Global autograd switch
+# Autograd switch (thread-local)
 # ---------------------------------------------------------------------------
 
-_GRAD_ENABLED = True
+# Per-thread so the concurrent serving executor's worker threads can run
+# inference under ``no_grad()`` without racing a training loop (or each
+# other) on a shared global flag.  Every thread starts with grad enabled.
+_GRAD_STATE = threading.local()
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations are currently being recorded for autograd."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 @contextlib.contextmanager
@@ -43,13 +47,12 @@ def no_grad():
     accelerator simulation) where building the autograd graph would only
     waste memory.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
@@ -96,7 +99,7 @@ class Tensor:
         array = np.asarray(data, dtype=np.float64)
         self.data: np.ndarray = array
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
         self.name = name
@@ -146,7 +149,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create a result tensor, wiring it into the graph when needed."""
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)

@@ -20,8 +20,8 @@ Operation accounting used throughout the repository (documented here once):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Literal, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Literal, Optional, Tuple
 
 __all__ = ["Phase", "MatVecOp", "VectorOp", "LayerWorkload", "GNNWorkload", "BYTES_PER_VALUE"]
 

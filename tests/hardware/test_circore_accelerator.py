@@ -17,7 +17,6 @@ from repro.compression import (
     CompressionConfig,
     block_circulant_matmul,
     random_block_circulant,
-    spectral_weights,
 )
 from repro.hardware import (
     BLOCKGNN_BASE,

@@ -15,7 +15,6 @@ from repro.hardware import (
     SystolicArray,
     VectorProcessingUnit,
     WeightBuffer,
-    ZC706,
 )
 
 

@@ -1,0 +1,334 @@
+"""Tests for the concurrent serving executor, scheduler and admission control.
+
+The contract under test:
+
+* ``SerialExecutor`` and ``ConcurrentExecutor`` produce identical predictions
+  (bitwise) — concurrency changes wall-clock, never answers;
+* the ``Scheduler`` owns the flush loop (rounds are barriers, and
+  ``flush_on_submit=False`` lets queues build for open-loop drivers);
+* bounded queues enforce their overload policy (reject / shed_oldest /
+  block) and deadlines expire queued requests — with every request
+  terminating in exactly one state.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressionConfig
+from repro.models import create_model
+from repro.serving import (
+    ConcurrentExecutor,
+    InferenceServer,
+    ManualClock,
+    MicroBatcher,
+    Scheduler,
+    SerialExecutor,
+    ServingConfig,
+    make_executor,
+)
+from repro.serving.batcher import InferenceRequest
+
+
+def _model(graph, name="GCN", block_size=1, seed=0):
+    return create_model(
+        name,
+        in_features=graph.num_features,
+        hidden_features=16,
+        num_classes=graph.num_classes,
+        compression=CompressionConfig(block_size=block_size),
+        seed=seed,
+    )
+
+
+def _server(model, graph, **overrides):
+    defaults = dict(num_shards=2, max_batch_size=8, max_delay=0.5, cache_capacity=1024, seed=0)
+    defaults.update(overrides)
+    return InferenceServer(model, graph, ServingConfig(**defaults), clock=ManualClock())
+
+
+class TestExecutors:
+    def test_factory_builds_both_kinds(self):
+        assert isinstance(make_executor("serial", 4), SerialExecutor)
+        assert isinstance(make_executor("concurrent", 4), ConcurrentExecutor)
+        with pytest.raises(ValueError):
+            make_executor("fibers", 4)
+        with pytest.raises(ValueError):
+            make_executor("concurrent", 0)
+
+    def test_serial_map_preserves_order(self):
+        executor = SerialExecutor()
+        assert executor.map(lambda x: x * 2, [3, 1, 2]) == [6, 2, 4]
+        assert executor.peak_concurrency == 1
+        executor.reset_peak()
+        assert executor.peak_concurrency == 0
+
+    def test_concurrent_map_preserves_order_and_runs_in_parallel(self):
+        executor = ConcurrentExecutor(max_workers=4)
+        barrier = threading.Barrier(4, timeout=5.0)
+
+        def task(x):
+            barrier.wait()  # deadlocks unless all four genuinely overlap
+            return x * 10
+
+        try:
+            assert executor.map(task, [1, 2, 3, 4]) == [10, 20, 30, 40]
+            assert executor.peak_concurrency == 4
+        finally:
+            executor.shutdown()
+
+    def test_concurrent_map_propagates_exceptions_after_the_round(self):
+        executor = ConcurrentExecutor(max_workers=2)
+        finished = []
+
+        def task(x):
+            if x == 0:
+                raise RuntimeError("boom")
+            finished.append(x)
+            return x
+
+        try:
+            with pytest.raises(RuntimeError, match="boom"):
+                executor.map(task, [0, 1, 2])
+            # The barrier held: the healthy tasks still ran to completion.
+            assert sorted(finished) == [1, 2]
+        finally:
+            executor.shutdown()
+
+    def test_concurrent_shutdown_is_idempotent(self):
+        executor = ConcurrentExecutor(max_workers=2)
+        executor.map(lambda x: x, [1])
+        executor.shutdown()
+        executor.shutdown()
+
+
+class TestScheduler:
+    def _scheduler(self, flushed, num_shards=2, max_batch_size=2, **kwargs):
+        batcher = MicroBatcher(num_shards, max_batch_size, max_delay=1.0)
+        clock = ManualClock()
+
+        def flush(shard_id, forced):
+            batch = batcher.pop_batch(shard_id, forced=forced)
+            flushed.extend(request.request_id for request in batch)
+            return 1 if batch else 0
+
+        scheduler = Scheduler(batcher, clock, flush, SerialExecutor(), **kwargs)
+        return scheduler, batcher, clock
+
+    def _request(self, request_id, shard_id, at):
+        return InferenceRequest(
+            request_id=request_id, node=request_id, shard_id=shard_id, enqueue_time=at
+        )
+
+    def test_poll_flushes_only_due_shards(self):
+        flushed = []
+        scheduler, batcher, clock = self._scheduler(flushed)
+        batcher.enqueue(self._request(0, 0, at=0.0))   # below size, delay not hit
+        batcher.enqueue(self._request(1, 1, at=0.0))
+        batcher.enqueue(self._request(2, 1, at=0.0))   # shard 1 hits max_batch_size
+        assert scheduler.poll() == 1
+        assert flushed == [1, 2]
+        clock.advance(1.0)                              # now shard 0's delay is due
+        assert scheduler.poll() == 1
+        assert flushed == [1, 2, 0]
+
+    def test_drain_empties_everything_in_rounds(self):
+        flushed = []
+        scheduler, batcher, _ = self._scheduler(flushed, max_batch_size=2)
+        for request_id in range(5):
+            batcher.enqueue(self._request(request_id, request_id % 2, at=0.0))
+        assert scheduler.drain() == 3
+        assert batcher.pending == 0
+        assert sorted(flushed) == [0, 1, 2, 3, 4]
+        assert scheduler.rounds == 2  # 2+2 then the final 1
+
+    def test_flush_on_submit_off_lets_queues_build(self, small_graph):
+        model = _model(small_graph)
+        server = _server(model, small_graph, num_shards=1, max_batch_size=4)
+        server.scheduler.flush_on_submit = False
+        requests = server.submit_many(range(8))
+        assert server.batcher.pending == 8          # nothing flushed eagerly
+        assert not any(request.done for request in requests)
+        server.poll()                                # size-due now, one batch per round
+        assert server.batcher.pending == 4
+        server.drain()
+        assert all(request.completed for request in requests)
+
+
+class TestConcurrentServing:
+    @pytest.mark.parametrize("executor", ["serial", "concurrent"])
+    def test_predictions_bitwise_equal_to_full_graph(self, small_graph, executor):
+        model = _model(small_graph, block_size=4)
+        reference = model.full_forward(small_graph).data.argmax(axis=-1)
+        server = _server(
+            model, small_graph, num_shards=3, executor=executor, max_batch_size=4
+        )
+        nodes = np.random.default_rng(2).choice(small_graph.num_nodes, size=80, replace=True)
+        try:
+            assert np.array_equal(server.predict(nodes), reference[nodes])
+        finally:
+            server.shutdown()
+
+    def test_concurrent_and_serial_serve_identical_answers(self, small_graph):
+        model = _model(small_graph)
+        nodes = np.random.default_rng(4).choice(small_graph.num_nodes, size=64, replace=True)
+        results = {}
+        for executor in ("serial", "concurrent"):
+            with _server(model, small_graph, num_shards=4, executor=executor) as server:
+                results[executor] = server.predict(nodes)
+        assert np.array_equal(results["serial"], results["concurrent"])
+
+    def test_stats_report_executor_and_concurrency(self, small_graph):
+        model = _model(small_graph)
+        with _server(model, small_graph, executor="concurrent", max_batch_size=4) as server:
+            server.predict(np.arange(small_graph.num_nodes))
+            stats = server.stats()
+        assert stats.executor == "concurrent"
+        assert stats.peak_concurrency >= 1
+        assert all(load.peak_concurrency >= 1 for load in stats.workers if load.batches)
+        assert "executor concurrent" in stats.render()
+
+    def test_crashing_worker_marks_requests_failed_not_pending(self, small_graph):
+        model = _model(small_graph)
+        server = _server(model, small_graph, num_shards=1, max_batch_size=4)
+        server.scheduler.flush_on_submit = False
+        requests = server.submit_many(range(4))
+
+        def boom(nodes):
+            raise RuntimeError("worker crashed")
+
+        server.workers[0].predict = boom
+        with pytest.raises(RuntimeError, match="worker crashed"):
+            server.drain()
+        assert [request.status for request in requests] == ["failed"] * 4
+        assert all(request.done for request in requests)
+        with pytest.raises(RuntimeError, match="failed"):
+            requests[0].result()
+
+    def test_shutdown_drains_then_rejects_new_work(self, small_graph):
+        model = _model(small_graph)
+        server = _server(model, small_graph, executor="concurrent")
+        server.scheduler.flush_on_submit = False
+        requests = server.submit_many(range(6))
+        server.shutdown()
+        assert all(request.completed for request in requests)
+        with pytest.raises(RuntimeError, match="shut down"):
+            server.submit(0)
+
+
+class TestAdmissionControl:
+    def test_reject_policy_turns_new_requests_away(self, small_graph):
+        model = _model(small_graph)
+        server = _server(
+            model, small_graph, num_shards=1, max_queue_depth=3, overload_policy="reject",
+            max_batch_size=100,
+        )
+        server.scheduler.flush_on_submit = False
+        requests = server.submit_many(range(5))
+        statuses = [request.status for request in requests]
+        assert statuses == ["pending"] * 3 + ["rejected"] * 2
+        with pytest.raises(RuntimeError, match="rejected"):
+            requests[-1].result()
+        server.drain()
+        stats = server.stats()
+        assert stats.rejected_requests == 2
+        assert stats.completed_requests == 3
+        assert stats.submitted_requests == 5
+
+    def test_shed_oldest_policy_keeps_the_newest(self, small_graph):
+        model = _model(small_graph)
+        server = _server(
+            model, small_graph, num_shards=1, max_queue_depth=2, overload_policy="shed_oldest",
+            max_batch_size=100,
+        )
+        server.scheduler.flush_on_submit = False
+        requests = server.submit_many(range(4))
+        assert [request.status for request in requests] == ["shed", "shed", "pending", "pending"]
+        server.drain()
+        assert [request.status for request in requests] == [
+            "shed", "shed", "completed", "completed",
+        ]
+        assert server.stats().shed_requests == 2
+
+    def test_block_policy_serves_synchronously_to_make_room(self, small_graph):
+        model = _model(small_graph)
+        server = _server(
+            model, small_graph, num_shards=1, max_queue_depth=2, overload_policy="block",
+            max_batch_size=2,
+        )
+        server.scheduler.flush_on_submit = False
+        requests = server.submit_many(range(6))
+        server.drain()
+        assert all(request.completed for request in requests)  # nothing dropped
+        stats = server.stats()
+        assert stats.rejected_requests == 0 and stats.shed_requests == 0
+        assert stats.forced_flushes >= 2  # blocking forced early flushes
+
+    def test_predict_raises_when_admission_drops_requests(self, small_graph):
+        model = _model(small_graph)
+        server = _server(
+            model, small_graph, num_shards=1, max_queue_depth=1, overload_policy="reject",
+            max_batch_size=100,
+        )
+        server.scheduler.flush_on_submit = False
+        with pytest.raises(RuntimeError, match="did not complete"):
+            server.predict(np.arange(4))
+
+    def test_invalid_admission_configs_rejected(self):
+        with pytest.raises(ValueError):
+            ServingConfig(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            ServingConfig(overload_policy="drop-table")
+        with pytest.raises(ValueError):
+            ServingConfig(executor="fibers")
+        with pytest.raises(ValueError):
+            ServingConfig(executor_workers=0)
+        with pytest.raises(ValueError):
+            ServingConfig(default_timeout=0.0)
+
+
+class TestDeadlines:
+    def test_expired_requests_are_not_executed(self, small_graph):
+        model = _model(small_graph)
+        clock = ManualClock()
+        server = InferenceServer(
+            model,
+            small_graph,
+            ServingConfig(num_shards=1, max_batch_size=100, max_delay=10.0, seed=0),
+            clock=clock,
+        )
+        server.scheduler.flush_on_submit = False
+        fresh = server.submit(0)
+        doomed = server.submit(1, timeout=0.5)
+        clock.advance(1.0)
+        server.drain()
+        assert fresh.completed
+        assert doomed.status == "expired"
+        assert doomed.prediction is None
+        assert server.stats().expired_requests == 1
+
+    def test_deadline_makes_a_queue_due(self, small_graph):
+        model = _model(small_graph)
+        clock = ManualClock()
+        server = InferenceServer(
+            model,
+            small_graph,
+            ServingConfig(
+                num_shards=1, max_batch_size=100, max_delay=10.0, default_timeout=0.5, seed=0
+            ),
+            clock=clock,
+        )
+        server.scheduler.flush_on_submit = False
+        request = server.submit(0)
+        assert server.poll() == 0          # not due: delay 10s, deadline 0.5s away
+        clock.advance(0.6)
+        assert server.poll() == 1          # deadline passed -> queue became due
+        assert request.status == "expired"
+
+    def test_submit_rejects_nonpositive_timeout(self, small_graph):
+        server = _server(_model(small_graph), small_graph)
+        with pytest.raises(ValueError):
+            server.submit(0, timeout=-1.0)

@@ -1,0 +1,115 @@
+"""Property test: admission control never silently drops a request.
+
+Under any interleaving of submissions, clock advances, polls, drains and any
+overload policy / queue depth / deadline configuration, every submitted
+request must terminate in *exactly one* of the four terminal states —
+``completed``, ``rejected``, ``shed`` or ``expired`` — and the server's
+counters must account for all of them.  Completed answers must still match
+offline full-graph inference bitwise.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import CompressionConfig
+from repro.graph.datasets import synthetic_graph
+from repro.models import create_model
+from repro.serving import TERMINAL_STATUSES, InferenceServer, ManualClock, ServingConfig
+
+GRAPH = synthetic_graph(
+    num_nodes=48, num_edges=180, num_features=8, num_classes=3, seed=11, name="overload-graph"
+)
+MODEL = create_model(
+    "GCN",
+    in_features=GRAPH.num_features,
+    hidden_features=8,
+    num_classes=GRAPH.num_classes,
+    compression=CompressionConfig(block_size=4),
+    seed=0,
+)
+REFERENCE = MODEL.full_forward(GRAPH).data.argmax(axis=-1)
+
+
+def _operations():
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("submit"), st.integers(0, GRAPH.num_nodes - 1)),
+            st.tuples(st.just("advance"), st.floats(0.01, 1.0)),
+            st.tuples(st.just("poll"), st.just(0)),
+            st.tuples(st.just("drain"), st.just(0)),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    operations=_operations(),
+    num_shards=st.integers(1, 3),
+    max_batch_size=st.integers(1, 4),
+    max_queue_depth=st.one_of(st.none(), st.integers(1, 3)),
+    overload_policy=st.sampled_from(["reject", "shed_oldest", "block"]),
+    default_timeout=st.one_of(st.none(), st.floats(0.05, 0.5)),
+    flush_on_submit=st.booleans(),
+)
+def test_every_request_terminates_exactly_once(
+    operations,
+    num_shards,
+    max_batch_size,
+    max_queue_depth,
+    overload_policy,
+    default_timeout,
+    flush_on_submit,
+):
+    clock = ManualClock()
+    server = InferenceServer(
+        MODEL,
+        GRAPH,
+        ServingConfig(
+            num_shards=num_shards,
+            max_batch_size=max_batch_size,
+            max_delay=0.2,
+            cache_capacity=64,
+            max_queue_depth=max_queue_depth,
+            overload_policy=overload_policy,
+            default_timeout=default_timeout,
+            seed=0,
+        ),
+        clock=clock,
+    )
+    server.scheduler.flush_on_submit = flush_on_submit
+
+    requests = []
+    for operation, value in operations:
+        if operation == "submit":
+            requests.append(server.submit(value))
+        elif operation == "advance":
+            clock.advance(value)
+        elif operation == "poll":
+            server.poll()
+        else:
+            server.drain()
+    server.shutdown()  # final drain: nothing may stay pending
+
+    # Exactly-once termination: each request is in one terminal state ...
+    assert all(request.status in TERMINAL_STATUSES for request in requests)
+    assert all(request.done for request in requests)
+    # ... only completed ones carry a prediction, and it is the exact answer.
+    for request in requests:
+        if request.status == "completed":
+            assert request.prediction == REFERENCE[request.node]
+            assert request.completion_time is not None
+        else:
+            assert request.prediction is None
+
+    # The stats ledger balances: nothing dropped, nothing double-counted.
+    stats = server.stats()
+    assert stats.submitted_requests == len(requests)
+    assert stats.completed_requests == sum(r.status == "completed" for r in requests)
+    assert stats.rejected_requests == sum(r.status == "rejected" for r in requests)
+    assert stats.shed_requests == sum(r.status == "shed" for r in requests)
+    assert stats.expired_requests == sum(r.status == "expired" for r in requests)
+    assert server.batcher.pending == 0

@@ -26,9 +26,24 @@ class TestParser:
             ["table3", "--epochs", "2", "--block-sizes", "1", "4"],
             ["partition", "--parts", "4", "--method", "hash"],
             ["serve-bench", "--shards", "2", "--mode", "sampled"],
+            [
+                "serve-bench",
+                "--executor", "concurrent",
+                "--executor-workers", "4",
+                "--max-queue-depth", "64",
+                "--overload-policy", "shed_oldest",
+                "--deadline-ms", "50",
+            ],
         ):
             args = parser.parse_args(command)
             assert args.command == command[0]
+
+    def test_serve_bench_rejects_unknown_executor_and_policy(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["serve-bench", "--executor", "fibers"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["serve-bench", "--overload-policy", "drop"])
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
@@ -78,3 +93,25 @@ class TestExecution:
         assert "latency p50" in output
         assert "embedding cache" in output
         assert "cycles/request" in output
+        assert "executor comparison" in output
+        assert "concurrent" in output
+
+    def test_serve_bench_command_with_admission_control(self, capsys):
+        assert main(
+            [
+                "serve-bench",
+                "--dataset", "cora",
+                "--scale", "0.05",
+                "--hidden", "16",
+                "--epochs", "1",
+                "--requests", "48",
+                "--batch-size", "8",
+                "--shards", "2",
+                "--executor", "concurrent",
+                "--max-queue-depth", "128",
+                "--overload-policy", "shed_oldest",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "admission" in output
+        assert "queues <= 128 (shed_oldest)" in output
