@@ -1,0 +1,61 @@
+"""Machine-readable benchmark emission shared by every ``bench_*.py`` gate.
+
+Each benchmark's ``save_result`` fixture renders a human-readable text file
+under ``benchmarks/results/`` *and* routes through :func:`emit_bench_json`,
+which writes a ``BENCH_<name>.json`` sibling: a stable, diffable record of
+the run's metrics (throughput, latency percentiles, speedup ratios — whatever
+the gate passes) so the repository accumulates a perf trajectory instead of
+prose snapshots.  CI uploads the JSON files as a workflow artifact.
+
+The schema is intentionally small::
+
+    {
+      "name": "<gate name>",
+      "schema": 1,
+      "quick": false,            # BLOCKGNN_QUICK run (shrunken workload)?
+      "strict_perf": true,       # were wall-clock assertions armed?
+      "metrics": {"speedup_cold": 2.7, ...},   # numbers only
+      "text": "<the rendered human-readable result>"
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+from typing import Dict, Optional
+
+__all__ = ["emit_bench_json"]
+
+SCHEMA_VERSION = 1
+
+
+def _jsonable(value):
+    value = float(value)
+    if math.isnan(value):
+        return None
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def emit_bench_json(
+    results_dir: pathlib.Path,
+    name: str,
+    metrics: Optional[Dict[str, float]] = None,
+    text: str = "",
+) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` under ``results_dir`` and return its path."""
+    payload = {
+        "name": name,
+        "schema": SCHEMA_VERSION,
+        "quick": os.environ.get("BLOCKGNN_QUICK", "0") == "1",
+        "strict_perf": os.environ.get("BLOCKGNN_STRICT_PERF", "1") != "0",
+        "metrics": {key: _jsonable(value) for key, value in sorted((metrics or {}).items())},
+        "text": text,
+    }
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

@@ -151,6 +151,9 @@ def test_cached_rfft_speedup_over_seed_path(dense_problem, save_result):
         f"  uncached complex-FFT (seed) : {uncached * 1e3:.3f} ms\n"
         f"  cached rFFT (this PR)       : {cached * 1e3:.3f} ms\n"
         f"  speedup                     : {speedup:.1f}x",
+        speedup=speedup,
+        uncached_ms=uncached * 1e3,
+        cached_ms=cached * 1e3,
     )
     if STRICT_PERF:
         assert speedup >= 2.0, f"cached rFFT path only {speedup:.2f}x faster than the seed path"
@@ -186,6 +189,10 @@ def test_full_graph_vs_sampled_inference(save_result):
         f"in {comparison.full_seconds * 1e3:.1f} ms\n"
         f"  speedup {comparison.speedup:.1f}x, "
         f"accuracy difference {comparison.accuracy_difference:.4f}",
+        speedup=comparison.speedup,
+        sampled_ms=comparison.sampled_seconds * 1e3,
+        full_ms=comparison.full_seconds * 1e3,
+        accuracy_difference=comparison.accuracy_difference,
     )
     assert comparison.accuracy_difference <= 0.01
     if STRICT_PERF:

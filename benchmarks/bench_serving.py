@@ -151,6 +151,13 @@ def test_microbatch_throughput_gate(served_setup, save_result):
         f"  speedup           : {speedup:.1f}x\n"
         f"  mean batch size   : {stats.mean_batch_size:.1f}, "
         f"cache hit rate {stats.cache_hit_rate * 100:.1f}%",
+        speedup=speedup,
+        baseline_req_per_s=NUM_REQUESTS / baseline_seconds,
+        batched_req_per_s=NUM_REQUESTS / batched_seconds,
+        p50_ms=stats.p50_latency * 1e3,
+        p95_ms=stats.p95_latency * 1e3,
+        p99_ms=stats.p99_latency * 1e3,
+        cache_hit_rate=stats.cache_hit_rate,
     )
     if STRICT_PERF:
         assert speedup >= 3.0, f"micro-batching only {speedup:.2f}x over request-at-a-time"
@@ -174,6 +181,11 @@ def test_warm_cache_latency_gate(served_setup, save_result):
         f"hit rate {cold.cache_hit_rate * 100:.1f}%\n"
         f"  warm pass: p50 {warm.p50_latency * 1e3:.3f} ms  p95 {warm.p95_latency * 1e3:.3f} ms  "
         f"hit rate {warm.cache_hit_rate * 100:.1f}%",
+        cold_p50_ms=cold.p50_latency * 1e3,
+        cold_p95_ms=cold.p95_latency * 1e3,
+        warm_p50_ms=warm.p50_latency * 1e3,
+        warm_p95_ms=warm.p95_latency * 1e3,
+        warm_hit_rate=warm.cache_hit_rate,
     )
     assert warm.cache_hit_rate > cold.cache_hit_rate
     assert warm.cache_hit_rate == 1.0  # repeat stream fully memoised
@@ -221,6 +233,9 @@ def test_concurrent_executor_throughput_gate(served_setup, save_result):
         f"  concurrent executor: {timings['concurrent'] * 1e3:.1f} ms "
         f"({NUM_REQUESTS / timings['concurrent']:.0f} req/s)\n"
         f"  speedup            : {ratio:.2f}x on {os.cpu_count()} CPUs",
+        speedup=ratio,
+        serial_req_per_s=NUM_REQUESTS / timings["serial"],
+        concurrent_req_per_s=NUM_REQUESTS / timings["concurrent"],
     )
     if STRICT_PERF:
         if (os.cpu_count() or 1) < 2:
@@ -291,6 +306,10 @@ def test_overload_p99_bounded_with_shedding_gate(served_setup, save_result):
         f"  shed_oldest d={depth}: p99 {shed.p99_latency * 1e3:8.1f} ms "
         f"(completed {shed.completed_requests}, shed {shed.shed_requests})\n"
         f"  analytic bound   : {bound * 1e3:8.1f} ms",
+        unbounded_p99_ms=unbounded.p99_latency * 1e3,
+        shed_p99_ms=shed.p99_latency * 1e3,
+        bound_ms=bound * 1e3,
+        shed_requests=shed.shed_requests,
     )
     assert shed.p99_latency <= bound, (
         f"shedding p99 {shed.p99_latency * 1e3:.1f} ms exceeds the "

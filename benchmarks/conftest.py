@@ -4,13 +4,24 @@ Every benchmark regenerates one table or figure from the paper's evaluation
 section, prints it (run ``pytest benchmarks/ --benchmark-only -s`` to see the
 tables inline) and saves the rendered text under ``benchmarks/results/`` so the
 numbers quoted in EXPERIMENTS.md can be refreshed with a single command.
+
+``save_result`` additionally emits a machine-readable ``BENCH_<name>.json``
+next to every text file (see ``benchmarks/_emit.py``): gates pass their key
+numbers as keyword arguments —
+``save_result("gate", text, speedup=3.1, p50_ms=0.4)`` — and CI archives the
+JSON files as the run's perf record.
 """
 
 from __future__ import annotations
 
 import pathlib
+import sys
 
 import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from _emit import emit_bench_json  # noqa: E402  (needs the path tweak above)
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -23,11 +34,15 @@ def results_dir() -> pathlib.Path:
 
 @pytest.fixture(scope="session")
 def save_result(results_dir):
-    """Persist a rendered table/figure under ``benchmarks/results/<name>.txt``."""
+    """Persist a result as ``<name>.txt`` + machine-readable ``BENCH_<name>.json``.
 
-    def _save(name: str, text: str) -> None:
+    Keyword arguments become the JSON's ``metrics`` mapping (numbers only).
+    """
+
+    def _save(name: str, text: str, **metrics) -> None:
         path = results_dir / f"{name}.txt"
         path.write_text(text + "\n")
-        print(f"\n[{name}]\n{text}\n(saved to {path})")
+        json_path = emit_bench_json(results_dir, name, metrics=metrics, text=text)
+        print(f"\n[{name}]\n{text}\n(saved to {path} and {json_path})")
 
     return _save

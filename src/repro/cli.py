@@ -122,6 +122,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-size", type=int, default=32, help="micro-batch flush size")
     serve.add_argument("--max-delay-ms", type=float, default=2.0)
     serve.add_argument("--cache", type=int, default=4096, help="embedding-cache entries per worker")
+    serve.add_argument(
+        "--cache-policy",
+        choices=["lru", "degree"],
+        default="lru",
+        help="slab-cache retention: exact LRU or degree-aware hub pinning (GNNIE-style)",
+    )
+    serve.add_argument(
+        "--pin-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of the cache capacity reserved for pinned hubs (--cache-policy degree)",
+    )
+    serve.add_argument(
+        "--hot-path",
+        choices=["compiled", "legacy"],
+        default="compiled",
+        help="exact-mode implementation: compiled fast path or the PR-3 reference",
+    )
+    serve.add_argument(
+        "--fft-workers",
+        type=int,
+        default=None,
+        help="scipy.fft workers= for block-circulant transforms (default: single-threaded)",
+    )
     serve.add_argument("--requests", type=int, default=512)
     serve.add_argument("--mode", choices=["exact", "sampled"], default="exact")
     serve.add_argument("--fanouts", type=int, nargs="+", default=[10, 5], help="sampled mode only")
@@ -373,7 +397,9 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
     rng = np.random.default_rng(args.seed)
     nodes = rng.choice(graph.num_nodes, size=args.requests, replace=True)
 
-    def build_server(batch_size: int, cache: int, executor: str) -> InferenceServer:
+    def build_server(
+        batch_size: int, cache: int, executor: str, hot_path: str = args.hot_path
+    ) -> InferenceServer:
         return InferenceServer(
             model,
             graph,
@@ -384,6 +410,10 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
                 mode=args.mode,
                 fanouts=fanouts if args.mode == "sampled" else None,
                 cache_capacity=cache,
+                cache_policy=args.cache_policy,
+                cache_pin_fraction=args.pin_fraction,
+                hot_path=hot_path,
+                fft_workers=args.fft_workers,
                 num_replicas=args.replicas,
                 dispatch=args.dispatch,
                 executor=executor,
@@ -436,6 +466,21 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
             f"({args.requests / seconds:7.0f} req/s, peak concurrency {peak})"
         )
 
+    # Hot-path comparison: the compiled fast path vs the PR-3 reference
+    # implementation, cold and warm caches (exact mode only).
+    hotpath_lines = []
+    if args.mode == "exact":
+        for hot_path in ("legacy", "compiled"):
+            comparison = build_server(args.batch_size, args.cache, args.executor, hot_path=hot_path)
+            cold_hp = timed_stream(comparison)
+            warm_hp = timed_stream(comparison)
+            comparison.shutdown()
+            hotpath_lines.append(
+                f"  {hot_path:8s}: cold {cold_hp * 1e3:8.1f} ms "
+                f"({args.requests / cold_hp:7.0f} req/s)   "
+                f"warm {warm_hp * 1e3:8.1f} ms ({args.requests / warm_hp:7.0f} req/s)"
+            )
+
     estimates = estimate_shard_request_cycles(
         args.model,
         server.shards,
@@ -450,6 +495,13 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
         for shard, estimate in zip(server.shards, estimates)
     )
     executor_comparison = "\n".join(executor_lines)
+    hotpath_comparison = (
+        "--- hot-path comparison (legacy = PR-3 reference) ---\n"
+        + "\n".join(hotpath_lines)
+        + "\n"
+        if hotpath_lines
+        else ""
+    )
     return (
         f"{server.describe()}\n"
         f"--- cold pass ({args.requests} requests) ---\n{cold.render()}\n"
@@ -465,6 +517,7 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
         f"{baseline_seconds / warm_seconds:.1f}x)\n"
         f"--- executor comparison ({args.shards} shards, cold, no cache) ---\n"
         f"{executor_comparison}\n"
+        f"{hotpath_comparison}"
         f"--- perfmodel: estimated accelerator cost per request ---\n{cycle_lines}"
     )
 

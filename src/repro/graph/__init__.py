@@ -10,6 +10,7 @@ from .datasets import (
 )
 from .graph import Graph
 from .partition import partition_graph, partition_nodes
+from .restriction import Restriction, slice_csr_rows
 from .sampling import MiniBatch, NeighborSampler, SampledBlock, minibatch_iterator
 
 __all__ = [
@@ -26,4 +27,6 @@ __all__ = [
     "minibatch_iterator",
     "partition_graph",
     "partition_nodes",
+    "Restriction",
+    "slice_csr_rows",
 ]

@@ -194,6 +194,38 @@ class Graph:
             )
         return self._operator_cache[key]
 
+    def restricted_operator(
+        self,
+        rows: Sequence[int],
+        cols: Sequence[int],
+        kind: str = "random_walk",
+        add_self_loops: bool = False,
+    ) -> sp.csr_matrix:
+        """Rows of a memoised propagation operator as a ``(rows, cols)`` CSR.
+
+        Slices ``rows`` out of :meth:`random_walk_adjacency` /
+        :meth:`normalized_adjacency` (``kind`` ∈ ``{"random_walk",
+        "normalized"}``) and remaps the column ids to positions inside the
+        sorted id set ``cols`` — the restricted-SpMM building block of the
+        serving fast path.  Every selected entry's column must be present in
+        ``cols`` (i.e. ``cols`` covers the rows' neighbourhoods, plus the
+        rows themselves when ``add_self_loops``); missing columns raise.
+
+        The slice carries the *whole-graph* normalisation: because the rows'
+        neighbour lists are complete, each sliced row is bit-identical to the
+        corresponding row of the full operator, unlike the re-normalised
+        operator of an induced :meth:`subgraph`.
+        """
+        from .restriction import slice_csr_rows
+
+        if kind == "random_walk":
+            operator = self.random_walk_adjacency(add_self_loops=add_self_loops)
+        elif kind == "normalized":
+            operator = self.normalized_adjacency(add_self_loops=add_self_loops)
+        else:
+            raise ValueError(f"kind must be 'random_walk' or 'normalized', got {kind!r}")
+        return slice_csr_rows(operator, np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64))
+
     # -- restructuring ----------------------------------------------------------------
 
     def subgraph(self, nodes: Sequence[int], name: Optional[str] = None) -> "Graph":

@@ -16,6 +16,7 @@ compressing the aggregation phase, the combination phase, or both
 
 from __future__ import annotations
 
+import contextlib
 from typing import Dict, List, Optional, Type
 
 import numpy as np
@@ -36,7 +37,17 @@ __all__ = [
     "apply_linear",
     "segment_reduce",
     "edge_destinations",
+    "stage_scope",
 ]
+
+
+def stage_scope(timer, name: str):
+    """``timer.stage(name)`` when a stage timer is supplied, else a no-op scope.
+
+    Keeps the layers free of any dependency on the serving package: a timer
+    is whatever exposes ``stage(name) -> context manager``.
+    """
+    return timer.stage(name) if timer is not None else contextlib.nullcontext()
 
 
 def apply_linear(layer: Module, x: Tensor) -> Tensor:
@@ -107,6 +118,13 @@ class GNNLayer(Module):
     **all** nodes and the :class:`~repro.graph.graph.Graph`, aggregates over
     every true neighbour (CSR SpMM / segment reductions instead of sampled
     fancy indexing) and returns all nodes' new representations.
+
+    :meth:`forward_restricted` is the serving fast-path variant: it computes
+    the same outputs as :meth:`forward_full`, but only for the rows of a
+    :class:`~repro.graph.restriction.Restriction`, reading inputs for the
+    restriction's column set — no induced subgraph, no re-normalisation, no
+    work on rows nobody asked for.  :meth:`prepare_full` warms the frozen
+    graph's operator caches so the first request does not pay normalisation.
     """
 
     #: set by sub-classes: does this layer contain weight matrices in its aggregator?
@@ -123,6 +141,24 @@ class GNNLayer(Module):
 
     def forward_full(self, h: Tensor, graph: Graph) -> Tensor:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def forward_restricted(self, h: Tensor, restriction, timer=None) -> Tensor:  # pragma: no cover
+        """Outputs of :meth:`forward_full` for ``restriction.rows`` only.
+
+        ``h`` holds the previous representations of ``restriction.cols`` (in
+        column order).  ``timer``, when given, is a
+        :class:`~repro.serving.timing.StageTimer`-like object whose
+        ``stage("aggregation")`` / ``stage("combination")`` context managers
+        attribute the layer's time to the serving breakdown.
+        """
+        raise NotImplementedError
+
+    def prepare_full(self, graph: Graph) -> None:
+        """Precompute the frozen-graph operators this layer's inference uses.
+
+        Called once per shard at server build ("shard operator plans"), so no
+        flush ever pays adjacency normalisation.  Default: nothing to warm.
+        """
 
 
 class GNNModel(Module):

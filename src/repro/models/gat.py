@@ -25,6 +25,7 @@ from .base import (
     edge_destinations,
     register_model,
     segment_reduce,
+    stage_scope,
 )
 
 __all__ = ["GATHead", "GATLayer", "GAT"]
@@ -94,6 +95,29 @@ class GATHead(Module):
         out[~nonempty] = z[~nonempty]
         return Tensor(out)
 
+    def forward_restricted(self, h: Tensor, restriction) -> Tensor:
+        """Restricted-row attention: softmax over each row's true neighbours.
+
+        The projection and both attention dot products cover the column set
+        only; every segment reduction runs over the sliced CSR, whose per-row
+        edge order matches the parent graph — same sums, same maxima.
+        """
+        z = apply_linear(self.project, h).data                          # (C, H)
+        logit_self = z @ self.attention_self.data                       # (C,)
+        logit_neigh = z @ self.attention_neighbor.data                  # (C,)
+        src = restriction.col_positions
+        row_positions = restriction.row_positions
+        dst = restriction.edge_rows()                                   # (E,) row ordinal per edge
+        logits = logit_neigh[src] + logit_self[row_positions][dst]      # (E,)
+        logits = np.where(logits > 0.0, logits, self.negative_slope * logits)
+        seg_max, nonempty = segment_reduce(logits[:, None], restriction.indptr, np.maximum)
+        exponentials = np.exp(logits - seg_max[dst, 0])
+        seg_sum, _ = segment_reduce(exponentials[:, None], restriction.indptr, np.add)
+        attention = exponentials / seg_sum[dst, 0]                      # (E,)
+        out, _ = segment_reduce(z[src] * attention[:, None], restriction.indptr, np.add)
+        out[~nonempty] = z[row_positions[~nonempty]]
+        return Tensor(out)
+
 
 class GATLayer(GNNLayer):
     """One multi-head GAT layer (heads concatenated, ELU output)."""
@@ -136,6 +160,15 @@ class GATLayer(GNNLayer):
         outputs = [head.forward_full(h, graph, dst=dst) for head in self.heads]
         out = outputs[0] if len(outputs) == 1 else concatenate(outputs, axis=1)
         return out.elu() if self.activation else out
+
+    def forward_restricted(self, h: Tensor, restriction, timer=None) -> Tensor:
+        # Attention (projection included) is the aggregation phase in the
+        # paper's accounting; only the head concat + ELU count as combination.
+        with stage_scope(timer, "aggregation"):
+            outputs = [head.forward_restricted(h, restriction) for head in self.heads]
+        with stage_scope(timer, "combination"):
+            out = outputs[0] if len(outputs) == 1 else concatenate(outputs, axis=1)
+            return out.elu() if self.activation else out
 
 
 @register_model("gat")

@@ -23,6 +23,7 @@ from .base import (
     edge_destinations,
     register_model,
     segment_reduce,
+    stage_scope,
 )
 
 __all__ = ["GGCNLayer", "GGCN"]
@@ -82,6 +83,28 @@ class GGCNLayer(GNNLayer):
             aggregated[isolated] = expit(gate_n[isolated] + gate_s[isolated]) * features[isolated]
         out = apply_linear(self.fc, Tensor(aggregated))
         return out.relu() if self.activation else out
+
+    def forward_restricted(self, h: Tensor, restriction, timer=None) -> Tensor:
+        with stage_scope(timer, "aggregation"):
+            # Both gate projections over the column set only; the sliced edge
+            # dimension combines the cached projections exactly as the
+            # full-graph path does (same edge order, same per-row segments).
+            gate_n = apply_linear(self.gate_neighbor, h).data                         # (C, F)
+            gate_s = apply_linear(self.gate_self, h).data                             # (C, F)
+            features = h.data
+            src = restriction.col_positions                                           # (E,) neighbour u
+            row_positions = restriction.row_positions
+            dst = row_positions[restriction.edge_rows()]                              # (E,) centre v
+            gates = expit(gate_n[src] + gate_s[dst])                                  # (E, F)
+            summed, nonempty = segment_reduce(gates * features[src], restriction.indptr, np.add)
+            aggregated = summed / np.maximum(restriction.row_degrees(), 1)[:, None]
+            if not nonempty.all():
+                isolated = ~nonempty
+                own = row_positions[isolated]
+                aggregated[isolated] = expit(gate_n[own] + gate_s[own]) * features[own]
+        with stage_scope(timer, "combination"):
+            out = apply_linear(self.fc, Tensor(aggregated))
+            return out.relu() if self.activation else out
 
 
 @register_model("ggcn")

@@ -15,7 +15,7 @@ import numpy as np
 from ..compression.compress import CompressionConfig
 from ..graph.sampling import SampledBlock
 from ..tensor.tensor import Tensor, concatenate
-from .base import GNNLayer, GNNModel, apply_linear, register_model, segment_reduce
+from .base import GNNLayer, GNNModel, apply_linear, register_model, segment_reduce, stage_scope
 
 __all__ = ["GraphSAGEPoolLayer", "GraphSAGEPool"]
 
@@ -66,6 +66,21 @@ class GraphSAGEPoolLayer(GNNLayer):
         combined = np.concatenate([pooled, h.data], axis=1)                          # (N, P + F)
         out = apply_linear(self.combine_fc, Tensor(combined))
         return out.relu() if self.activation else out
+
+    def forward_restricted(self, h: Tensor, restriction, timer=None) -> Tensor:
+        with stage_scope(timer, "aggregation"):
+            # Project the restriction's column set once (every pooled
+            # neighbour is in it), then max-reduce along the sliced CSR rows.
+            projected = apply_linear(self.pool_fc, h).relu().data                    # (C, P)
+            pooled, nonempty = segment_reduce(
+                projected[restriction.col_positions], restriction.indptr, np.maximum
+            )
+            row_positions = restriction.row_positions
+            pooled[~nonempty] = projected[row_positions[~nonempty]]
+            combined = np.concatenate([pooled, h.data[row_positions]], axis=1)       # (R, P + F)
+        with stage_scope(timer, "combination"):
+            out = apply_linear(self.combine_fc, Tensor(combined))
+            return out.relu() if self.activation else out
 
 
 @register_model("gs_pool")

@@ -8,9 +8,12 @@ trained (optionally block-circulant-compressed) GNN:
 * :func:`build_shards` / :class:`ShardWorker` split the graph into
   partitions with K-hop halos so each worker serves its core nodes from its
   own slice of memory, exactly reproducing full-graph inference results;
-* :class:`EmbeddingCache` memoises per-layer hidden states for hot nodes
-  (LRU, invalidated by the model's ``weight_signature`` when training bumps
-  ``Parameter.version``);
+* :class:`EmbeddingCache` memoises per-layer hidden states for hot nodes in
+  contiguous per-layer slabs (vectorised gather/scatter; exact-LRU or
+  GNNIE-style degree-aware retention, invalidated by the model's
+  ``weight_signature`` when training bumps ``Parameter.version``);
+  :class:`LegacyEmbeddingCache` is the original per-row ``OrderedDict``
+  implementation, kept as the hot-path benchmark reference;
 * a :class:`Scheduler` owns the flush loop, dispatching one flush task per
   due shard through a pluggable :class:`FlushExecutor` —
   :class:`SerialExecutor` (deterministic, default) or
@@ -28,7 +31,7 @@ trained (optionally block-circulant-compressed) GNN:
 """
 
 from .batcher import TERMINAL_STATUSES, InferenceRequest, MicroBatcher
-from .cache import CacheStats, EmbeddingCache
+from .cache import CACHE_POLICIES, CacheStats, EmbeddingCache, LegacyEmbeddingCache
 from .clock import Clock, ManualClock, SystemClock
 from .config import ServingConfig
 from .engine import InferenceServer
@@ -36,6 +39,7 @@ from .executor import ConcurrentExecutor, FlushExecutor, SerialExecutor, make_ex
 from .scheduler import Scheduler
 from .shard import GraphShard, build_shards, expand_neighborhood
 from .stats import ServerStats, WorkerLoad, estimate_shard_request_cycles
+from .timing import STAGES, StageTimer, merge_stage_totals
 from .worker import ShardWorker
 
 __all__ = [
@@ -43,7 +47,12 @@ __all__ = [
     "SystemClock",
     "ManualClock",
     "CacheStats",
+    "CACHE_POLICIES",
     "EmbeddingCache",
+    "LegacyEmbeddingCache",
+    "StageTimer",
+    "STAGES",
+    "merge_stage_totals",
     "InferenceRequest",
     "TERMINAL_STATUSES",
     "MicroBatcher",

@@ -1,17 +1,42 @@
-"""Versioned LRU cache of per-layer node embeddings.
+"""Versioned per-layer embedding caches: slab-allocated (fast path) and legacy.
 
 Exact per-node inference recomputes the same hidden states over and over when
 requests' receptive fields overlap (the power-law access pattern GNNIE
-exploits with its degree-aware cache).  :class:`EmbeddingCache` memoises
-layer-``k`` hidden vectors per *global* node id so a warm request touches
-only the layers whose inputs are not already known.
+exploits with its degree-aware cache).  Both caches here memoise layer-``k``
+hidden vectors per *global* node id so a warm request touches only the layers
+whose inputs are not already known.
 
-Invalidation follows the discipline introduced with the spectral weight cache
-of :class:`repro.nn.BlockCirculantLinear`: every cached value is tied to the
-model's *weight signature* — the tuple of ``Parameter.version`` counters
-(see :meth:`repro.nn.Module.weight_signature`).  A training step bumps the
-versions, the signature changes, and the whole cache is dropped on the next
-access, so serving can never return embeddings computed with stale weights.
+:class:`EmbeddingCache` is the serving fast path: an array-backed store with
+one contiguous ``(capacity, dim)`` float64 slab plus an int64 node→slot index
+map per layer, so a lookup is a single vectorised gather and an insert a
+single scatter — no per-row Python loop, no ``OrderedDict`` walking, no
+``np.stack`` of row lists.  Retention is pluggable:
+
+``"lru"``
+    Exact least-recently-used via monotone access stamps (observationally
+    equivalent to the original ``OrderedDict`` implementation — same hits,
+    misses, eviction victims and final contents on any take/insert sequence).
+
+``"degree"``
+    GNNIE-style degree-aware retention: a set of *pinned* hot-hub nodes
+    (chosen per shard from the degree distribution) is only evicted when no
+    unpinned entry remains, so one scan of cold nodes cannot flush the hubs
+    every power-law request stream keeps coming back to.
+
+:class:`LegacyEmbeddingCache` is the original per-row ``OrderedDict`` LRU
+kept as the reference implementation: the hot-path benchmark gates measure
+speedups against it and the hypothesis equivalence suite checks the slab
+cache against it operation by operation.
+
+Invalidation (both classes) follows the discipline introduced with the
+spectral weight cache of :class:`repro.nn.BlockCirculantLinear`: every cached
+value is tied to the model's *weight signature* — the tuple of
+``Parameter.version`` counters (see :meth:`repro.nn.Module.weight_signature`).
+A training step bumps the versions, the signature changes, and the whole
+cache is dropped on the next access, so serving can never return embeddings
+computed with stale weights.  The slab cache keeps its slabs allocated across
+invalidations — a weight update costs two ``fill`` calls per layer, not a
+re-allocation storm.
 """
 
 from __future__ import annotations
@@ -19,11 +44,13 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["CacheStats", "EmbeddingCache"]
+__all__ = ["CacheStats", "EmbeddingCache", "LegacyEmbeddingCache", "CACHE_POLICIES"]
+
+CACHE_POLICIES = ("lru", "degree")
 
 
 @dataclass
@@ -55,18 +82,334 @@ class CacheStats:
         )
 
 
+class _LayerSlab:
+    """One layer's storage: contiguous value slab + node↔slot index maps."""
+
+    __slots__ = ("dim", "strict", "slab", "slot_nodes", "stamps", "slot_of", "_free", "_free_top")
+
+    def __init__(self, capacity: int, dim: int, num_nodes: int, strict: bool = False) -> None:
+        self.dim = dim
+        # ``strict`` callers (the engine, which sizes num_nodes to the graph)
+        # promise every looked-up id is < num_nodes, so lookup can be a bare
+        # gather with no clipping.
+        self.strict = strict
+        self.slab = np.empty((capacity, dim), dtype=np.float64)
+        self.slot_nodes = np.full(capacity, -1, dtype=np.int64)
+        self.stamps = np.zeros(capacity, dtype=np.int64)
+        self.slot_of = np.full(num_nodes, -1, dtype=np.int64)
+        # Free slots as a fixed-size int64 stack (no Python list: building one
+        # per layer costs milliseconds at realistic capacities).
+        self._free = np.arange(capacity - 1, -1, -1, dtype=np.int64)
+        self._free_top = capacity
+
+    def ensure_nodes(self, limit: int) -> None:
+        """Grow the node→slot map to cover ids below ``limit`` (amortised)."""
+        if limit <= len(self.slot_of):
+            return
+        grown = np.full(max(limit, 2 * len(self.slot_of)), -1, dtype=np.int64)
+        grown[: len(self.slot_of)] = self.slot_of
+        self.slot_of = grown
+
+    def lookup(self, nodes: np.ndarray) -> np.ndarray:
+        """Slot of every node (-1 when absent), tolerating unseen large ids."""
+        if self.strict:
+            return self.slot_of[nodes]
+        clipped = np.minimum(nodes, len(self.slot_of) - 1)
+        slots = self.slot_of[clipped]
+        return np.where(clipped == nodes, slots, -1)
+
+    def allocate(self, count: int) -> np.ndarray:
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        if count > self._free_top:  # the global capacity invariant precludes this
+            raise RuntimeError("layer slab out of free slots despite capacity bound")
+        self._free_top -= count
+        return self._free[self._free_top: self._free_top + count].copy()
+
+    def release(self, slots: np.ndarray) -> None:
+        self.slot_of[self.slot_nodes[slots]] = -1
+        self.slot_nodes[slots] = -1
+        self._free[self._free_top: self._free_top + len(slots)] = slots
+        self._free_top += len(slots)
+
+    def reset(self) -> None:
+        self.slot_nodes.fill(-1)
+        self.slot_of.fill(-1)
+        capacity = len(self.slot_nodes)
+        self._free = np.arange(capacity - 1, -1, -1, dtype=np.int64)
+        self._free_top = capacity
+
+
 class EmbeddingCache:
-    """LRU cache of ``(layer, node) -> hidden vector`` with versioned drops.
+    """Slab-allocated ``(layer, node) -> hidden vector`` cache.
 
     ``capacity`` bounds the number of cached vectors across all layers
-    (``0`` disables the cache entirely).  :meth:`take` copies hit rows out
-    eagerly, so later insertions evicting those entries cannot corrupt an
-    in-flight batch.
+    (``0`` disables the cache entirely), exactly like the legacy cache.
+    :meth:`take` returns hit rows as one freshly-gathered 2-D array, so later
+    insertions or evictions cannot corrupt an in-flight batch.
 
-    The cache is thread-safe: every mutating operation holds an internal
-    ``RLock``, so a cache shared between workers served by the concurrent
-    executor cannot corrupt its LRU order or stats (workers additionally
-    serialise their own predict path, but the cache does not rely on that).
+    ``num_nodes`` (when known — the serving engine passes the graph size)
+    pre-sizes the node→slot maps; without it they grow on demand.  Nodes
+    inside one :meth:`put` call must be distinct — the serving protocol
+    (misses of a preceding :meth:`take`) guarantees it, and the batch
+    refresh/insert semantics are only well-defined under it.
+
+    Thread-safe like the legacy cache: every operation holds an internal
+    ``RLock``.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        num_nodes: Optional[int] = None,
+        policy: str = "lru",
+        pinned_nodes: Optional[np.ndarray] = None,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity must be non-negative")
+        if policy not in CACHE_POLICIES:
+            raise ValueError(f"cache policy must be one of {CACHE_POLICIES}, got {policy!r}")
+        self.capacity = int(capacity)
+        self.policy = policy
+        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._layers: Dict[int, _LayerSlab] = {}
+        self._signature: Optional[Hashable] = None
+        # With a known node-id universe the per-layer lookup is a bare gather
+        # and inserts skip the grow-on-demand bound check.
+        self._strict = num_nodes is not None
+        self._num_nodes = int(num_nodes) if num_nodes is not None else 64
+        self._size = 0
+        self._tick = 0
+        if pinned_nodes is not None and len(pinned_nodes):
+            pinned_nodes = np.asarray(pinned_nodes, dtype=np.int64)
+            self._pinned = np.zeros(max(self._num_nodes, int(pinned_nodes.max()) + 1), dtype=bool)
+            self._pinned[pinned_nodes] = True
+        else:
+            self._pinned = None
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    @property
+    def pinned_nodes(self) -> np.ndarray:
+        """Global ids protected by degree-aware retention (may be empty)."""
+        if self._pinned is None:
+            return np.empty(0, dtype=np.int64)
+        return np.where(self._pinned)[0].astype(np.int64)
+
+    # -- versioning -----------------------------------------------------------
+
+    def ensure_signature(self, signature: Hashable) -> bool:
+        """Drop every entry if the weight signature changed since last use.
+
+        Returns ``True`` when an invalidation happened.  The first call simply
+        records the signature (an empty cache has nothing stale in it).
+        """
+        with self._lock:
+            if self._signature is None:
+                self._signature = signature
+                return False
+            if signature == self._signature:
+                return False
+            self._drop_entries()
+            self._signature = signature
+            self.stats.invalidations += 1
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._drop_entries()
+
+    def _drop_entries(self) -> None:
+        for store in self._layers.values():
+            store.reset()
+        self._size = 0
+
+    # -- lookup / insert --------------------------------------------------------
+
+    def take(self, layer: int, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Split ``nodes`` into cache hits and misses for ``layer``.
+
+        Returns ``(hit_nodes, hit_values, miss_nodes)`` where ``hit_values``
+        is a ``(len(hit_nodes), dim)`` array gathered out of the slab in one
+        fancy-index (already a copy).  Hits are stamped most-recent in node
+        order; stats are updated here and only here.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        hit_mask, values = self.take_mask(layer, nodes)
+        return nodes[hit_mask], values, nodes[~hit_mask]
+
+    def take_mask(self, layer: int, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`take` returning a boolean *hit mask over* ``nodes``.
+
+        ``(hit_mask, hit_values)`` — ``hit_values`` rows correspond to the
+        masked positions in order.  A caller that already owns ``nodes`` in
+        another index space (the worker's shard-local ids) recovers hits and
+        misses with plain mask indexing: no ``searchsorted`` round-trip
+        through global ids on the hot path.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        with self._lock:
+            store = self._layers.get(layer) if self.enabled else None
+            if store is None:
+                self.stats.misses += len(nodes)
+                return np.zeros(len(nodes), dtype=bool), np.empty((0, 0), dtype=np.float64)
+            slots = store.lookup(nodes)
+            hit = slots >= 0
+            hit_slots = slots[hit]
+            values = store.slab[hit_slots]  # single gather (fresh array)
+            store.stamps[hit_slots] = self._tick + np.arange(len(hit_slots), dtype=np.int64)
+            self._tick += len(hit_slots)
+            self.stats.hits += len(hit_slots)
+            self.stats.misses += len(nodes) - len(hit_slots)
+            return hit, values
+
+    def put(self, layer: int, nodes: Sequence[int], values: np.ndarray) -> None:
+        """Insert one hidden vector per (distinct) node, evicting if full.
+
+        Entries already present are refreshed in place; new entries claim free
+        slots, displacing the policy's eviction victims when the global
+        capacity would be exceeded.  A brand-new entry can itself be the best
+        victim (e.g. an unpinned node arriving at a cache full of pinned
+        hubs), in which case it is counted as inserted-then-evicted and never
+        touches the slab — that is what lets degree-aware retention hold on
+        to its hubs under a scan.
+        """
+        if not self.enabled:
+            return
+        nodes = np.asarray(nodes, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2 or len(values) != len(nodes):
+            raise ValueError("values must be a (len(nodes), dim) array")
+        if len(nodes) == 0:
+            return
+        with self._lock:
+            store = self._layers.get(layer)
+            if store is None:
+                store = _LayerSlab(
+                    self.capacity, values.shape[1], self._num_nodes, strict=self._strict
+                )
+                self._layers[layer] = store
+            elif store.dim != values.shape[1]:
+                raise ValueError(
+                    f"layer {layer} slab holds {store.dim}-dim vectors, got {values.shape[1]}"
+                )
+            if not self._strict:
+                store.ensure_nodes(int(nodes.max()) + 1)
+            slots = store.lookup(nodes)
+            existing = slots >= 0
+            stamps = self._tick + np.arange(len(nodes), dtype=np.int64)
+            self._tick += len(nodes)
+            if existing.any():
+                refreshed = slots[existing]
+                store.slab[refreshed] = values[existing]
+                store.stamps[refreshed] = stamps[existing]
+            self.stats.insertions += len(nodes)
+            fresh = ~existing
+            n_new = int(fresh.sum())
+            if n_new == 0:
+                return
+            overflow = self._size + n_new - self.capacity
+            if overflow > 0:
+                fresh = self._evict(overflow, layer, nodes, stamps, fresh)
+            survivors = np.where(fresh)[0]
+            if len(survivors) == 0:
+                return
+            new_slots = store.allocate(len(survivors))
+            store.slab[new_slots] = values[survivors]
+            store.slot_nodes[new_slots] = nodes[survivors]
+            store.stamps[new_slots] = stamps[survivors]
+            store.slot_of[nodes[survivors]] = new_slots
+            self._size += len(survivors)
+
+    def _pinned_flags(self, nodes: np.ndarray) -> np.ndarray:
+        if self.policy != "degree" or self._pinned is None:
+            return np.zeros(len(nodes), dtype=bool)
+        clipped = np.minimum(nodes, len(self._pinned) - 1)
+        return self._pinned[clipped] & (clipped == nodes)
+
+    def _evict(
+        self,
+        overflow: int,
+        incoming_layer: int,
+        incoming_nodes: np.ndarray,
+        incoming_stamps: np.ndarray,
+        fresh: np.ndarray,
+    ) -> np.ndarray:
+        """Select and free ``overflow`` victims; return the surviving mask.
+
+        Candidates are every stored entry plus the incoming fresh entries;
+        ``"lru"`` ranks them by access stamp alone (exactly the legacy
+        ``OrderedDict`` order — stamps are globally monotone), ``"degree"``
+        ranks unpinned before pinned at equal footing, so hubs outlive scans.
+        """
+        layer_keys = list(self._layers)
+        slot_lists: List[np.ndarray] = []
+        stamp_parts: List[np.ndarray] = []
+        pinned_parts: List[np.ndarray] = []
+        owner_parts: List[np.ndarray] = []
+        for index, key in enumerate(layer_keys):
+            store = self._layers[key]
+            used = np.where(store.slot_nodes >= 0)[0]
+            slot_lists.append(used)
+            stamp_parts.append(store.stamps[used])
+            pinned_parts.append(self._pinned_flags(store.slot_nodes[used]))
+            owner_parts.append(np.full(len(used), index, dtype=np.int64))
+        fresh_idx = np.where(fresh)[0]
+        slot_lists.append(fresh_idx)  # positions into the put batch
+        stamp_parts.append(incoming_stamps[fresh_idx])
+        pinned_parts.append(self._pinned_flags(incoming_nodes[fresh_idx]))
+        owner_parts.append(np.full(len(fresh_idx), -1, dtype=np.int64))
+
+        slots_all = np.concatenate(slot_lists)
+        stamps_all = np.concatenate(stamp_parts)
+        pinned_all = np.concatenate(pinned_parts)
+        owners_all = np.concatenate(owner_parts)
+        # Victim *set* = the `overflow` entries with the smallest keys; only
+        # the set matters (stamps are unique), so an O(n) partial partition
+        # replaces a full sort.  Degree policy folds the pinned flag into the
+        # key's top bit: every unpinned entry ranks below every pinned one.
+        keys = stamps_all
+        if self.policy == "degree":
+            keys = stamps_all + (pinned_all.astype(np.int64) << 62)
+        if overflow < len(keys):
+            victims = np.argpartition(keys, overflow - 1)[:overflow]
+        else:
+            victims = np.arange(len(keys))
+        self.stats.evictions += overflow
+        survivors = fresh.copy()
+        for index, key in enumerate(layer_keys):
+            mask = owners_all[victims] == index
+            if mask.any():
+                store = self._layers[key]
+                store.release(slots_all[victims[mask]])
+                self._size -= int(mask.sum())
+        dropped_incoming = owners_all[victims] == -1
+        if dropped_incoming.any():
+            survivors[slots_all[victims[dropped_incoming]]] = False
+        return survivors
+
+    def contains(self, layer: int, node: int) -> bool:
+        """Membership check that does not touch recency order or stats."""
+        with self._lock:
+            store = self._layers.get(layer)
+            if store is None:
+                return False
+            return store.lookup(np.asarray([int(node)], dtype=np.int64))[0] >= 0
+
+
+class LegacyEmbeddingCache:
+    """The original per-row ``OrderedDict`` LRU cache (PR-2/PR-3 hot path).
+
+    Kept as the reference the slab cache is benchmarked and property-tested
+    against; selected at serve time via ``ServingConfig(hot_path="legacy")``.
+    ``take`` returns hit rows as a list of read-only arrays (the shape the
+    legacy worker path consumes with ``np.stack``).
     """
 
     def __init__(self, capacity: int) -> None:
@@ -88,11 +431,7 @@ class EmbeddingCache:
     # -- versioning -----------------------------------------------------------
 
     def ensure_signature(self, signature: Hashable) -> bool:
-        """Drop every entry if the weight signature changed since last use.
-
-        Returns ``True`` when an invalidation happened.  The first call simply
-        records the signature (an empty cache has nothing stale in it).
-        """
+        """Drop every entry if the weight signature changed since last use."""
         with self._lock:
             if self._signature is None:
                 self._signature = signature

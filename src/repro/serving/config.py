@@ -5,7 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-__all__ = ["ServingConfig"]
+from .cache import CACHE_POLICIES
+
+__all__ = ["ServingConfig", "HOT_PATHS"]
+
+#: Exact-mode implementations a worker can run (canonical definition; the
+#: worker and the CLI both validate against this tuple).
+HOT_PATHS = ("compiled", "legacy")
 
 
 @dataclass(frozen=True)
@@ -29,6 +35,26 @@ class ServingConfig:
         Per-layer sample sizes for ``mode="sampled"``.
     cache_capacity:
         Embedding-cache entries *per worker* (0 disables caching).
+    cache_policy, cache_pin_fraction:
+        Retention policy of the slab cache: ``"lru"`` (exact
+        least-recently-used) or ``"degree"`` (GNNIE-style degree-aware
+        retention — the shard's highest-degree nodes are pinned and only
+        evicted when nothing unpinned remains, so power-law traffic keeps
+        its hubs warm).  Pinned *entries* — one per layer per pinned node —
+        are capped at ``cache_pin_fraction * cache_capacity``; the number of
+        pinned nodes is that budget divided by the model depth.  Ignored by
+        the legacy hot path.
+    hot_path:
+        ``"compiled"`` — the fast exact path: per-shard operator plans
+        precomputed at build time, restricted SpMM per flush, slab cache
+        (zero per-flush ``Graph`` construction); ``"legacy"`` — the PR-3
+        reference implementation (induced subgraph + ``forward_full`` +
+        ``OrderedDict`` cache), kept for the hot-path benchmark gates.
+    fft_workers:
+        When set, serving enables :func:`repro.compression.set_fft_workers`
+        with this thread count for the batched rFFTs of block-circulant
+        layers (scipy.fft ``workers=``).  ``None`` (default) leaves the
+        global setting untouched — deterministic single-threaded transforms.
     partition_method:
         ``"bfs"`` (locality-aware) or ``"hash"`` — see
         :func:`repro.graph.partition_nodes`.
@@ -65,6 +91,10 @@ class ServingConfig:
     mode: str = "exact"
     fanouts: Optional[Tuple[int, ...]] = None
     cache_capacity: int = 4096
+    cache_policy: str = "lru"
+    cache_pin_fraction: float = 0.25
+    hot_path: str = "compiled"
+    fft_workers: Optional[int] = None
     partition_method: str = "bfs"
     num_replicas: int = 1
     dispatch: str = "round_robin"
@@ -87,6 +117,18 @@ class ServingConfig:
             raise ValueError(
                 f"dispatch must be 'round_robin' or 'least_loaded', got {self.dispatch!r}"
             )
+        if self.cache_policy not in CACHE_POLICIES:
+            raise ValueError(
+                f"cache_policy must be one of {CACHE_POLICIES}, got {self.cache_policy!r}"
+            )
+        if not 0.0 <= self.cache_pin_fraction <= 1.0:
+            raise ValueError("cache_pin_fraction must be within [0, 1]")
+        if self.hot_path not in HOT_PATHS:
+            raise ValueError(
+                f"hot_path must be one of {HOT_PATHS}, got {self.hot_path!r}"
+            )
+        if self.fft_workers is not None and self.fft_workers < 1:
+            raise ValueError("fft_workers must be >= 1 (or None to leave the default)")
         if self.halo_hops is not None and self.halo_hops < 1:
             raise ValueError("halo_hops must be at least 1 (the direct neighbourhood)")
         if self.executor not in ("serial", "concurrent"):

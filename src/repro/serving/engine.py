@@ -47,13 +47,14 @@ from .batcher import (
     InferenceRequest,
     MicroBatcher,
 )
-from .cache import CacheStats, EmbeddingCache
+from .cache import CacheStats, EmbeddingCache, LegacyEmbeddingCache
 from .clock import Clock, SystemClock
 from .config import ServingConfig
 from .executor import make_executor
 from .scheduler import Scheduler
 from .shard import GraphShard, build_shards
 from .stats import ServerStats, WorkerLoad
+from .timing import merge_stage_totals
 from .worker import ShardWorker
 
 __all__ = ["ServingConfig", "InferenceServer"]
@@ -77,6 +78,15 @@ class InferenceServer:
             fanouts = self.config.fanouts
             if fanouts is None or len(fanouts) != model.num_layers:
                 raise ValueError("sampled serving needs config.fanouts, one per model layer")
+        self._previous_fft_workers = None
+        if self.config.fft_workers is not None:
+            from ..compression.spectral import get_fft_workers, set_fft_workers
+
+            # Applied process-wide (scipy.fft has one workers argument per
+            # call site); the prior value is restored on shutdown so one
+            # server's opt-in cannot leak into later servers or training.
+            self._previous_fft_workers = get_fft_workers()
+            set_fft_workers(self.config.fft_workers)
 
         halo_hops = (
             self.config.halo_hops if self.config.halo_hops is not None else model.num_layers
@@ -108,10 +118,11 @@ class InferenceServer:
                     worker_id=len(self.workers),
                     shard=shard,
                     model=model,
-                    cache=EmbeddingCache(self.config.cache_capacity),
+                    cache=self._build_cache(shard),
                     mode=self.config.mode,
                     fanouts=self.config.fanouts,
                     seed=self.config.seed + 9176 * len(self.workers),
+                    hot_path=self.config.hot_path,
                 )
                 group.append(worker)
                 self.workers.append(worker)
@@ -146,6 +157,37 @@ class InferenceServer:
         self._first_enqueue: Optional[float] = None
         self._last_completion: Optional[float] = None
         self._closed = False
+
+    def _build_cache(self, shard: GraphShard):
+        """One embedding cache per worker, matched to the hot path and policy.
+
+        The legacy hot path gets the legacy ``OrderedDict`` cache (so the
+        benchmark reference really is the PR-3 implementation); the compiled
+        path gets the slab cache.  Under ``cache_policy="degree"`` the
+        shard's highest-degree held nodes are pinned (GNNIE's hot-hub
+        retention), with node ids as the deterministic tie-break.  A pinned
+        node can hold one entry *per layer*, so the node budget divides
+        ``cache_pin_fraction * capacity`` by the model depth — pinned entries
+        can never consume more than the configured fraction of the cache.
+        """
+        capacity = self.config.cache_capacity
+        if self.config.hot_path == "legacy":
+            return LegacyEmbeddingCache(capacity)
+        pinned = None
+        if self.config.cache_policy == "degree" and capacity > 0 and len(shard.nodes):
+            budget = int(self.config.cache_pin_fraction * capacity) // max(
+                self.model.num_layers, 1
+            )
+            if budget > 0:
+                degrees = self.graph.degrees()[shard.nodes]
+                order = np.lexsort((shard.nodes, -degrees))
+                pinned = shard.nodes[order[:budget]]
+        return EmbeddingCache(
+            capacity,
+            num_nodes=self.graph.num_nodes,
+            policy=self.config.cache_policy,
+            pinned_nodes=pinned,
+        )
 
     # -- request intake ----------------------------------------------------------
 
@@ -245,6 +287,10 @@ class InferenceServer:
         self.drain()
         self._closed = True
         self.scheduler.shutdown()
+        if self.config.fft_workers is not None:
+            from ..compression.spectral import set_fft_workers
+
+            set_fft_workers(self._previous_fft_workers)
 
     def __enter__(self) -> "InferenceServer":
         return self
@@ -354,6 +400,9 @@ class InferenceServer:
             duration = 0.0
         return ServerStats(
             mode=self.config.mode,
+            hot_path=self.config.hot_path,
+            cache_policy=self.config.cache_policy,
+            stage_seconds=merge_stage_totals(worker.timings for worker in self.workers),
             completed_requests=self._completed,
             latencies=np.asarray(self._latencies, dtype=np.float64),
             batch_sizes=np.asarray(self._batch_sizes, dtype=np.int64),
@@ -393,6 +442,7 @@ class InferenceServer:
             worker.nodes_served = 0
             worker.peak_inflight = 0
             worker.cache.stats = CacheStats()
+            worker.timings.reset()
 
     def describe(self) -> str:
         depth = (
@@ -401,10 +451,10 @@ class InferenceServer:
             else f"<= {self.config.max_queue_depth} ({self.config.overload_policy})"
         )
         lines = [
-            f"InferenceServer[{self.config.mode}] over {self.graph.name}: "
+            f"InferenceServer[{self.config.mode}/{self.config.hot_path}] over {self.graph.name}: "
             f"{len(self.shards)} shards x {self.config.num_replicas} replicas, "
             f"batch<= {self.config.max_batch_size}, delay<= {self.config.max_delay * 1e3:.1f} ms, "
-            f"cache {self.config.cache_capacity} entries/worker, "
+            f"cache {self.config.cache_capacity} entries/worker ({self.config.cache_policy}), "
             f"executor {self.executor.name}, queues {depth}"
         ]
         lines.extend(f"  {shard.summary()}" for shard in self.shards)

@@ -9,8 +9,8 @@ surface printed by the ``serve-bench`` CLI command and saved by
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -60,6 +60,10 @@ class ServerStats:
     rejected_requests: int = 0       # turned away at admission (queue full)
     shed_requests: int = 0           # evicted from a full queue (shed_oldest)
     expired_requests: int = 0        # flushed after their deadline passed
+    hot_path: str = "compiled"       # exact-mode implementation that served the run
+    cache_policy: str = "lru"        # slab-cache retention policy
+    #: wall-clock seconds per hot-path stage, summed over workers (exact mode)
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     # -- accounting --------------------------------------------------------------
 
@@ -116,9 +120,15 @@ class ServerStats:
         mean = nodes.mean()
         return float(nodes.max() / mean) if mean > 0 else float("nan")
 
+    @property
+    def stage_total(self) -> float:
+        """Total seconds attributed to hot-path stages across all workers."""
+        return float(sum(self.stage_seconds.values()))
+
     def render(self) -> str:
         lines = [
-            f"mode {self.mode}: {self.completed_requests} requests in "
+            f"mode {self.mode} ({self.hot_path}, {self.cache_policy} cache): "
+            f"{self.completed_requests} requests in "
             f"{len(self.batch_sizes)} batches (mean size {self.mean_batch_size:.1f})",
             f"  executor {self.executor} (peak concurrency {self.peak_concurrency})",
             f"  latency p50 {self.p50_latency * 1e3:.3f} ms   "
@@ -134,6 +144,13 @@ class ServerStats:
             f"({self.cache_hit_rate * 100:.1f}%), {self.cache.evictions} evictions, "
             f"{self.cache.invalidations} invalidations",
         ]
+        if self.stage_total > 0:
+            total = self.stage_total
+            breakdown = "   ".join(
+                f"{name} {seconds * 1e3:.2f} ms ({seconds / total * 100:.0f}%)"
+                for name, seconds in self.stage_seconds.items()
+            )
+            lines.append(f"  flush stages: {breakdown}")
         for worker in self.workers:
             lines.append(
                 f"  worker {worker.worker_id} (shard {worker.shard_id}): "

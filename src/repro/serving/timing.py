@@ -1,0 +1,75 @@
+"""Per-stage wall-clock accounting for the serving hot path.
+
+A flush spends its time in four places: gathering cached rows, aggregating
+neighbour features, combining them through the (possibly FFT-based) weight
+matrices, and scattering fresh rows back into the cache.  :class:`StageTimer`
+attributes worker time to those buckets so `serve-bench` (and future perf
+PRs) can see *where* a flush goes, not just how long it took.
+
+The timer is deliberately dependency-free on the model side: layers receive
+it as an opaque object exposing ``stage(name)`` (see
+:func:`repro.models.base.stage_scope`), so ``repro.models`` never imports the
+serving package.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+__all__ = ["STAGES", "StageTimer", "merge_stage_totals"]
+
+#: Bucket names in presentation order.
+STAGES = ("cache_gather", "aggregation", "combination", "cache_scatter")
+
+
+class _StageScope:
+    """Hand-rolled context manager: a generator-based one costs ~3x as much
+    to enter/exit, which matters at several scopes per flush."""
+
+    __slots__ = ("_timer", "_name", "_start")
+
+    def __init__(self, timer: "StageTimer", name: str) -> None:
+        self._timer = timer
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._start = self._timer._clock()
+
+    def __exit__(self, *exc_info) -> None:
+        timer = self._timer
+        elapsed = timer._clock() - self._start
+        totals = timer.totals
+        totals[self._name] = totals.get(self._name, 0.0) + elapsed
+
+
+class StageTimer:
+    """Accumulates wall-clock seconds per named serving stage.
+
+    One instance per worker; the worker's predict lock serialises access, so
+    no internal synchronisation is needed.  ``clock`` is injectable for
+    deterministic tests.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self.totals: Dict[str, float] = {name: 0.0 for name in STAGES}
+
+    def stage(self, name: str) -> _StageScope:
+        return _StageScope(self, name)
+
+    def reset(self) -> None:
+        for name in list(self.totals):
+            self.totals[name] = 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self.totals)
+
+
+def merge_stage_totals(timers) -> Dict[str, float]:
+    """Element-wise sum of several timers' totals (engine-level aggregation)."""
+    merged: Dict[str, float] = {name: 0.0 for name in STAGES}
+    for timer in timers:
+        for name, seconds in timer.totals.items():
+            merged[name] = merged.get(name, 0.0) + seconds
+    return merged

@@ -7,14 +7,24 @@ answers prediction requests for the shard's core nodes in one of two modes:
     Layer-wise inference restricted to the batch's receptive field.  For each
     layer ``k`` (output side first) the worker asks the
     :class:`~repro.serving.cache.EmbeddingCache` which layer-``k`` hidden
-    states it already knows; only the *misses* are expanded by one hop and
-    recomputed, by running the layer's ``forward_full`` on the induced
-    subgraph of the miss set plus its neighbours.  Because every model's
-    full-graph aggregation is row-local (a node's output depends only on its
-    own neighbour rows) and node relabelling is monotone, the rows kept are
-    exactly what :meth:`repro.models.GNNModel.full_forward` would produce on
-    the whole graph — so served predictions match offline full-graph
-    evaluation, and cached rows can be reused across batches safely.
+    states it already knows; only the *misses* are recomputed.  On the
+    default **compiled** hot path each miss set becomes a
+    :class:`~repro.graph.Restriction` — a row slice of the frozen shard CSR
+    with columns remapped into the batch-local index space — and the layer's
+    ``forward_restricted`` runs a restricted SpMM / segment reduction against
+    the shard's *precomputed* propagation operators (warmed once per worker
+    at build time via ``prepare_full``).  No induced ``Graph`` is built and
+    no operator is re-normalised per flush.  Because every miss row's full
+    neighbourhood is inside the previous layer's needed set by construction,
+    the restricted rows are exactly what
+    :meth:`repro.models.GNNModel.full_forward` would produce on the whole
+    graph — so served predictions match offline full-graph evaluation, and
+    cached rows can be reused across batches safely.
+
+    The **legacy** hot path (``hot_path="legacy"``) is the PR-3
+    implementation — ``graph.subgraph`` per miss round plus ``forward_full``
+    on the induced restriction — kept as the reference the hot-path benchmark
+    gates measure against.
 
 ``sampled``
     GraphSAGE-style approximate inference: the flushed requests become the
@@ -30,11 +40,13 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..graph.restriction import Restriction
 from ..graph.sampling import NeighborSampler
 from ..models.base import GNNModel
 from ..tensor.tensor import Tensor, no_grad
-from .cache import EmbeddingCache
+from .config import HOT_PATHS
 from .shard import GraphShard, expand_neighborhood
+from .timing import StageTimer
 
 __all__ = ["ShardWorker"]
 
@@ -47,13 +59,16 @@ class ShardWorker:
         worker_id: int,
         shard: GraphShard,
         model: GNNModel,
-        cache: EmbeddingCache,
+        cache,
         mode: str = "exact",
         fanouts: Optional[Sequence[int]] = None,
         seed: int = 0,
+        hot_path: str = "compiled",
     ) -> None:
         if mode not in ("exact", "sampled"):
             raise ValueError(f"mode must be 'exact' or 'sampled', got {mode!r}")
+        if hot_path not in HOT_PATHS:
+            raise ValueError(f"hot_path must be one of {HOT_PATHS}, got {hot_path!r}")
         if mode == "sampled":
             if fanouts is None or len(fanouts) != model.num_layers:
                 raise ValueError("sampled mode needs one fanout per model layer")
@@ -62,9 +77,21 @@ class ShardWorker:
         self.model = model
         self.cache = cache
         self.mode = mode
+        self.hot_path = hot_path
+        self.timings = StageTimer()
         self.sampler = (
             NeighborSampler(shard.graph, fanouts, seed=seed) if mode == "sampled" else None
         )
+        if mode == "exact" and hot_path == "compiled" and shard.graph.num_nodes:
+            # Shard operator plan: normalise every propagation operator the
+            # model's inference needs once, at build time, so the first flush
+            # is as cheap as the thousandth.
+            for layer in model.layers:
+                layer.prepare_full(shard.graph)
+        # Parameter list cached once: computing the weight signature per flush
+        # must not re-walk the module tree (Parameter objects are stable; only
+        # their version counters move).
+        self._parameters = model.parameters()
         # Load counters (read by the least-loaded dispatcher and ServerStats).
         self.batches_served = 0
         self.nodes_served = 0
@@ -89,18 +116,23 @@ class ShardWorker:
                 # Standalone-use guard only: when driven by InferenceServer the
                 # engine's _serving_mode already pinned eval/no-grad for the
                 # whole round (concurrent flushes must never see the training
-                # flag transition), making this save/restore a no-op.
+                # flag transition), so the module-tree walk is skipped entirely
+                # in the common case.
                 was_training = self.model.training
-                self.model.eval()
+                if was_training:
+                    self.model.eval()
                 try:
                     with no_grad():
-                        if self.mode == "exact":
-                            logits = self._exact_logits(local)
-                        else:
+                        if self.mode != "exact":
                             batch = self.sampler.sample(local)
                             logits = self.model.forward(batch, graph=self.shard.graph).data
+                        elif self.hot_path == "compiled":
+                            logits = self._exact_logits(local)
+                        else:
+                            logits = self._exact_logits_legacy(local)
                 finally:
-                    self.model.train(was_training)
+                    if was_training:
+                        self.model.train(True)
                 self.batches_served += 1
                 self.nodes_served += len(local)
         finally:
@@ -114,18 +146,90 @@ class ShardWorker:
         return self.shard.graph.num_features if layer == 0 else self.model.layers[layer - 1].out_features
 
     def _exact_logits(self, seeds_local: np.ndarray) -> np.ndarray:
-        """Receptive-field-restricted layer-wise inference with caching.
+        """Compiled hot path: cache gathers + restricted SpMM, zero subgraphs.
 
         Works in shard-local node ids throughout; the cache is keyed on global
         ids so its contents mean the same thing across shards and restarts.
         """
         graph = self.shard.graph
         num_layers = self.model.num_layers
+        timer = self.timings
+        self.cache.ensure_signature(tuple(param.version for param in self._parameters))
+
+        # Sorted-unique seeds without np.unique's dispatch overhead (the
+        # masked-array check alone costs more than this whole dedup).
+        ordered = np.sort(seeds_local)
+        if len(ordered) > 1:
+            keep = np.empty(len(ordered), dtype=bool)
+            keep[0] = True
+            np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
+            unique_seeds = ordered[keep]
+        else:
+            unique_seeds = ordered
+        # Top-down pass: which layer-k values are missing, and which layer-(k-1)
+        # values computing them will require.  Each miss set's Restriction is
+        # built here and reused below — its column set *is* the next needed
+        # set.  The cache reports hits/misses as positions into the lookup, so
+        # shard-local ids and global cache keys never need a searchsorted
+        # round-trip between index spaces.
+        empty = np.empty(0, dtype=np.int64)
+        needed: List[np.ndarray] = [empty] * (num_layers + 1)
+        miss_masks: List[Optional[np.ndarray]] = [None] * (num_layers + 1)
+        miss_global: List[np.ndarray] = [empty] * (num_layers + 1)
+        hits: List[tuple] = [(None, None)] * (num_layers + 1)
+        plans: List[Optional[Restriction]] = [None] * (num_layers + 1)
+        needed[num_layers] = unique_seeds
+        for k in range(num_layers, 0, -1):
+            if not len(needed[k]):  # everything above fully hit: nothing to do
+                hits[k] = (empty, np.empty((0, 0)))
+                continue
+            nodes_global = self.shard.to_global(needed[k])
+            with timer.stage("cache_gather"):
+                hit_mask, hit_values = self.cache.take_mask(k, nodes_global)
+            hits[k] = (hit_mask, hit_values)
+            if len(hit_values) < len(needed[k]):
+                miss_mask = ~hit_mask
+                miss_masks[k] = miss_mask
+                miss_global[k] = nodes_global[miss_mask]
+                plans[k] = Restriction(graph, needed[k][miss_mask])
+                needed[k - 1] = plans[k].cols
+
+        # Bottom-up pass: raw features feed layer 1; each layer recomputes its
+        # misses through its restricted operators, then hits and fresh rows
+        # are assembled into the next layer's input.
+        h_prev = np.asarray(graph.features[needed[0]], dtype=np.float64)
+        for k in range(1, num_layers + 1):
+            hit_mask, hit_values = hits[k]
+            if plans[k] is None:
+                # Fully hit: the gathered slab block already *is* this
+                # layer's output, in needed[k] order — no reassembly copy.
+                h_prev = hit_values
+                continue
+            values = np.empty((len(needed[k]), self._layer_dim(k)))
+            computed = self.model.layers[k - 1].forward_restricted(
+                Tensor(h_prev), plans[k], timer=timer
+            ).data
+            with timer.stage("cache_scatter"):
+                self.cache.put(k, miss_global[k], computed)
+            values[miss_masks[k]] = computed
+            if len(hit_values):
+                values[hit_mask] = hit_values
+            h_prev = values
+
+        return h_prev[np.searchsorted(unique_seeds, seeds_local)]
+
+    def _exact_logits_legacy(self, seeds_local: np.ndarray) -> np.ndarray:
+        """PR-3 reference path: induced subgraph + ``forward_full`` per round.
+
+        Byte-for-byte the implementation the compiled path replaced (paired
+        with :class:`~repro.serving.cache.LegacyEmbeddingCache`); the hot-path
+        benchmark's speedup and equality gates run against it.
+        """
+        graph = self.shard.graph
+        num_layers = self.model.num_layers
         self.cache.ensure_signature(self.model.weight_signature())
 
         unique_seeds = np.unique(seeds_local)
-        # Top-down pass: which layer-k values are missing, and which layer-(k-1)
-        # values computing them will require (the misses plus their neighbours).
         needed: List[np.ndarray] = [np.empty(0, dtype=np.int64)] * (num_layers + 1)
         miss: List[np.ndarray] = list(needed)
         hits: List[tuple] = [(np.empty(0, dtype=np.int64), [])] * (num_layers + 1)
@@ -137,9 +241,6 @@ class ShardWorker:
             if len(miss[k]):
                 needed[k - 1] = expand_neighborhood(graph, miss[k], 1)
 
-        # Bottom-up pass: raw features feed layer 1; each layer recomputes its
-        # misses on the induced restriction graph, then hits and fresh rows are
-        # assembled into the next layer's input.
         nodes_prev = needed[0]
         h_prev = graph.features[nodes_prev]
         for k in range(1, num_layers + 1):

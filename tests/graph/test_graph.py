@@ -117,3 +117,74 @@ class TestSubgraphAndSplits:
         text = small_graph.summary()
         assert small_graph.name in text
         assert str(small_graph.num_nodes) in text
+
+
+class TestRestriction:
+    """Row-restricted operator slices (the serving fast path's building block)."""
+
+    def test_cols_are_rows_union_neighbors(self, small_graph):
+        from repro.graph import Restriction
+
+        rows = np.array([3, 7, 11])
+        restriction = Restriction(small_graph, rows)
+        expected = set(rows.tolist())
+        for row in rows:
+            expected |= set(small_graph.neighbors(row).tolist())
+        assert set(restriction.cols.tolist()) == expected
+        assert restriction.num_rows == 3
+        assert np.array_equal(
+            restriction.cols[restriction.row_positions], rows
+        )
+
+    def test_restricted_operator_rows_match_full_operator(self, small_graph):
+        rows = np.array([0, 5, 17, 40])
+        from repro.graph import Restriction
+
+        restriction = Restriction(small_graph, rows)
+        for kind, loops in (("random_walk", True), ("random_walk", False), ("normalized", False)):
+            full = (
+                small_graph.random_walk_adjacency(loops)
+                if kind == "random_walk"
+                else small_graph.normalized_adjacency(loops)
+            )
+            sliced = restriction.operator(kind, add_self_loops=loops)
+            assert sliced.shape == (len(rows), restriction.num_cols)
+            dense = np.zeros((len(rows), small_graph.num_nodes))
+            dense[:, restriction.cols] = sliced.toarray()
+            assert np.array_equal(dense, full[rows].toarray())
+
+    def test_operator_slices_are_memoised(self, small_graph):
+        from repro.graph import Restriction
+
+        restriction = Restriction(small_graph, np.array([1, 2]))
+        first = restriction.operator("random_walk", add_self_loops=True)
+        assert restriction.operator("random_walk", add_self_loops=True) is first
+
+    def test_edge_rows_and_degrees(self, small_graph):
+        from repro.graph import Restriction
+
+        rows = np.array([2, 9])
+        restriction = Restriction(small_graph, rows)
+        degrees = restriction.row_degrees()
+        assert np.array_equal(degrees, small_graph.degrees()[rows])
+        assert np.array_equal(
+            restriction.edge_rows(), np.repeat(np.arange(2), degrees)
+        )
+        # Per-edge neighbour ids survive the column remap.
+        neighbors = restriction.cols[restriction.col_positions]
+        expected = np.concatenate([small_graph.neighbors(r) for r in rows])
+        assert np.array_equal(neighbors, expected)
+
+    def test_missing_columns_raise(self, small_graph):
+        from repro.graph import slice_csr_rows
+
+        operator = small_graph.random_walk_adjacency()
+        rows = np.array([0])
+        toosmall = np.array([0])  # almost certainly misses a neighbour
+        if len(small_graph.neighbors(0)):
+            with pytest.raises(ValueError, match="missing neighbours"):
+                slice_csr_rows(operator, rows, toosmall)
+
+    def test_restricted_operator_rejects_unknown_kind(self, small_graph):
+        with pytest.raises(ValueError, match="kind"):
+            small_graph.restricted_operator([0], [0, 1], kind="magic")

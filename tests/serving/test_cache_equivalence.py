@@ -1,0 +1,158 @@
+"""The slab cache must be a drop-in for the legacy OrderedDict LRU cache.
+
+The property test drives both implementations through the serving protocol —
+``take`` a node set, ``put`` exactly the reported misses — and asserts
+*observational equivalence* after every operation: identical hit/miss splits,
+identical returned values, identical stats counters (hits, misses,
+insertions, evictions) and identical final contents.  Eviction victims are
+thereby checked implicitly: pick a different victim once and some later
+``take`` splits differently.
+
+The degree-policy tests pin down the GNNIE-style retention semantics: pinned
+hubs outlive any scan, and an unpinned newcomer to a hub-full cache is the
+eviction victim itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import EmbeddingCache, LegacyEmbeddingCache
+
+LAYERS = (1, 2)
+NUM_NODES = 12
+DIM = 3
+
+
+def _values(layer: int, nodes: np.ndarray, round_id: int) -> np.ndarray:
+    """Deterministic, round-tagged rows so stale entries are distinguishable."""
+    base = nodes.astype(np.float64) + 100.0 * layer + 1000.0 * round_id
+    return np.repeat(base[:, None], DIM, axis=1) + np.arange(DIM)
+
+
+def _stats_tuple(cache) -> tuple:
+    stats = cache.stats
+    return (stats.hits, stats.misses, stats.insertions, stats.evictions, stats.invalidations)
+
+
+take_ops = st.lists(
+    st.tuples(
+        st.sampled_from(LAYERS),
+        st.lists(st.integers(0, NUM_NODES - 1), unique=True, min_size=0, max_size=8),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(capacity=st.integers(1, 6), ops=take_ops)
+def test_slab_lru_observationally_equivalent_to_legacy(capacity, ops):
+    slab = EmbeddingCache(capacity, num_nodes=NUM_NODES, policy="lru")
+    legacy = LegacyEmbeddingCache(capacity)
+    for round_id, (layer, node_list) in enumerate(ops):
+        nodes = np.asarray(node_list, dtype=np.int64)
+        slab_hits, slab_values, slab_misses = slab.take(layer, nodes)
+        legacy_hits, legacy_rows, legacy_misses = legacy.take(layer, nodes)
+        assert np.array_equal(slab_hits, legacy_hits)
+        assert np.array_equal(slab_misses, legacy_misses)
+        if len(slab_hits):
+            assert np.array_equal(slab_values, np.stack(legacy_rows))
+        assert _stats_tuple(slab) == _stats_tuple(legacy)
+        if len(slab_misses):
+            values = _values(layer, slab_misses, round_id)
+            slab.put(layer, slab_misses, values)
+            legacy.put(layer, slab_misses, values)
+            assert _stats_tuple(slab) == _stats_tuple(legacy)
+            assert len(slab) == len(legacy)
+    for layer in LAYERS:
+        for node in range(NUM_NODES):
+            assert slab.contains(layer, node) == legacy.contains(layer, node)
+
+
+def test_signature_invalidation_matches_legacy():
+    slab = EmbeddingCache(4, num_nodes=NUM_NODES)
+    legacy = LegacyEmbeddingCache(4)
+    for cache in (slab, legacy):
+        assert not cache.ensure_signature((0,))
+        cache.put(1, np.array([1, 2]), np.ones((2, DIM)))
+        assert not cache.ensure_signature((0,))
+        assert cache.ensure_signature((1,))
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+    assert _stats_tuple(slab) == _stats_tuple(legacy)
+
+
+class TestDegreePolicy:
+    def test_pinned_hubs_survive_eviction_pressure(self):
+        cache = EmbeddingCache(4, num_nodes=64, policy="degree", pinned_nodes=np.array([0, 1]))
+        cache.put(1, np.array([0, 1]), np.ones((2, DIM)))
+        # A long scan of cold unpinned nodes: far more insertions than room.
+        for start in range(2, 50, 4):
+            nodes = np.arange(start, start + 4, dtype=np.int64)
+            cache.put(1, nodes, np.ones((4, DIM)))
+        assert cache.stats.evictions > 0
+        assert cache.contains(1, 0) and cache.contains(1, 1)  # hubs still warm
+        # LRU under the identical sequence loses both hubs to the scan.
+        lru = EmbeddingCache(4, num_nodes=64, policy="lru")
+        lru.put(1, np.array([0, 1]), np.ones((2, DIM)))
+        for start in range(2, 50, 4):
+            nodes = np.arange(start, start + 4, dtype=np.int64)
+            lru.put(1, nodes, np.ones((4, DIM)))
+        assert not lru.contains(1, 0) and not lru.contains(1, 1)
+
+    def test_unpinned_newcomer_is_its_own_victim_when_hubs_fill_the_cache(self):
+        cache = EmbeddingCache(2, num_nodes=16, policy="degree", pinned_nodes=np.array([3, 4]))
+        cache.put(1, np.array([3, 4]), np.ones((2, DIM)))
+        cache.put(1, np.array([9]), np.ones((1, DIM)))
+        assert not cache.contains(1, 9)  # inserted-then-evicted, hubs intact
+        assert cache.contains(1, 3) and cache.contains(1, 4)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1 and cache.stats.insertions == 3
+
+    def test_pinned_entries_do_evict_each_other_when_nothing_else_remains(self):
+        cache = EmbeddingCache(1, num_nodes=16, policy="degree", pinned_nodes=np.array([3, 4]))
+        cache.put(1, np.array([3]), np.ones((1, DIM)))
+        cache.put(1, np.array([4]), np.ones((1, DIM)))
+        assert cache.contains(1, 4) and not cache.contains(1, 3)
+
+    def test_degree_policy_without_pins_behaves_like_lru(self):
+        degree = EmbeddingCache(2, num_nodes=16, policy="degree")
+        lru = EmbeddingCache(2, num_nodes=16, policy="lru")
+        for cache in (degree, lru):
+            cache.put(1, np.array([1]), np.ones((1, DIM)))
+            cache.put(1, np.array([2]), np.ones((1, DIM)))
+            cache.take(1, np.array([1]))
+            cache.put(1, np.array([3]), np.ones((1, DIM)))
+        for node in (1, 2, 3):
+            assert degree.contains(1, node) == lru.contains(1, node)
+
+    def test_pinned_nodes_property(self):
+        cache = EmbeddingCache(4, num_nodes=16, policy="degree", pinned_nodes=np.array([7, 2]))
+        assert cache.pinned_nodes.tolist() == [2, 7]
+        assert EmbeddingCache(4, num_nodes=16).pinned_nodes.tolist() == []
+
+
+def test_take_mask_is_consistent_with_take():
+    cache = EmbeddingCache(8, num_nodes=NUM_NODES)
+    cache.put(1, np.array([2, 5, 7]), np.ones((3, DIM)))
+    nodes = np.array([5, 1, 7, 3], dtype=np.int64)
+    mask, values = cache.take_mask(1, nodes)
+    assert mask.tolist() == [True, False, True, False]
+    assert values.shape == (2, DIM)
+    hit_nodes, hit_values, miss_nodes = cache.take(1, nodes)
+    assert hit_nodes.tolist() == [5, 7] and miss_nodes.tolist() == [1, 3]
+    assert np.array_equal(hit_values, values)
+
+
+def test_put_requires_distinct_nodes_is_documented_protocol():
+    """Misses of a take are unique by construction; puts rely on that."""
+    cache = EmbeddingCache(8, num_nodes=NUM_NODES)
+    _, _, misses = cache.take(1, np.array([3, 3, 5]))
+    # take tolerates duplicate lookups; the worker dedupes before asking.
+    assert misses.tolist() == [3, 3, 5]
+    with pytest.raises(Exception):
+        cache.put(1, np.array([1, 2]), np.ones((1, DIM)))  # shape mismatch still caught

@@ -5,7 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.serving import EmbeddingCache, InferenceRequest, ManualClock, MicroBatcher
+from repro.serving import (
+    EmbeddingCache,
+    InferenceRequest,
+    LegacyEmbeddingCache,
+    ManualClock,
+    MicroBatcher,
+)
 
 
 class TestManualClock:
@@ -27,10 +33,10 @@ class TestEmbeddingCache:
         cache.ensure_signature((0,))
         values = np.arange(6, dtype=np.float64).reshape(2, 3)
         cache.put(1, [10, 20], values)
-        hit_nodes, hit_rows, miss_nodes = cache.take(1, np.array([10, 15, 20]))
+        hit_nodes, hit_values, miss_nodes = cache.take(1, np.array([10, 15, 20]))
         assert hit_nodes.tolist() == [10, 20]
         assert miss_nodes.tolist() == [15]
-        assert np.array_equal(np.stack(hit_rows), values)
+        assert np.array_equal(hit_values, values)
         assert cache.stats.hits == 2 and cache.stats.misses == 1
 
     def test_layers_are_distinct_keyspaces(self):
@@ -66,19 +72,83 @@ class TestEmbeddingCache:
         assert len(hit_nodes) == 0 and miss_nodes.tolist() == [1]
         assert not cache.enabled
 
-    def test_cached_rows_are_immutable_copies(self):
+    def test_cached_rows_are_isolated_copies(self):
         cache = EmbeddingCache(capacity=4)
         source = np.ones((1, 3))
         cache.put(1, [1], source)
         source[:] = 99.0  # mutating the producer's buffer must not leak in
+        _, values, _ = cache.take(1, np.array([1]))
+        assert np.array_equal(values[0], np.ones(3))
+        values[0, 0] = 5.0  # the gathered array is a fresh copy, not a view
+        _, again, _ = cache.take(1, np.array([1]))
+        assert np.array_equal(again[0], np.ones(3))
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingCache(capacity=-1)
+        with pytest.raises(ValueError):
+            LegacyEmbeddingCache(capacity=-1)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingCache(capacity=4, policy="random")
+
+    def test_mismatched_value_shapes_rejected(self):
+        cache = EmbeddingCache(capacity=4)
+        with pytest.raises(ValueError):
+            cache.put(1, [1, 2], np.ones((3, 2)))
+        cache.put(1, [1], np.ones((1, 2)))
+        with pytest.raises(ValueError):
+            cache.put(1, [2], np.ones((1, 5)))  # layer dim is fixed by first put
+
+    def test_unseen_large_node_ids_are_misses(self):
+        # Without num_nodes the index map grows on demand; lookups beyond it
+        # must report misses, not crash.
+        cache = EmbeddingCache(capacity=4)
+        cache.put(1, [2], np.ones((1, 2)))
+        hit_nodes, _, miss_nodes = cache.take(1, np.array([2, 10_000]))
+        assert hit_nodes.tolist() == [2] and miss_nodes.tolist() == [10_000]
+        cache.put(1, [10_000], np.ones((1, 2)))
+        assert cache.contains(1, 10_000)
+
+    def test_slabs_survive_invalidation(self):
+        cache = EmbeddingCache(capacity=4)
+        cache.ensure_signature((0,))
+        cache.put(1, [1, 2], np.ones((2, 3)))
+        slab_before = cache._layers[1].slab
+        assert cache.ensure_signature((1,))
+        assert len(cache) == 0 and not cache.contains(1, 1)
+        cache.put(1, [3], np.ones((1, 3)))
+        assert cache._layers[1].slab is slab_before  # no re-allocation storm
+
+
+class TestLegacyEmbeddingCache:
+    def test_take_returns_readonly_rows(self):
+        cache = LegacyEmbeddingCache(capacity=4)
+        source = np.ones((1, 3))
+        cache.put(1, [1], source)
+        source[:] = 99.0
         _, rows, _ = cache.take(1, np.array([1]))
         assert np.array_equal(rows[0], np.ones(3))
         with pytest.raises(ValueError):
             rows[0][0] = 5.0
 
-    def test_negative_capacity_rejected(self):
-        with pytest.raises(ValueError):
-            EmbeddingCache(capacity=-1)
+    def test_lru_eviction_order(self):
+        cache = LegacyEmbeddingCache(capacity=2)
+        cache.put(1, [1], np.ones((1, 2)))
+        cache.put(1, [2], np.ones((1, 2)))
+        cache.take(1, np.array([1]))
+        cache.put(1, [3], np.ones((1, 2)))
+        assert cache.contains(1, 1) and cache.contains(1, 3)
+        assert not cache.contains(1, 2)
+        assert cache.stats.evictions == 1
+
+    def test_signature_change_invalidates_everything(self):
+        cache = LegacyEmbeddingCache(capacity=8)
+        assert not cache.ensure_signature((0, 0))
+        cache.put(1, [7], np.ones((1, 2)))
+        assert cache.ensure_signature((1, 1))
+        assert len(cache) == 0 and cache.stats.invalidations == 1
 
 
 def _request(request_id: int, node: int, shard: int, at: float) -> InferenceRequest:

@@ -1,0 +1,202 @@
+"""Tests for the compiled serving fast path (restricted operators, no subgraphs).
+
+The headline invariants:
+
+* the compiled hot path never constructs a ``Graph`` per flush — asserted by
+  counting ``Graph.subgraph`` calls during serving;
+* ``forward_restricted`` agrees with ``forward_full`` (and therefore the
+  legacy subgraph path) for every model;
+* the per-stage timing breakdown is populated, rendered and reset;
+* the new ``ServingConfig`` knobs validate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressionConfig, get_fft_workers
+from repro.graph import Graph, Restriction
+from repro.models import create_model
+from repro.serving import InferenceServer, ManualClock, ServingConfig
+from repro.tensor.tensor import Tensor, no_grad
+
+MODELS = ["GCN", "GS-Pool", "G-GCN", "GAT"]
+
+
+def _model(graph, name="GCN", block_size=1, seed=0):
+    return create_model(
+        name,
+        in_features=graph.num_features,
+        hidden_features=16,
+        num_classes=graph.num_classes,
+        compression=CompressionConfig(block_size=block_size),
+        seed=seed,
+    )
+
+
+def _server(model, graph, **overrides):
+    defaults = dict(num_shards=2, max_batch_size=8, max_delay=0.5, cache_capacity=1024, seed=0)
+    defaults.update(overrides)
+    return InferenceServer(model, graph, ServingConfig(**defaults), clock=ManualClock())
+
+
+class TestForwardRestricted:
+    @pytest.mark.parametrize("name", MODELS)
+    def test_matches_full_graph_rows(self, small_graph, name):
+        model = _model(small_graph, name)
+        rows = np.unique(np.random.default_rng(0).choice(small_graph.num_nodes, size=40))
+        restriction = Restriction(small_graph, rows)
+        with no_grad():
+            h_cols = Tensor(small_graph.features[restriction.cols])
+            restricted = model.layers[0].forward_restricted(h_cols, restriction).data
+            full = model.layers[0].forward_full(Tensor(small_graph.features), small_graph).data
+        # Same aggregation bit-for-bit; the final dense matmul may differ in
+        # the last ulp because BLAS blocks by row count (exactly as the
+        # legacy induced-subgraph path did versus full-graph inference).
+        np.testing.assert_allclose(restricted, full[rows], rtol=1e-12, atol=1e-12)
+
+    def test_isolated_rows_fall_back_to_self(self):
+        # Node 2 is isolated: every model must reproduce its full-graph value.
+        edges = np.array([[0, 1], [1, 3]])
+        graph = Graph.from_edges(4, edges, np.random.default_rng(0).normal(size=(4, 6)),
+                                 np.zeros(4, dtype=np.int64))
+        rows = np.array([1, 2])
+        restriction = Restriction(graph, rows)
+        for name in MODELS:
+            model = create_model(name, 6, 8, 2, seed=0)
+            with no_grad():
+                h_cols = Tensor(graph.features[restriction.cols])
+                restricted = model.layers[0].forward_restricted(h_cols, restriction).data
+                full = model.layers[0].forward_full(Tensor(graph.features), graph).data
+            np.testing.assert_allclose(restricted, full[rows], rtol=1e-12, atol=1e-12)
+
+
+class TestZeroGraphConstruction:
+    def test_compiled_path_never_calls_subgraph(self, small_graph, monkeypatch):
+        model = _model(small_graph)
+        server = _server(model, small_graph)  # built BEFORE patching: shards may subgraph
+        calls = []
+        original = Graph.subgraph
+
+        def counting_subgraph(self, nodes, name=None):
+            calls.append(len(nodes))
+            return original(self, nodes, name)
+
+        monkeypatch.setattr(Graph, "subgraph", counting_subgraph)
+        nodes = np.random.default_rng(1).choice(small_graph.num_nodes, size=60, replace=True)
+        server.predict(nodes)
+        assert calls == []  # zero per-flush Graph construction
+
+    def test_legacy_path_does_call_subgraph(self, small_graph, monkeypatch):
+        model = _model(small_graph)
+        server = _server(model, small_graph, hot_path="legacy")
+        calls = []
+        original = Graph.subgraph
+
+        def counting_subgraph(self, nodes, name=None):
+            calls.append(len(nodes))
+            return original(self, nodes, name)
+
+        monkeypatch.setattr(Graph, "subgraph", counting_subgraph)
+        server.predict(np.arange(16))
+        assert len(calls) > 0
+
+    def test_operator_plans_precomputed_at_build_time(self, small_graph):
+        model = _model(small_graph)
+        server = _server(model, small_graph)
+        for shard in server.shards:
+            # GCN's propagation operator was normalised during server build.
+            assert ("random_walk", True) in shard.graph._operator_cache
+
+
+class TestHotPathEquivalence:
+    @pytest.mark.parametrize("name", MODELS)
+    def test_legacy_and_compiled_serve_identical_predictions(self, small_graph, name):
+        model = _model(small_graph, name)
+        nodes = np.random.default_rng(2).choice(small_graph.num_nodes, size=80, replace=True)
+        reference = model.full_forward(small_graph).data.argmax(axis=-1)[nodes]
+        for hot_path in ("compiled", "legacy"):
+            server = _server(model, small_graph, hot_path=hot_path, num_shards=3)
+            assert np.array_equal(server.predict(nodes), reference)
+            assert np.array_equal(server.predict(nodes), reference)  # warm
+
+    def test_degree_policy_stays_exact_under_eviction_pressure(self, small_graph):
+        model = _model(small_graph)
+        reference = model.full_forward(small_graph).data.argmax(axis=-1)
+        server = _server(model, small_graph, cache_capacity=8, cache_policy="degree")
+        nodes = np.random.default_rng(3).choice(small_graph.num_nodes, size=80, replace=True)
+        assert np.array_equal(server.predict(nodes), reference[nodes])
+        assert server.stats().cache.evictions > 0
+
+    def test_compiled_with_block_circulant_compression(self, small_graph):
+        model = _model(small_graph, "GCN", block_size=4)
+        reference = model.full_forward(small_graph).data.argmax(axis=-1)
+        server = _server(model, small_graph)
+        nodes = np.arange(small_graph.num_nodes)
+        assert np.array_equal(server.predict(nodes), reference[nodes])
+
+
+class TestStageTimings:
+    def test_breakdown_populated_and_reset(self, small_graph):
+        model = _model(small_graph)
+        server = _server(model, small_graph)
+        server.predict(np.arange(small_graph.num_nodes))
+        stats = server.stats()
+        assert stats.stage_seconds["cache_gather"] > 0
+        assert stats.stage_seconds["aggregation"] > 0
+        assert stats.stage_seconds["combination"] > 0
+        assert stats.stage_seconds["cache_scatter"] > 0
+        assert stats.stage_total > 0
+        assert "flush stages" in stats.render()
+        server.reset_stats()
+        assert server.stats().stage_total == 0.0
+
+    def test_legacy_path_reports_no_stages(self, small_graph):
+        model = _model(small_graph)
+        server = _server(model, small_graph, hot_path="legacy")
+        server.predict(np.arange(16))
+        stats = server.stats()
+        assert stats.stage_total == 0.0
+        assert "flush stages" not in stats.render()
+
+
+class TestConfigKnobs:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            ServingConfig(hot_path="turbo")
+        with pytest.raises(ValueError):
+            ServingConfig(cache_policy="random")
+        with pytest.raises(ValueError):
+            ServingConfig(cache_pin_fraction=1.5)
+        with pytest.raises(ValueError):
+            ServingConfig(cache_pin_fraction=-0.1)
+        with pytest.raises(ValueError):
+            ServingConfig(fft_workers=0)
+
+    def test_fft_workers_knob_applies_and_resets(self, small_graph):
+        from repro.compression import set_fft_workers
+
+        model = _model(small_graph)
+        assert get_fft_workers() is None
+        try:
+            _server(model, small_graph, fft_workers=1)
+            assert get_fft_workers() == 1
+        finally:
+            set_fft_workers(None)
+
+    def test_degree_policy_pins_high_degree_shard_nodes(self, small_graph):
+        model = _model(small_graph)
+        server = _server(
+            model, small_graph, cache_capacity=64, cache_policy="degree",
+            cache_pin_fraction=0.25,
+        )
+        degrees = small_graph.degrees()
+        for worker, shard in zip(server.workers, server.shards):
+            pinned = worker.cache.pinned_nodes
+            assert 0 < len(pinned) <= 16
+            assert set(pinned).issubset(set(shard.nodes.tolist()))
+            # Every pinned node is at least as connected as every unpinned one.
+            unpinned = np.setdiff1d(shard.nodes, pinned)
+            if len(unpinned):
+                assert degrees[pinned].min() >= degrees[unpinned].max()
