@@ -124,15 +124,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache", type=int, default=4096, help="embedding-cache entries per worker")
     serve.add_argument(
         "--cache-policy",
-        choices=["lru", "degree"],
+        choices=["lru", "degree", "degree-auto"],
         default="lru",
-        help="slab-cache retention: exact LRU or degree-aware hub pinning (GNNIE-style)",
+        help="slab-cache retention: exact LRU, degree-aware hub pinning (GNNIE-style), "
+        "or degree pinning with the pin budget auto-tuned online",
     )
     serve.add_argument(
         "--pin-fraction",
         type=float,
         default=0.25,
-        help="fraction of the cache capacity reserved for pinned hubs (--cache-policy degree)",
+        help="fraction of the cache capacity reserved for pinned hubs "
+        "(--cache-policy degree; the starting point for degree-auto)",
+    )
+    serve.add_argument(
+        "--halo-tier",
+        choices=["on", "off"],
+        default="on",
+        help="share computed boundary (halo) embeddings between shards so cold "
+        "flushes stop recomputing each other's cut nodes",
+    )
+    serve.add_argument(
+        "--plan-cache-size",
+        type=int,
+        default=32,
+        help="restriction plans cached per worker (0 disables plan reuse/patching)",
     )
     serve.add_argument(
         "--hot-path",
@@ -412,6 +427,8 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
                 cache_capacity=cache,
                 cache_policy=args.cache_policy,
                 cache_pin_fraction=args.pin_fraction,
+                halo_tier=args.halo_tier == "on",
+                plan_cache_size=args.plan_cache_size,
                 hot_path=hot_path,
                 fft_workers=args.fft_workers,
                 num_replicas=args.replicas,

@@ -10,7 +10,7 @@ from .datasets import (
 )
 from .graph import Graph
 from .partition import partition_graph, partition_nodes
-from .restriction import Restriction, slice_csr_rows
+from .restriction import PlanCache, PlanCacheStats, Restriction, slice_csr_rows
 from .sampling import MiniBatch, NeighborSampler, SampledBlock, minibatch_iterator
 
 __all__ = [
@@ -28,5 +28,7 @@ __all__ = [
     "partition_graph",
     "partition_nodes",
     "Restriction",
+    "PlanCache",
+    "PlanCacheStats",
     "slice_csr_rows",
 ]

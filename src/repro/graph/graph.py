@@ -194,6 +194,23 @@ class Graph:
             )
         return self._operator_cache[key]
 
+    def propagation_operator(
+        self, kind: str = "random_walk", add_self_loops: bool = False
+    ) -> sp.csr_matrix:
+        """The memoised full-graph operator of ``kind`` (read-only).
+
+        One dispatch point for :meth:`random_walk_adjacency` /
+        :meth:`normalized_adjacency` (``kind`` ∈ ``{"random_walk",
+        "normalized"}``) shared by ``prepare_full`` warm-up, restricted
+        slicing and full-shard restrictions (which return this operator
+        as-is instead of slicing every row).
+        """
+        if kind == "random_walk":
+            return self.random_walk_adjacency(add_self_loops=add_self_loops)
+        if kind == "normalized":
+            return self.normalized_adjacency(add_self_loops=add_self_loops)
+        raise ValueError(f"kind must be 'random_walk' or 'normalized', got {kind!r}")
+
     def restricted_operator(
         self,
         rows: Sequence[int],
@@ -203,13 +220,14 @@ class Graph:
     ) -> sp.csr_matrix:
         """Rows of a memoised propagation operator as a ``(rows, cols)`` CSR.
 
-        Slices ``rows`` out of :meth:`random_walk_adjacency` /
-        :meth:`normalized_adjacency` (``kind`` ∈ ``{"random_walk",
-        "normalized"}``) and remaps the column ids to positions inside the
-        sorted id set ``cols`` — the restricted-SpMM building block of the
-        serving fast path.  Every selected entry's column must be present in
-        ``cols`` (i.e. ``cols`` covers the rows' neighbourhoods, plus the
-        rows themselves when ``add_self_loops``); missing columns raise.
+        Slices ``rows`` out of :meth:`propagation_operator` and remaps the
+        column ids to positions inside the sorted id set ``cols`` — the
+        restricted-SpMM building block of the serving fast path.  Every
+        selected entry's column must be present in ``cols`` (i.e. ``cols``
+        covers the rows' neighbourhoods, plus the rows themselves when
+        ``add_self_loops``); missing columns raise.  An empty row set
+        short-circuits to an empty matrix without building (or normalising)
+        any operator.
 
         The slice carries the *whole-graph* normalisation: because the rows'
         neighbour lists are complete, each sliced row is bit-identical to the
@@ -218,13 +236,12 @@ class Graph:
         """
         from .restriction import slice_csr_rows
 
-        if kind == "random_walk":
-            operator = self.random_walk_adjacency(add_self_loops=add_self_loops)
-        elif kind == "normalized":
-            operator = self.normalized_adjacency(add_self_loops=add_self_loops)
-        else:
-            raise ValueError(f"kind must be 'random_walk' or 'normalized', got {kind!r}")
-        return slice_csr_rows(operator, np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64))
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if len(rows) == 0:
+            return sp.csr_matrix((0, len(cols)), dtype=np.float64)
+        operator = self.propagation_operator(kind, add_self_loops=add_self_loops)
+        return slice_csr_rows(operator, rows, cols)
 
     # -- restructuring ----------------------------------------------------------------
 

@@ -38,6 +38,7 @@ __all__ = [
     "segment_reduce",
     "edge_destinations",
     "stage_scope",
+    "emit_restricted",
 ]
 
 
@@ -48,6 +49,23 @@ def stage_scope(timer, name: str):
     is whatever exposes ``stage(name) -> context manager``.
     """
     return timer.stage(name) if timer is not None else contextlib.nullcontext()
+
+
+def emit_restricted(result: Tensor, out) -> Tensor:
+    """Deliver a layer's freshly computed restricted rows.
+
+    ``out`` is either ``None`` (plain return) or an ``(buffer, positions)``
+    pair: the caller's assembly buffer for the layer's full needed set, whose
+    *other* rows already hold pre-gathered cache and halo hits.  The computed
+    rows are scattered into ``buffer[positions]`` here — inside the layer's
+    timed scope — so the caller assembles the layer output without a second
+    pass.  The computed rows are returned either way (the serving worker also
+    feeds them to the embedding cache and the halo tier).
+    """
+    if out is not None:
+        buffer, positions = out
+        buffer[positions] = result.data
+    return result
 
 
 def apply_linear(layer: Module, x: Tensor) -> Tensor:
@@ -142,14 +160,18 @@ class GNNLayer(Module):
     def forward_full(self, h: Tensor, graph: Graph) -> Tensor:  # pragma: no cover - interface
         raise NotImplementedError
 
-    def forward_restricted(self, h: Tensor, restriction, timer=None) -> Tensor:  # pragma: no cover
+    def forward_restricted(self, h: Tensor, restriction, timer=None, out=None) -> Tensor:  # pragma: no cover
         """Outputs of :meth:`forward_full` for ``restriction.rows`` only.
 
         ``h`` holds the previous representations of ``restriction.cols`` (in
         column order).  ``timer``, when given, is a
         :class:`~repro.serving.timing.StageTimer`-like object whose
         ``stage("aggregation")`` / ``stage("combination")`` context managers
-        attribute the layer's time to the serving breakdown.
+        attribute the layer's time to the serving breakdown.  ``out``, when
+        given, is the serving worker's ``(buffer, positions)`` assembly pair
+        — the buffer's other rows hold pre-gathered cache/halo hits and the
+        layer scatters its computed rows into ``buffer[positions]`` via
+        :func:`emit_restricted` before returning them.
         """
         raise NotImplementedError
 

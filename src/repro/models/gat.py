@@ -23,6 +23,7 @@ from .base import (
     GNNModel,
     apply_linear,
     edge_destinations,
+    emit_restricted,
     register_model,
     segment_reduce,
     stage_scope,
@@ -161,14 +162,14 @@ class GATLayer(GNNLayer):
         out = outputs[0] if len(outputs) == 1 else concatenate(outputs, axis=1)
         return out.elu() if self.activation else out
 
-    def forward_restricted(self, h: Tensor, restriction, timer=None) -> Tensor:
+    def forward_restricted(self, h: Tensor, restriction, timer=None, out=None) -> Tensor:
         # Attention (projection included) is the aggregation phase in the
         # paper's accounting; only the head concat + ELU count as combination.
         with stage_scope(timer, "aggregation"):
             outputs = [head.forward_restricted(h, restriction) for head in self.heads]
         with stage_scope(timer, "combination"):
-            out = outputs[0] if len(outputs) == 1 else concatenate(outputs, axis=1)
-            return out.elu() if self.activation else out
+            result = outputs[0] if len(outputs) == 1 else concatenate(outputs, axis=1)
+            return emit_restricted(result.elu() if self.activation else result, out)
 
 
 @register_model("gat")

@@ -16,7 +16,7 @@ import numpy as np
 from ..compression.compress import CompressionConfig
 from ..graph.sampling import SampledBlock
 from ..tensor.tensor import Tensor
-from .base import GNNLayer, GNNModel, apply_linear, register_model, stage_scope
+from .base import GNNLayer, GNNModel, apply_linear, emit_restricted, register_model, stage_scope
 
 __all__ = ["GCNLayer", "GCN"]
 
@@ -60,15 +60,15 @@ class GCNLayer(GNNLayer):
     def prepare_full(self, graph) -> None:
         graph.random_walk_adjacency(add_self_loops=True)
 
-    def forward_restricted(self, h: Tensor, restriction, timer=None) -> Tensor:
+    def forward_restricted(self, h: Tensor, restriction, timer=None, out=None) -> Tensor:
         with stage_scope(timer, "aggregation"):
             # Restricted SpMM: the requested rows of the frozen operator,
             # columns remapped into the batch-local index space.
             operator = restriction.operator("random_walk", add_self_loops=True)
             aggregated = Tensor(operator @ h.data)
         with stage_scope(timer, "combination"):
-            out = apply_linear(self.fc, aggregated)
-            return out.relu() if self.activation else out
+            result = apply_linear(self.fc, aggregated)
+            return emit_restricted(result.relu() if self.activation else result, out)
 
 
 @register_model("gcn")

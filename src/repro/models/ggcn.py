@@ -21,6 +21,7 @@ from .base import (
     GNNModel,
     apply_linear,
     edge_destinations,
+    emit_restricted,
     register_model,
     segment_reduce,
     stage_scope,
@@ -84,7 +85,7 @@ class GGCNLayer(GNNLayer):
         out = apply_linear(self.fc, Tensor(aggregated))
         return out.relu() if self.activation else out
 
-    def forward_restricted(self, h: Tensor, restriction, timer=None) -> Tensor:
+    def forward_restricted(self, h: Tensor, restriction, timer=None, out=None) -> Tensor:
         with stage_scope(timer, "aggregation"):
             # Both gate projections over the column set only; the sliced edge
             # dimension combines the cached projections exactly as the
@@ -103,8 +104,8 @@ class GGCNLayer(GNNLayer):
                 own = row_positions[isolated]
                 aggregated[isolated] = expit(gate_n[own] + gate_s[own]) * features[own]
         with stage_scope(timer, "combination"):
-            out = apply_linear(self.fc, Tensor(aggregated))
-            return out.relu() if self.activation else out
+            result = apply_linear(self.fc, Tensor(aggregated))
+            return emit_restricted(result.relu() if self.activation else result, out)
 
 
 @register_model("ggcn")

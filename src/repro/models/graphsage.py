@@ -15,7 +15,15 @@ import numpy as np
 from ..compression.compress import CompressionConfig
 from ..graph.sampling import SampledBlock
 from ..tensor.tensor import Tensor, concatenate
-from .base import GNNLayer, GNNModel, apply_linear, register_model, segment_reduce, stage_scope
+from .base import (
+    GNNLayer,
+    GNNModel,
+    apply_linear,
+    emit_restricted,
+    register_model,
+    segment_reduce,
+    stage_scope,
+)
 
 __all__ = ["GraphSAGEPoolLayer", "GraphSAGEPool"]
 
@@ -67,7 +75,7 @@ class GraphSAGEPoolLayer(GNNLayer):
         out = apply_linear(self.combine_fc, Tensor(combined))
         return out.relu() if self.activation else out
 
-    def forward_restricted(self, h: Tensor, restriction, timer=None) -> Tensor:
+    def forward_restricted(self, h: Tensor, restriction, timer=None, out=None) -> Tensor:
         with stage_scope(timer, "aggregation"):
             # Project the restriction's column set once (every pooled
             # neighbour is in it), then max-reduce along the sliced CSR rows.
@@ -79,8 +87,8 @@ class GraphSAGEPoolLayer(GNNLayer):
             pooled[~nonempty] = projected[row_positions[~nonempty]]
             combined = np.concatenate([pooled, h.data[row_positions]], axis=1)       # (R, P + F)
         with stage_scope(timer, "combination"):
-            out = apply_linear(self.combine_fc, Tensor(combined))
-            return out.relu() if self.activation else out
+            result = apply_linear(self.combine_fc, Tensor(combined))
+            return emit_restricted(result.relu() if self.activation else result, out)
 
 
 @register_model("gs_pool")

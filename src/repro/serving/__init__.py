@@ -14,6 +14,11 @@ trained (optionally block-circulant-compressed) GNN:
   ``weight_signature`` when training bumps ``Parameter.version``);
   :class:`LegacyEmbeddingCache` is the original per-row ``OrderedDict``
   implementation, kept as the hot-path benchmark reference;
+* a shared :class:`HaloStore` exchanges boundary (halo) embeddings between
+  shards — a row computed during one shard's flush is gathered, not
+  recomputed, by its neighbours — and a per-worker
+  :class:`~repro.graph.PlanCache` reuses (or incrementally patches)
+  :class:`~repro.graph.Restriction` plans across overlapping flushes;
 * a :class:`Scheduler` owns the flush loop, dispatching one flush task per
   due shard through a pluggable :class:`FlushExecutor` —
   :class:`SerialExecutor` (deterministic, default) or
@@ -30,8 +35,9 @@ trained (optionally block-circulant-compressed) GNN:
   cycles per shard.
 """
 
+from ..graph.restriction import PlanCache, PlanCacheStats
 from .batcher import TERMINAL_STATUSES, InferenceRequest, MicroBatcher
-from .cache import CACHE_POLICIES, CacheStats, EmbeddingCache, LegacyEmbeddingCache
+from .cache import CACHE_POLICIES, CacheStats, EmbeddingCache, HaloStore, LegacyEmbeddingCache
 from .clock import Clock, ManualClock, SystemClock
 from .config import ServingConfig
 from .engine import InferenceServer
@@ -50,6 +56,9 @@ __all__ = [
     "CACHE_POLICIES",
     "EmbeddingCache",
     "LegacyEmbeddingCache",
+    "HaloStore",
+    "PlanCache",
+    "PlanCacheStats",
     "StageTimer",
     "STAGES",
     "merge_stage_totals",

@@ -23,6 +23,18 @@ single scatter — no per-row Python loop, no ``OrderedDict`` walking, no
     unpinned entry remains, so one scan of cold nodes cannot flush the hubs
     every power-law request stream keeps coming back to.
 
+``"degree-auto"``
+    The same retention with the pin budget tuned *online*: the cache tracks
+    the hit-rate split between pinned and unpinned lookups over a sliding
+    window and grows the active pin prefix (of the degree-ranked candidate
+    list) when pinned entries out-hit unpinned ones, shrinks it when they
+    don't — removing the static ``cache_pin_fraction`` knob.
+
+:class:`HaloStore` is the cross-shard companion: a shared, versioned slab
+tier holding per-layer embeddings of the *boundary* (halo) nodes held by more
+than one worker, so a row computed during shard A's flush is gathered — not
+recomputed — by shard B's.
+
 :class:`LegacyEmbeddingCache` is the original per-row ``OrderedDict`` LRU
 kept as the reference implementation: the hot-path benchmark gates measure
 speedups against it and the hypothesis equivalence suite checks the slab
@@ -48,9 +60,15 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["CacheStats", "EmbeddingCache", "LegacyEmbeddingCache", "CACHE_POLICIES"]
+__all__ = [
+    "CacheStats",
+    "EmbeddingCache",
+    "LegacyEmbeddingCache",
+    "HaloStore",
+    "CACHE_POLICIES",
+]
 
-CACHE_POLICIES = ("lru", "degree")
+CACHE_POLICIES = ("lru", "degree", "degree-auto")
 
 
 @dataclass
@@ -158,17 +176,24 @@ class EmbeddingCache:
     ``RLock``.
     """
 
+    #: hit-rate gap below which degree-auto leaves the pin budget alone.
+    AUTO_MARGIN = 0.02
+
     def __init__(
         self,
         capacity: int,
         num_nodes: Optional[int] = None,
         policy: str = "lru",
         pinned_nodes: Optional[np.ndarray] = None,
+        initial_pin_count: Optional[int] = None,
+        auto_tune_interval: int = 1024,
     ) -> None:
         if capacity < 0:
             raise ValueError("cache capacity must be non-negative")
         if policy not in CACHE_POLICIES:
             raise ValueError(f"cache policy must be one of {CACHE_POLICIES}, got {policy!r}")
+        if auto_tune_interval <= 0:
+            raise ValueError("auto_tune_interval must be positive")
         self.capacity = int(capacity)
         self.policy = policy
         self.stats = CacheStats()
@@ -181,11 +206,31 @@ class EmbeddingCache:
         self._num_nodes = int(num_nodes) if num_nodes is not None else 64
         self._size = 0
         self._tick = 0
-        if pinned_nodes is not None and len(pinned_nodes):
-            pinned_nodes = np.asarray(pinned_nodes, dtype=np.int64)
-            self._pinned = np.zeros(max(self._num_nodes, int(pinned_nodes.max()) + 1), dtype=bool)
-            self._pinned[pinned_nodes] = True
+        # Degree policies: ``pinned_nodes`` is the hub list, best-first.  The
+        # static "degree" policy pins all of it; "degree-auto" treats it as
+        # the *candidate ranking* and keeps an active prefix it retunes
+        # online from the pinned-vs-unpinned hit-rate split.
+        self._candidates = (
+            np.asarray(pinned_nodes, dtype=np.int64)
+            if pinned_nodes is not None and len(pinned_nodes)
+            else np.empty(0, dtype=np.int64)
+        )
+        self._auto_interval = int(auto_tune_interval)
+        self.retunes = 0
+        self._win_pin_lookups = 0
+        self._win_pin_hits = 0
+        self._win_unpin_lookups = 0
+        self._win_unpin_hits = 0
+        if len(self._candidates):
+            if policy == "degree-auto" and initial_pin_count is not None:
+                self._active_pins = min(max(int(initial_pin_count), 1), len(self._candidates))
+            else:
+                self._active_pins = len(self._candidates)
+            size = max(self._num_nodes, int(self._candidates.max()) + 1)
+            self._pinned = np.zeros(size, dtype=bool)
+            self._pinned[self._candidates[: self._active_pins]] = True
         else:
+            self._active_pins = 0
             self._pinned = None
 
     def __len__(self) -> int:
@@ -201,6 +246,42 @@ class EmbeddingCache:
         if self._pinned is None:
             return np.empty(0, dtype=np.int64)
         return np.where(self._pinned)[0].astype(np.int64)
+
+    @property
+    def pin_fraction(self) -> float:
+        """Active fraction of the pinnable (candidate) budget, in [0, 1]."""
+        if not len(self._candidates):
+            return 0.0
+        return self._active_pins / len(self._candidates)
+
+    def _retune(self) -> None:
+        """Adapt the active pin prefix from the window's hit-rate split.
+
+        Pinned entries out-hitting unpinned ones means protection is paying
+        for itself — widen it; the opposite (or a window where nothing asked
+        for a pinned node) means the pins are squatting on capacity — narrow
+        it.  The prefix never drops below one node, so the pinned side keeps
+        producing the signal a later recovery needs.
+        """
+        pin_lookups, pin_hits = self._win_pin_lookups, self._win_pin_hits
+        unpin_lookups, unpin_hits = self._win_unpin_lookups, self._win_unpin_hits
+        self._win_pin_lookups = self._win_pin_hits = 0
+        self._win_unpin_lookups = self._win_unpin_hits = 0
+        step = max(1, len(self._candidates) // 8)
+        active = self._active_pins
+        pinned_rate = pin_hits / pin_lookups if pin_lookups else 0.0
+        unpinned_rate = unpin_hits / unpin_lookups if unpin_lookups else 0.0
+        if pin_lookups == 0:
+            active = max(active - step, 1)
+        elif pinned_rate > unpinned_rate + self.AUTO_MARGIN:
+            active = min(active + step, len(self._candidates))
+        elif pinned_rate + self.AUTO_MARGIN < unpinned_rate:
+            active = max(active - step, 1)
+        if active != self._active_pins:
+            self._active_pins = active
+            self._pinned.fill(False)
+            self._pinned[self._candidates[:active]] = True
+            self.retunes += 1
 
     # -- versioning -----------------------------------------------------------
 
@@ -267,6 +348,16 @@ class EmbeddingCache:
             self._tick += len(hit_slots)
             self.stats.hits += len(hit_slots)
             self.stats.misses += len(nodes) - len(hit_slots)
+            if self.policy == "degree-auto" and self._pinned is not None and len(nodes):
+                flags = self._pinned_flags(nodes)
+                pin_total = int(flags.sum())
+                pin_hits = int((flags & hit).sum())
+                self._win_pin_lookups += pin_total
+                self._win_pin_hits += pin_hits
+                self._win_unpin_lookups += len(nodes) - pin_total
+                self._win_unpin_hits += len(hit_slots) - pin_hits
+                if self._win_pin_lookups + self._win_unpin_lookups >= self._auto_interval:
+                    self._retune()
             return hit, values
 
     def put(self, layer: int, nodes: Sequence[int], values: np.ndarray) -> None:
@@ -328,7 +419,7 @@ class EmbeddingCache:
             self._size += len(survivors)
 
     def _pinned_flags(self, nodes: np.ndarray) -> np.ndarray:
-        if self.policy != "degree" or self._pinned is None:
+        if self._pinned is None or self.policy not in ("degree", "degree-auto"):
             return np.zeros(len(nodes), dtype=bool)
         clipped = np.minimum(nodes, len(self._pinned) - 1)
         return self._pinned[clipped] & (clipped == nodes)
@@ -375,7 +466,7 @@ class EmbeddingCache:
         # replaces a full sort.  Degree policy folds the pinned flag into the
         # key's top bit: every unpinned entry ranks below every pinned one.
         keys = stamps_all
-        if self.policy == "degree":
+        if self.policy in ("degree", "degree-auto"):
             keys = stamps_all + (pinned_all.astype(np.int64) << 62)
         if overflow < len(keys):
             victims = np.argpartition(keys, overflow - 1)[:overflow]
@@ -401,6 +492,146 @@ class EmbeddingCache:
             if store is None:
                 return False
             return store.lookup(np.asarray([int(node)], dtype=np.int64))[0] >= 0
+
+
+class HaloStore:
+    """Shared, versioned slab tier of boundary ("halo") embeddings.
+
+    Neighbouring shards overlap: every node within K hops of a partition cut
+    is held — and, without exchange, independently recomputed — by each shard
+    whose halo contains it.  A single ``HaloStore`` is shared by all of a
+    server's workers; a worker *publishes* the layer-``k`` rows it computed
+    for boundary nodes and *gathers* boundary rows another shard already
+    computed, so a node computed by shard A is never recomputed by shard B.
+
+    Storage is a dense per-layer slab over the fixed eligible-node set (the
+    nodes held by two or more workers), with a presence bitmap instead of an
+    eviction policy: the set is known at server build, bounded by the cut
+    size, and every row in it is exact (bitwise equal to full-graph
+    inference), so nothing ever needs replacing — memory is
+    ``num_shared x dim`` floats per layer, allocated lazily on first publish.
+
+    Versioning follows :class:`EmbeddingCache`: entries are tied to the
+    model's weight signature and dropped wholesale (two ``fill`` calls per
+    layer, slabs stay allocated) when a training step changes it.  Stats
+    count *eligible* lookups only — a non-boundary node can never be
+    exchanged, and counting it would misstate the tier's effectiveness.
+
+    Thread-safe: workers on different executor threads publish and gather
+    concurrently under an internal ``RLock``.
+    """
+
+    def __init__(self, num_nodes: int, shared_nodes: np.ndarray) -> None:
+        shared_nodes = np.unique(np.asarray(shared_nodes, dtype=np.int64))
+        if len(shared_nodes) and (shared_nodes[0] < 0 or shared_nodes[-1] >= num_nodes):
+            raise ValueError("shared nodes out of range")
+        self._slot_of = np.full(int(num_nodes), -1, dtype=np.int64)
+        self._slot_of[shared_nodes] = np.arange(len(shared_nodes), dtype=np.int64)
+        self._shared = shared_nodes
+        self._layers: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._signature: Optional[Hashable] = None
+        self._lock = threading.RLock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return int(sum(present.sum() for _, present in self._layers.values()))
+
+    @property
+    def num_shared(self) -> int:
+        """Size of the eligible (boundary) node set."""
+        return len(self._shared)
+
+    @property
+    def shared_nodes(self) -> np.ndarray:
+        """Sorted global ids eligible for exchange (held by >= 2 workers)."""
+        return self._shared
+
+    # -- versioning -----------------------------------------------------------
+
+    def ensure_signature(self, signature: Hashable) -> bool:
+        """Drop every entry if the weight signature changed since last use."""
+        with self._lock:
+            if self._signature is None:
+                self._signature = signature
+                return False
+            if signature == self._signature:
+                return False
+            self._drop_entries()
+            self._signature = signature
+            self.stats.invalidations += 1
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._drop_entries()
+
+    def _drop_entries(self) -> None:
+        for _, present in self._layers.values():
+            present.fill(False)
+
+    # -- exchange ---------------------------------------------------------------
+
+    def take_mask(self, layer: int, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """``(hit_mask over nodes, hit_values)`` for ``layer``.
+
+        ``hit_values`` rows correspond to the masked positions in order —
+        the same contract as :meth:`EmbeddingCache.take_mask`.  Only boundary
+        nodes can hit; lookups of non-eligible nodes are not counted.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        with self._lock:
+            slots = self._slot_of[nodes]
+            eligible = slots >= 0
+            n_eligible = int(eligible.sum())
+            entry = self._layers.get(layer)
+            if entry is None or n_eligible == 0:
+                self.stats.misses += n_eligible
+                return np.zeros(len(nodes), dtype=bool), np.empty((0, 0), dtype=np.float64)
+            slab, present = entry
+            hit = eligible.copy()
+            hit[eligible] = present[slots[eligible]]
+            values = slab[slots[hit]]  # single gather (fresh array)
+            self.stats.hits += len(values)
+            self.stats.misses += n_eligible - len(values)
+            return hit, values
+
+    def publish(self, layer: int, nodes: Sequence[int], values: np.ndarray) -> None:
+        """Store freshly computed layer rows; non-boundary nodes are ignored."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2 or len(values) != len(nodes):
+            raise ValueError("values must be a (len(nodes), dim) array")
+        with self._lock:
+            slots = self._slot_of[nodes]
+            mask = slots >= 0
+            count = int(mask.sum())
+            if count == 0:
+                return
+            entry = self._layers.get(layer)
+            if entry is None:
+                slab = np.empty((len(self._shared), values.shape[1]), dtype=np.float64)
+                present = np.zeros(len(self._shared), dtype=bool)
+                self._layers[layer] = (slab, present)
+            else:
+                slab, present = entry
+                if slab.shape[1] != values.shape[1]:
+                    raise ValueError(
+                        f"layer {layer} halo slab holds {slab.shape[1]}-dim vectors, "
+                        f"got {values.shape[1]}"
+                    )
+            slab[slots[mask]] = values[mask]
+            present[slots[mask]] = True
+            self.stats.insertions += count
+
+    def contains(self, layer: int, node: int) -> bool:
+        """Membership check that does not touch stats."""
+        with self._lock:
+            entry = self._layers.get(layer)
+            if entry is None:
+                return False
+            slot = self._slot_of[int(node)]
+            return bool(slot >= 0 and entry[1][slot])
 
 
 class LegacyEmbeddingCache:

@@ -37,13 +37,28 @@ class ServingConfig:
         Embedding-cache entries *per worker* (0 disables caching).
     cache_policy, cache_pin_fraction:
         Retention policy of the slab cache: ``"lru"`` (exact
-        least-recently-used) or ``"degree"`` (GNNIE-style degree-aware
+        least-recently-used), ``"degree"`` (GNNIE-style degree-aware
         retention — the shard's highest-degree nodes are pinned and only
         evicted when nothing unpinned remains, so power-law traffic keeps
-        its hubs warm).  Pinned *entries* — one per layer per pinned node —
-        are capped at ``cache_pin_fraction * cache_capacity``; the number of
-        pinned nodes is that budget divided by the model depth.  Ignored by
-        the legacy hot path.
+        its hubs warm) or ``"degree-auto"`` (the same retention with the pin
+        budget tuned online from the observed pinned-vs-unpinned hit-rate
+        split; ``cache_pin_fraction`` is only the starting point).  Pinned
+        *entries* — one per layer per pinned node — are capped at
+        ``cache_pin_fraction * cache_capacity``; the number of pinned nodes
+        is that budget divided by the model depth.  Ignored by the legacy
+        hot path.
+    halo_tier:
+        Enable the shared :class:`~repro.serving.cache.HaloStore`: workers
+        publish the boundary (halo) rows they compute and gather boundary
+        rows a neighbouring shard (or a sibling replica) already computed,
+        so cold flushes stop recomputing each other's cut nodes.  Exact
+        compiled serving only; needs at least two workers to exist.  Memory:
+        one ``num_boundary_nodes x dim`` slab per layer, shared server-wide.
+    plan_cache_size:
+        Per-worker LRU capacity of the :class:`~repro.graph.PlanCache`
+        memoising miss-set → :class:`~repro.graph.Restriction` plans, with
+        incremental subset/superset patching for overlapping consecutive
+        miss sets.  ``0`` disables it (every flush rebuilds its plans).
     hot_path:
         ``"compiled"`` — the fast exact path: per-shard operator plans
         precomputed at build time, restricted SpMM per flush, slab cache
@@ -93,6 +108,8 @@ class ServingConfig:
     cache_capacity: int = 4096
     cache_policy: str = "lru"
     cache_pin_fraction: float = 0.25
+    halo_tier: bool = True
+    plan_cache_size: int = 32
     hot_path: str = "compiled"
     fft_workers: Optional[int] = None
     partition_method: str = "bfs"
@@ -123,6 +140,8 @@ class ServingConfig:
             )
         if not 0.0 <= self.cache_pin_fraction <= 1.0:
             raise ValueError("cache_pin_fraction must be within [0, 1]")
+        if self.plan_cache_size < 0:
+            raise ValueError("plan_cache_size must be non-negative (0 disables the plan cache)")
         if self.hot_path not in HOT_PATHS:
             raise ValueError(
                 f"hot_path must be one of {HOT_PATHS}, got {self.hot_path!r}"

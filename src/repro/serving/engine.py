@@ -47,7 +47,8 @@ from .batcher import (
     InferenceRequest,
     MicroBatcher,
 )
-from .cache import CacheStats, EmbeddingCache, LegacyEmbeddingCache
+from ..graph.restriction import PlanCacheStats
+from .cache import CacheStats, EmbeddingCache, HaloStore, LegacyEmbeddingCache
 from .clock import Clock, SystemClock
 from .config import ServingConfig
 from .executor import make_executor
@@ -109,9 +110,20 @@ class InferenceServer:
         for shard in self.shards:
             self._owner[shard.core_nodes] = shard.part_id
 
+        self.halo_store = self._build_halo_store()
+        full_degrees = graph.degrees() if self.halo_store is not None else None
         self.workers: List[ShardWorker] = []
         self._replicas: List[List[ShardWorker]] = []
         for shard in self.shards:
+            # Shard-local mask of rows whose full neighbour list is inside
+            # the shard (the subgraph relabelling is monotone, so induced row
+            # i is global node shard.nodes[i]).  Only those rows may be
+            # published to the shared halo tier.
+            publish_mask = (
+                shard.graph.degrees() == full_degrees[shard.nodes]
+                if full_degrees is not None
+                else None
+            )
             group: List[ShardWorker] = []
             for _replica in range(self.config.num_replicas):
                 worker = ShardWorker(
@@ -123,6 +135,9 @@ class InferenceServer:
                     fanouts=self.config.fanouts,
                     seed=self.config.seed + 9176 * len(self.workers),
                     hot_path=self.config.hot_path,
+                    halo_store=self.halo_store,
+                    halo_publish_mask=publish_mask,
+                    plan_cache_size=self.config.plan_cache_size,
                 )
                 group.append(worker)
                 self.workers.append(worker)
@@ -158,6 +173,34 @@ class InferenceServer:
         self._last_completion: Optional[float] = None
         self._closed = False
 
+    def _build_halo_store(self) -> Optional[HaloStore]:
+        """The shared boundary-embedding tier, when the config and topology
+        allow one.
+
+        Eligible nodes are those held by two or more *shards* (their layer
+        values would otherwise be recomputed on each side of the cut); with
+        replicated shards every held node is eligible, since a shard's
+        replicas keep independent embedding caches but compute identical
+        rows.  Exact compiled serving only — the legacy path must stay the
+        PR-3 reference, and sampled inference is stochastic (nothing it
+        computes is exchangeable).
+        """
+        if (
+            not self.config.halo_tier
+            or self.config.mode != "exact"
+            or self.config.hot_path != "compiled"
+            or len(self.shards) * self.config.num_replicas < 2
+        ):
+            return None
+        counts = np.zeros(self.graph.num_nodes, dtype=np.int64)
+        for shard in self.shards:
+            counts[shard.nodes] += 1
+        threshold = 1 if self.config.num_replicas > 1 else 2
+        shared = np.where(counts >= threshold)[0]
+        if not len(shared):
+            return None
+        return HaloStore(self.graph.num_nodes, shared)
+
     def _build_cache(self, shard: GraphShard):
         """One embedding cache per worker, matched to the hot path and policy.
 
@@ -169,24 +212,35 @@ class InferenceServer:
         node can hold one entry *per layer*, so the node budget divides
         ``cache_pin_fraction * capacity`` by the model depth — pinned entries
         can never consume more than the configured fraction of the cache.
+        ``cache_policy="degree-auto"`` passes the *full* ranked hub list
+        (capped at one cache-fill of pinned entries) and lets the cache tune
+        the active pin prefix online, starting from the configured fraction.
         """
         capacity = self.config.cache_capacity
         if self.config.hot_path == "legacy":
             return LegacyEmbeddingCache(capacity)
         pinned = None
-        if self.config.cache_policy == "degree" and capacity > 0 and len(shard.nodes):
-            budget = int(self.config.cache_pin_fraction * capacity) // max(
-                self.model.num_layers, 1
-            )
-            if budget > 0:
+        initial = None
+        depth = max(self.model.num_layers, 1)
+        if (
+            self.config.cache_policy in ("degree", "degree-auto")
+            and capacity > 0
+            and len(shard.nodes)
+        ):
+            budget = int(self.config.cache_pin_fraction * capacity) // depth
+            limit = budget if self.config.cache_policy == "degree" else capacity // depth
+            if limit > 0:
                 degrees = self.graph.degrees()[shard.nodes]
                 order = np.lexsort((shard.nodes, -degrees))
-                pinned = shard.nodes[order[:budget]]
+                pinned = shard.nodes[order[:limit]]
+                if self.config.cache_policy == "degree-auto":
+                    initial = max(budget, 1)
         return EmbeddingCache(
             capacity,
             num_nodes=self.graph.num_nodes,
             policy=self.config.cache_policy,
             pinned_nodes=pinned,
+            initial_pin_count=initial,
         )
 
     # -- request intake ----------------------------------------------------------
@@ -380,8 +434,14 @@ class InferenceServer:
 
     def stats(self) -> ServerStats:
         cache = CacheStats()
+        plans = PlanCacheStats()
         for worker in self.workers:
             cache = cache.merge(worker.cache.stats)
+            if worker.plan_cache is not None:
+                plans = plans.merge(worker.plan_cache.stats)
+        halo = CacheStats()
+        if self.halo_store is not None:
+            halo = halo.merge(self.halo_store.stats)
         loads = tuple(
             WorkerLoad(
                 worker_id=worker.worker_id,
@@ -417,6 +477,9 @@ class InferenceServer:
             rejected_requests=self._rejected,
             shed_requests=self._shed,
             expired_requests=self._expired,
+            halo=halo,
+            halo_tier=self.halo_store is not None,
+            plans=plans,
         )
 
     def reset_stats(self) -> None:
@@ -442,7 +505,11 @@ class InferenceServer:
             worker.nodes_served = 0
             worker.peak_inflight = 0
             worker.cache.stats = CacheStats()
+            if worker.plan_cache is not None:
+                worker.plan_cache.stats = PlanCacheStats()
             worker.timings.reset()
+        if self.halo_store is not None:
+            self.halo_store.stats = CacheStats()
 
     def describe(self) -> str:
         depth = (
@@ -450,11 +517,17 @@ class InferenceServer:
             if self.config.max_queue_depth is None
             else f"<= {self.config.max_queue_depth} ({self.config.overload_policy})"
         )
+        halo = (
+            f"halo tier over {self.halo_store.num_shared} boundary nodes"
+            if self.halo_store is not None
+            else "halo tier off"
+        )
         lines = [
             f"InferenceServer[{self.config.mode}/{self.config.hot_path}] over {self.graph.name}: "
             f"{len(self.shards)} shards x {self.config.num_replicas} replicas, "
             f"batch<= {self.config.max_batch_size}, delay<= {self.config.max_delay * 1e3:.1f} ms, "
             f"cache {self.config.cache_capacity} entries/worker ({self.config.cache_policy}), "
+            f"{halo}, plan cache {self.config.plan_cache_size} plans/worker, "
             f"executor {self.executor.name}, queues {depth}"
         ]
         lines.extend(f"  {shard.summary()}" for shard in self.shards)

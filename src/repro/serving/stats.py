@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..graph.datasets import DatasetStats
+from ..graph.restriction import PlanCacheStats
 from ..hardware.config import CirCoreConfig
 from ..perfmodel.model import PerformanceEstimate, estimate_performance
 from ..workloads.builder import build_workload
@@ -64,6 +65,11 @@ class ServerStats:
     cache_policy: str = "lru"        # slab-cache retention policy
     #: wall-clock seconds per hot-path stage, summed over workers (exact mode)
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: cross-shard halo tier counters (eligible boundary lookups only)
+    halo: CacheStats = field(default_factory=CacheStats)
+    halo_tier: bool = False          # was a shared HaloStore active for the run?
+    #: restriction-plan cache counters, summed over workers
+    plans: PlanCacheStats = field(default_factory=PlanCacheStats)
 
     # -- accounting --------------------------------------------------------------
 
@@ -111,6 +117,16 @@ class ServerStats:
         return self.cache.hit_rate
 
     @property
+    def halo_hit_rate(self) -> float:
+        """Hit rate of the cross-shard halo tier over its eligible lookups."""
+        return self.halo.hit_rate
+
+    @property
+    def plan_hit_rate(self) -> float:
+        """Fraction of restriction plans served from (or patched off) the cache."""
+        return self.plans.hit_rate
+
+    @property
     def load_imbalance(self) -> float:
         """Max over mean nodes served per worker (1.0 = perfectly balanced)."""
         nodes = np.array([worker.nodes for worker in self.workers], dtype=np.float64)
@@ -144,11 +160,24 @@ class ServerStats:
             f"({self.cache_hit_rate * 100:.1f}%), {self.cache.evictions} evictions, "
             f"{self.cache.invalidations} invalidations",
         ]
+        if self.halo_tier:
+            lines.append(
+                f"  halo tier: {self.halo.hits} hits / {self.halo.lookups} boundary lookups "
+                f"({self.halo_hit_rate * 100:.1f}%), {self.halo.insertions} published, "
+                f"{self.halo.invalidations} invalidations"
+            )
+        if self.plans.lookups > 0:
+            lines.append(
+                f"  plan cache: {self.plans.exact_hits} exact + {self.plans.subset_hits} subset "
+                f"+ {self.plans.superset_hits} superset hits / {self.plans.lookups} lookups "
+                f"({self.plan_hit_rate * 100:.1f}%)"
+            )
         if self.stage_total > 0:
             total = self.stage_total
             breakdown = "   ".join(
                 f"{name} {seconds * 1e3:.2f} ms ({seconds / total * 100:.0f}%)"
                 for name, seconds in self.stage_seconds.items()
+                if seconds > 0
             )
             lines.append(f"  flush stages: {breakdown}")
         for worker in self.workers:

@@ -1,10 +1,13 @@
 """Per-stage wall-clock accounting for the serving hot path.
 
-A flush spends its time in four places: gathering cached rows, aggregating
-neighbour features, combining them through the (possibly FFT-based) weight
-matrices, and scattering fresh rows back into the cache.  :class:`StageTimer`
-attributes worker time to those buckets so `serve-bench` (and future perf
-PRs) can see *where* a flush goes, not just how long it took.
+A flush spends its time in seven places: gathering cached rows, gathering
+boundary rows another shard already computed (the halo tier), building or
+patching the restriction plan, aggregating neighbour features, combining
+them through the (possibly FFT-based) weight matrices, scattering fresh rows
+back into the cache, and publishing boundary rows for the other shards.
+:class:`StageTimer` attributes worker time to those buckets so `serve-bench`
+(and future perf PRs) can see *where* a flush goes, not just how long it
+took.
 
 The timer is deliberately dependency-free on the model side: layers receive
 it as an opaque object exposing ``stage(name)`` (see
@@ -20,7 +23,15 @@ from typing import Callable, Dict
 __all__ = ["STAGES", "StageTimer", "merge_stage_totals"]
 
 #: Bucket names in presentation order.
-STAGES = ("cache_gather", "aggregation", "combination", "cache_scatter")
+STAGES = (
+    "cache_gather",
+    "halo_gather",
+    "plan_build",
+    "aggregation",
+    "combination",
+    "cache_scatter",
+    "halo_publish",
+)
 
 
 class _StageScope:

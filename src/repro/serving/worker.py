@@ -7,19 +7,25 @@ answers prediction requests for the shard's core nodes in one of two modes:
     Layer-wise inference restricted to the batch's receptive field.  For each
     layer ``k`` (output side first) the worker asks the
     :class:`~repro.serving.cache.EmbeddingCache` which layer-``k`` hidden
-    states it already knows; only the *misses* are recomputed.  On the
-    default **compiled** hot path each miss set becomes a
-    :class:`~repro.graph.Restriction` — a row slice of the frozen shard CSR
-    with columns remapped into the batch-local index space — and the layer's
-    ``forward_restricted`` runs a restricted SpMM / segment reduction against
-    the shard's *precomputed* propagation operators (warmed once per worker
-    at build time via ``prepare_full``).  No induced ``Graph`` is built and
-    no operator is re-normalised per flush.  Because every miss row's full
-    neighbourhood is inside the previous layer's needed set by construction,
-    the restricted rows are exactly what
+    states it already knows; nodes it does not know are then offered to the
+    shared :class:`~repro.serving.cache.HaloStore` (when the server runs
+    one), which gathers boundary rows *another shard already computed*; only
+    the remaining misses are recomputed.  On the default **compiled** hot
+    path each miss set becomes a :class:`~repro.graph.Restriction` — a row
+    slice of the frozen shard CSR with columns remapped into the batch-local
+    index space, fetched through a per-worker
+    :class:`~repro.graph.PlanCache` so overlapping consecutive miss sets
+    reuse (or incrementally patch) recent plans instead of rebuilding — and
+    the layer's ``forward_restricted`` runs a restricted SpMM / segment
+    reduction against the shard's *precomputed* propagation operators
+    (warmed once per worker at build time via ``prepare_full``).  No induced
+    ``Graph`` is built and no operator is re-normalised per flush.  Because
+    every miss row's full neighbourhood is inside the previous layer's
+    needed set by construction, the restricted rows are exactly what
     :meth:`repro.models.GNNModel.full_forward` would produce on the whole
     graph — so served predictions match offline full-graph evaluation, and
-    cached rows can be reused across batches safely.
+    cached (and halo-exchanged) rows can be reused across batches and
+    shards safely.
 
     The **legacy** hot path (``hot_path="legacy"``) is the PR-3
     implementation — ``graph.subgraph`` per miss round plus ``forward_full``
@@ -40,7 +46,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..graph.restriction import Restriction
+from ..graph.restriction import PlanCache, Restriction
 from ..graph.sampling import NeighborSampler
 from ..models.base import GNNModel
 from ..tensor.tensor import Tensor, no_grad
@@ -64,6 +70,9 @@ class ShardWorker:
         fanouts: Optional[Sequence[int]] = None,
         seed: int = 0,
         hot_path: str = "compiled",
+        halo_store=None,
+        halo_publish_mask: Optional[np.ndarray] = None,
+        plan_cache_size: int = 0,
     ) -> None:
         if mode not in ("exact", "sampled"):
             raise ValueError(f"mode must be 'exact' or 'sampled', got {mode!r}")
@@ -78,6 +87,25 @@ class ShardWorker:
         self.cache = cache
         self.mode = mode
         self.hot_path = hot_path
+        compiled_exact = mode == "exact" and hot_path == "compiled"
+        # Cross-shard halo tier and the per-worker restriction-plan cache are
+        # compiled-exact-path features; the legacy reference path must keep
+        # behaving exactly like PR 3.
+        self.halo_store = halo_store if compiled_exact else None
+        self.plan_cache = (
+            PlanCache(plan_cache_size) if compiled_exact and plan_cache_size > 0 else None
+        )
+        # Defence in depth for the shared tier: only rows whose shard-CSR
+        # neighbour list is *complete* (shard-local mask supplied by the
+        # engine — exactly the rows the serving recursion legitimately
+        # computes) may be published.  A future bug that computed a truncated
+        # halo-edge row would corrupt one shard's batch, not propagate
+        # server-wide.
+        self._halo_publishable = (
+            np.asarray(halo_publish_mask, dtype=bool)
+            if self.halo_store is not None and halo_publish_mask is not None
+            else None
+        )
         self.timings = StageTimer()
         self.sampler = (
             NeighborSampler(shard.graph, fanouts, seed=seed) if mode == "sampled" else None
@@ -148,13 +176,23 @@ class ShardWorker:
     def _exact_logits(self, seeds_local: np.ndarray) -> np.ndarray:
         """Compiled hot path: cache gathers + restricted SpMM, zero subgraphs.
 
-        Works in shard-local node ids throughout; the cache is keyed on global
-        ids so its contents mean the same thing across shards and restarts.
+        Works in shard-local node ids throughout; the cache (and the shared
+        halo tier) are keyed on global ids so their contents mean the same
+        thing across shards and restarts.  Per layer, a node's value comes
+        from — in order — this worker's embedding cache, the cross-shard
+        :class:`~repro.serving.cache.HaloStore` (boundary rows another shard
+        already computed; promoted into the local cache on the way through so
+        the next flush hits locally), or a restricted recompute whose plan is
+        fetched from (or patched by) the worker's plan cache.
         """
         graph = self.shard.graph
         num_layers = self.model.num_layers
         timer = self.timings
-        self.cache.ensure_signature(tuple(param.version for param in self._parameters))
+        halo = self.halo_store
+        signature = tuple(param.version for param in self._parameters)
+        self.cache.ensure_signature(signature)
+        if halo is not None:
+            halo.ensure_signature(signature)
 
         # Sorted-unique seeds without np.unique's dispatch overhead (the
         # masked-array check alone costs more than this whole dedup).
@@ -168,52 +206,87 @@ class ShardWorker:
             unique_seeds = ordered
         # Top-down pass: which layer-k values are missing, and which layer-(k-1)
         # values computing them will require.  Each miss set's Restriction is
-        # built here and reused below — its column set *is* the next needed
-        # set.  The cache reports hits/misses as positions into the lookup, so
+        # obtained here and reused below — its column set *is* the next needed
+        # set.  The caches report hits as positions into the lookup, so
         # shard-local ids and global cache keys never need a searchsorted
         # round-trip between index spaces.
         empty = np.empty(0, dtype=np.int64)
         needed: List[np.ndarray] = [empty] * (num_layers + 1)
-        miss_masks: List[Optional[np.ndarray]] = [None] * (num_layers + 1)
+        #: per layer: list of (positions-or-mask over needed[k], value rows)
+        hit_parts: List[list] = [[] for _ in range(num_layers + 1)]
+        miss_idx: List[np.ndarray] = [empty] * (num_layers + 1)
         miss_global: List[np.ndarray] = [empty] * (num_layers + 1)
-        hits: List[tuple] = [(None, None)] * (num_layers + 1)
         plans: List[Optional[Restriction]] = [None] * (num_layers + 1)
         needed[num_layers] = unique_seeds
         for k in range(num_layers, 0, -1):
             if not len(needed[k]):  # everything above fully hit: nothing to do
-                hits[k] = (empty, np.empty((0, 0)))
                 continue
             nodes_global = self.shard.to_global(needed[k])
             with timer.stage("cache_gather"):
                 hit_mask, hit_values = self.cache.take_mask(k, nodes_global)
-            hits[k] = (hit_mask, hit_values)
-            if len(hit_values) < len(needed[k]):
-                miss_mask = ~hit_mask
-                miss_masks[k] = miss_mask
-                miss_global[k] = nodes_global[miss_mask]
-                plans[k] = Restriction(graph, needed[k][miss_mask])
+            if len(hit_values):
+                hit_parts[k].append((hit_mask, hit_values))
+            if len(hit_values) == len(needed[k]):
+                continue
+            missing = np.where(~hit_mask)[0]
+            if halo is not None:
+                with timer.stage("halo_gather"):
+                    halo_mask, halo_values = halo.take_mask(k, nodes_global[missing])
+                if len(halo_values):
+                    halo_positions = missing[halo_mask]
+                    hit_parts[k].append((halo_positions, halo_values))
+                    # Promote exchanged rows into the local cache: the next
+                    # flush for them should not leave the worker.
+                    with timer.stage("cache_scatter"):
+                        self.cache.put(k, nodes_global[halo_positions], halo_values)
+                    missing = missing[~halo_mask]
+            if len(missing):
+                miss_idx[k] = missing
+                miss_global[k] = nodes_global[missing]
+                with timer.stage("plan_build"):
+                    rows = needed[k][missing]
+                    if self.plan_cache is not None:
+                        # Keyed by layer: patched plans may only inherit a
+                        # same-layer column set (the receptive-field distance
+                        # budget exactness rests on — see PlanCache).
+                        plans[k] = self.plan_cache.restriction(graph, rows, layer=k)
+                    else:
+                        plans[k] = Restriction(graph, rows)
                 needed[k - 1] = plans[k].cols
 
         # Bottom-up pass: raw features feed layer 1; each layer recomputes its
-        # misses through its restricted operators, then hits and fresh rows
-        # are assembled into the next layer's input.
+        # misses through its restricted operators, scattering them straight
+        # into the assembly buffer the pre-gathered cache/halo rows already
+        # occupy (the layers' ``out=`` contract).
         h_prev = np.asarray(graph.features[needed[0]], dtype=np.float64)
         for k in range(1, num_layers + 1):
-            hit_mask, hit_values = hits[k]
+            parts = hit_parts[k]
             if plans[k] is None:
-                # Fully hit: the gathered slab block already *is* this
-                # layer's output, in needed[k] order — no reassembly copy.
-                h_prev = hit_values
+                if len(parts) == 1:
+                    # Fully hit from one tier: the gathered block already *is*
+                    # this layer's output, in needed[k] order — no reassembly.
+                    h_prev = parts[0][1]
+                else:
+                    values = np.empty((len(needed[k]), self._layer_dim(k)))
+                    for positions, rows in parts:
+                        values[positions] = rows
+                    h_prev = values
                 continue
             values = np.empty((len(needed[k]), self._layer_dim(k)))
+            for positions, rows in parts:
+                values[positions] = rows
             computed = self.model.layers[k - 1].forward_restricted(
-                Tensor(h_prev), plans[k], timer=timer
+                Tensor(h_prev), plans[k], timer=timer, out=(values, miss_idx[k])
             ).data
             with timer.stage("cache_scatter"):
                 self.cache.put(k, miss_global[k], computed)
-            values[miss_masks[k]] = computed
-            if len(hit_values):
-                values[hit_mask] = hit_values
+            if halo is not None:
+                with timer.stage("halo_publish"):
+                    if self._halo_publishable is not None:
+                        publishable = self._halo_publishable[needed[k][miss_idx[k]]]
+                        halo.publish(k, miss_global[k][publishable], computed[publishable])
+                    else:
+                        halo.publish(k, miss_global[k], computed)
             h_prev = values
 
         return h_prev[np.searchsorted(unique_seeds, seeds_local)]

@@ -1,0 +1,187 @@
+"""Restriction edge cases and the miss-set plan cache.
+
+The hardening satellites pinned down here:
+
+* an **empty** miss set must short-circuit without building (or normalising)
+  any propagation operator;
+* a **full-shard** miss set must alias the graph's CSR and return the
+  memoised full operator itself — no slicing, no column remap;
+* derived plans (subset slices and superset merges out of the
+  :class:`~repro.graph.PlanCache`) must be *bitwise* interchangeable with
+  freshly built ones — same sliced operator rows, same
+  ``forward_restricted`` outputs for every model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, PlanCache, Restriction
+from repro.models import create_model
+from repro.tensor.tensor import Tensor, no_grad
+
+MODELS = ["GCN", "GS-Pool", "G-GCN", "GAT"]
+
+
+def _dense_reference(graph, restriction, kind="random_walk", add_self_loops=False):
+    """Rows of the full operator restricted to the plan's column set."""
+    full = graph.propagation_operator(kind, add_self_loops=add_self_loops).toarray()
+    return full[np.ix_(restriction.rows, restriction.cols)]
+
+
+class TestEdgeCases:
+    def test_empty_miss_set_builds_no_operator(self, small_graph, monkeypatch):
+        calls = []
+        original = Graph.propagation_operator
+
+        def counting(self, kind="random_walk", add_self_loops=False):
+            calls.append(kind)
+            return original(self, kind, add_self_loops=add_self_loops)
+
+        monkeypatch.setattr(Graph, "propagation_operator", counting)
+        restriction = Restriction(small_graph, np.empty(0, dtype=np.int64))
+        operator = restriction.operator("random_walk", add_self_loops=True)
+        assert operator.shape == (0, 0) and operator.nnz == 0
+        assert restriction.num_rows == 0 and restriction.num_edges == 0
+        assert calls == []  # the short-circuit never touched the graph
+        # The Graph-level slice short-circuits identically.
+        sliced = small_graph.restricted_operator(
+            np.empty(0, dtype=np.int64), np.arange(5)
+        )
+        assert sliced.shape == (0, 5) and sliced.nnz == 0
+        assert calls == []
+
+    def test_full_shard_miss_set_aliases_graph_and_operator(self, small_graph):
+        rows = np.arange(small_graph.num_nodes, dtype=np.int64)
+        restriction = Restriction(small_graph, rows)
+        assert restriction.indptr is small_graph.indptr
+        assert restriction.col_positions is small_graph.indices
+        operator = restriction.operator("random_walk", add_self_loops=True)
+        # The memoised full-graph operator itself, not a slice of it.
+        assert operator is small_graph.random_walk_adjacency(add_self_loops=True)
+
+    def test_full_shard_forward_restricted_equals_forward_full(self, small_graph):
+        rows = np.arange(small_graph.num_nodes, dtype=np.int64)
+        restriction = Restriction(small_graph, rows)
+        for name in MODELS:
+            model = create_model(name, small_graph.num_features, 16,
+                                 small_graph.num_classes, seed=0)
+            with no_grad():
+                h = Tensor(small_graph.features[restriction.cols])
+                restricted = model.layers[0].forward_restricted(h, restriction).data
+                full = model.layers[0].forward_full(
+                    Tensor(small_graph.features), small_graph
+                ).data
+            assert np.array_equal(restricted, full)
+
+
+class TestDerivedPlans:
+    def _rows(self, graph, size, seed):
+        return np.unique(np.random.default_rng(seed).choice(graph.num_nodes, size=size))
+
+    def test_subset_patch_matches_fresh_build(self, small_graph):
+        cache = PlanCache(capacity=8)
+        base_rows = self._rows(small_graph, 60, 0)
+        base = cache.restriction(small_graph, base_rows)
+        sub_rows = base_rows[::2]
+        derived = cache.restriction(small_graph, sub_rows)
+        assert cache.stats.subset_hits == 1
+        assert np.array_equal(derived.rows, sub_rows)
+        # Shared (superset) column space, but identical operator rows.
+        assert derived.cols is base.cols
+        fresh = Restriction(small_graph, sub_rows)
+        assert np.array_equal(derived.row_degrees(), fresh.row_degrees())
+        for kind, loops in [("random_walk", True), ("random_walk", False), ("normalized", True)]:
+            got = derived.operator(kind, add_self_loops=loops).toarray()
+            assert np.array_equal(got, _dense_reference(small_graph, derived, kind, loops))
+
+    def test_superset_patch_matches_fresh_build(self, small_graph):
+        cache = PlanCache(capacity=8)
+        base_rows = self._rows(small_graph, 50, 1)
+        cache.restriction(small_graph, base_rows)
+        extra = np.setdiff1d(self._rows(small_graph, 20, 2), base_rows)[:10]
+        rows = np.union1d(base_rows, extra)
+        merged = cache.restriction(small_graph, rows)
+        assert cache.stats.superset_hits == 1
+        assert np.array_equal(merged.rows, rows)
+        fresh = Restriction(small_graph, rows)
+        assert np.array_equal(merged.row_degrees(), fresh.row_degrees())
+        # The merged column set covers the minimal one.
+        assert np.all(np.isin(fresh.cols, merged.cols))
+        for kind, loops in [("random_walk", True), ("normalized", False)]:
+            got = merged.operator(kind, add_self_loops=loops).toarray()
+            assert np.array_equal(got, _dense_reference(small_graph, merged, kind, loops))
+
+    @pytest.mark.parametrize("name", MODELS)
+    def test_forward_restricted_through_derived_plans(self, small_graph, name):
+        model = create_model(name, small_graph.num_features, 16,
+                             small_graph.num_classes, seed=0)
+        with no_grad():
+            full = model.layers[0].forward_full(Tensor(small_graph.features), small_graph).data
+        cache = PlanCache(capacity=8)
+        base_rows = self._rows(small_graph, 60, 3)
+        cache.restriction(small_graph, base_rows)
+        scenarios = [
+            base_rows[1::2],                                      # subset slice
+            np.union1d(base_rows, self._rows(small_graph, 12, 4)),  # superset merge
+        ]
+        for rows in scenarios:
+            plan = cache.restriction(small_graph, rows)
+            with no_grad():
+                h = Tensor(small_graph.features[plan.cols])
+                restricted = model.layers[0].forward_restricted(h, plan).data
+            np.testing.assert_allclose(restricted, full[plan.rows], rtol=1e-12, atol=1e-12)
+        assert cache.stats.subset_hits >= 1
+
+
+class TestPlanCacheBehaviour:
+    def test_exact_hit_returns_same_object(self, small_graph):
+        cache = PlanCache(capacity=4)
+        rows = np.arange(10, dtype=np.int64)
+        first = cache.restriction(small_graph, rows)
+        second = cache.restriction(small_graph, rows)
+        assert first is second
+        assert cache.stats.exact_hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction_and_counters(self, small_graph):
+        cache = PlanCache(capacity=2, probe_depth=0)  # probing off: every miss builds
+        for start in range(4):
+            cache.restriction(small_graph, np.arange(start, start + 5, dtype=np.int64))
+        assert len(cache) == 2
+        assert cache.stats.evictions == 2
+        assert cache.stats.misses == 4
+
+    def test_capacity_zero_disables_caching(self, small_graph):
+        cache = PlanCache(capacity=0)
+        rows = np.arange(8, dtype=np.int64)
+        first = cache.restriction(small_graph, rows)
+        second = cache.restriction(small_graph, rows)
+        assert first is not second
+        assert len(cache) == 0
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+
+    def test_blowup_and_delta_bounds_prevent_bad_patches(self, small_graph):
+        # A tiny request next to a huge cached plan must not inherit its
+        # column set (subset_blowup); a request dwarfing a cached plan must
+        # not pay a near-full delta build plus a merge (superset_delta).
+        cache = PlanCache(capacity=4, subset_blowup=2.0, superset_delta=0.5)
+        big = np.arange(0, 100, dtype=np.int64)
+        cache.restriction(small_graph, big)
+        cache.restriction(small_graph, big[:3])         # 100 > 2.0 * 3: no patch
+        assert cache.stats.subset_hits == 0
+        small = np.arange(100, 104, dtype=np.int64)
+        cache.restriction(small_graph, small)
+        grown = np.arange(100, 120, dtype=np.int64)     # delta 16 > 0.5 * 20: no patch
+        cache.restriction(small_graph, grown)
+        assert cache.stats.superset_hits == 0
+
+    def test_hit_rate_property(self):
+        from repro.graph import PlanCacheStats
+
+        stats = PlanCacheStats(exact_hits=2, subset_hits=1, superset_hits=1, misses=4)
+        assert stats.hits == 4
+        assert stats.lookups == 8
+        assert stats.hit_rate == 0.5
+        merged = stats.merge(PlanCacheStats(misses=2))
+        assert merged.lookups == 10

@@ -10,7 +10,12 @@ thereby checked implicitly: pick a different victim once and some later
 
 The degree-policy tests pin down the GNNIE-style retention semantics: pinned
 hubs outlive any scan, and an unpinned newcomer to a hub-full cache is the
-eviction victim itself.
+eviction victim itself.  The degree-auto tests pin down the online tuner: the
+active pin budget follows the observed pinned-vs-unpinned hit-rate split.
+
+The halo-tier tests assert the shared :class:`HaloStore` honours the same
+weight-signature invalidation discipline as the per-shard caches — a training
+step must drop its rows exactly once, never serve them stale.
 """
 
 from __future__ import annotations
@@ -20,7 +25,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.serving import EmbeddingCache, LegacyEmbeddingCache
+from repro.models import Trainer, TrainingConfig, create_model
+from repro.serving import (
+    EmbeddingCache,
+    HaloStore,
+    InferenceServer,
+    LegacyEmbeddingCache,
+    ManualClock,
+    ServingConfig,
+)
 
 LAYERS = (1, 2)
 NUM_NODES = 12
@@ -134,6 +147,122 @@ class TestDegreePolicy:
         cache = EmbeddingCache(4, num_nodes=16, policy="degree", pinned_nodes=np.array([7, 2]))
         assert cache.pinned_nodes.tolist() == [2, 7]
         assert EmbeddingCache(4, num_nodes=16).pinned_nodes.tolist() == []
+
+
+class TestDegreeAutoPolicy:
+    def _cache(self, initial=2, interval=16):
+        return EmbeddingCache(
+            8,
+            num_nodes=64,
+            policy="degree-auto",
+            pinned_nodes=np.array([0, 1, 2, 3]),
+            initial_pin_count=initial,
+            auto_tune_interval=interval,
+        )
+
+    def test_pin_budget_grows_when_pinned_entries_out_hit(self):
+        cache = self._cache(initial=1, interval=8)
+        cache.put(1, np.array([0]), np.ones((1, DIM)))
+        start = cache.pin_fraction
+        for round_id in range(12):
+            cache.take(1, np.array([0]))                      # pinned hit
+            cache.take(1, np.array([40 + round_id]))          # unpinned miss
+        assert cache.pin_fraction > start
+        assert cache.retunes > 0
+
+    def test_pin_budget_shrinks_when_pins_are_dead_weight(self):
+        cache = self._cache(initial=4, interval=8)
+        cache.put(1, np.array([10, 11]), np.ones((2, DIM)))
+        for _ in range(12):
+            cache.take(1, np.array([10, 11]))                 # unpinned hits
+            cache.take(1, np.array([0]))                      # pinned miss
+        assert cache.pin_fraction < 1.0
+        # The prefix never collapses to zero: signal to recover survives.
+        assert cache.pin_fraction >= 1 / 4
+
+    def test_unrequested_pins_also_shrink(self):
+        cache = self._cache(initial=4, interval=8)
+        cache.put(1, np.array([20, 21]), np.ones((2, DIM)))
+        for _ in range(8):
+            cache.take(1, np.array([20, 21]))                 # pinned never looked up
+        assert cache.pin_fraction < 1.0
+
+    def test_retune_keeps_exactness_and_updates_pinned_set(self):
+        cache = self._cache(initial=4, interval=4)
+        cache.put(1, np.array([0, 1, 2, 3]), np.arange(4 * DIM, dtype=float).reshape(4, DIM))
+        before = cache.pinned_nodes.tolist()
+        for _ in range(8):
+            cache.take(1, np.array([50]))                     # unpinned-only window
+        after = cache.pinned_nodes.tolist()
+        assert len(after) < len(before)
+        # Entries themselves survive a retune — only protection changes.
+        hits, values, misses = cache.take(1, np.array([0, 1, 2, 3]))
+        assert misses.size == 0
+        assert np.array_equal(values, np.arange(4 * DIM, dtype=float).reshape(4, DIM))
+
+    def test_degree_auto_serving_stays_exact(self):
+        from repro.graph.datasets import synthetic_graph
+
+        graph = synthetic_graph(num_nodes=80, num_edges=400, num_features=12,
+                                num_classes=3, seed=5, name="auto")
+        model = create_model("GCN", 12, 16, 3, seed=0)
+        reference = model.full_forward(graph).data.argmax(axis=-1)
+        server = InferenceServer(
+            model,
+            graph,
+            ServingConfig(num_shards=2, cache_capacity=64, cache_policy="degree-auto",
+                          max_delay=0.5, seed=0),
+            clock=ManualClock(),
+        )
+        nodes = np.random.default_rng(0).choice(graph.num_nodes, size=200, replace=True)
+        assert np.array_equal(server.predict(nodes), reference[nodes])
+        for worker in server.workers:
+            assert 0.0 <= worker.cache.pin_fraction <= 1.0
+
+
+class TestHaloStoreInvalidation:
+    def test_signature_protocol_matches_embedding_cache(self):
+        halo = HaloStore(num_nodes=NUM_NODES, shared_nodes=np.arange(NUM_NODES))
+        slab = EmbeddingCache(4, num_nodes=NUM_NODES)
+        for store in (halo, slab):
+            assert not store.ensure_signature((0,))
+            store_put = store.publish if isinstance(store, HaloStore) else store.put
+            store_put(1, np.array([1, 2]), np.ones((2, DIM)))
+            assert not store.ensure_signature((0,))
+            assert store.ensure_signature((1,))
+            assert len(store) == 0
+            assert store.stats.invalidations == 1
+
+    def test_training_step_invalidates_halo_like_per_shard_caches(self):
+        from repro.graph.datasets import synthetic_graph
+
+        graph = synthetic_graph(num_nodes=90, num_edges=450, num_features=12,
+                                num_classes=3, seed=9, name="halo-train")
+        model = create_model("GCN", 12, 16, 3, seed=0)
+        server = InferenceServer(
+            model,
+            graph,
+            ServingConfig(num_shards=2, partition_method="hash", max_delay=0.5, seed=0),
+            clock=ManualClock(),
+        )
+        nodes = np.arange(graph.num_nodes)
+        before = server.predict(nodes)
+        assert len(server.halo_store) > 0
+        signature = model.weight_signature()
+        Trainer(
+            model, graph,
+            TrainingConfig(epochs=1, fanouts=(4, 3), seed=0, learning_rate=0.5),
+        ).train_epoch(0)
+        assert model.weight_signature() != signature
+        after = server.predict(nodes)
+        fresh = model.full_forward(graph).data.argmax(axis=-1)
+        assert np.array_equal(after, fresh)
+        assert not np.array_equal(after, before)
+        # Exactly one invalidation of the shared tier — same discipline as
+        # every per-shard cache.
+        assert server.halo_store.stats.invalidations == 1
+        for worker in server.workers:
+            assert worker.cache.stats.invalidations == 1
 
 
 def test_take_mask_is_consistent_with_take():

@@ -173,6 +173,8 @@ class TestConfigKnobs:
             ServingConfig(cache_pin_fraction=-0.1)
         with pytest.raises(ValueError):
             ServingConfig(fft_workers=0)
+        with pytest.raises(ValueError):
+            ServingConfig(plan_cache_size=-1)
 
     def test_fft_workers_knob_applies_and_resets(self, small_graph):
         from repro.compression import set_fft_workers
