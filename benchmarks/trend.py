@@ -19,6 +19,7 @@ Refreshing baselines after an intentional change::
     BLOCKGNN_QUICK=1 BLOCKGNN_STRICT_PERF=0 PYTHONPATH=src \
         python -m pytest benchmarks/bench_serving.py \
         benchmarks/bench_serving_hotpath.py benchmarks/bench_serving_halo.py \
+        benchmarks/bench_serving_faults.py \
         -q --benchmark-disable
     cp benchmarks/results/BENCH_<gate>.json benchmarks/baselines/
 """
@@ -39,6 +40,7 @@ FLOOR_METRICS: Dict[str, List[str]] = {
     "serving_hotpath_degree_policy": ["degree_hit_rate"],
     "serving_halo_cold": ["speedup_halo_cold", "halo_hit_rate"],
     "serving_halo_plan_cache": ["plan_speedup", "hit_rate"],
+    "serving_faults": ["throughput_ratio"],
 }
 
 

@@ -194,6 +194,52 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-request deadline; queued requests past it expire unserved",
     )
+    serve.add_argument(
+        "--fault-fail-rate",
+        type=float,
+        default=0.0,
+        help="per-dispatch probability that a replica raises (fault injection)",
+    )
+    serve.add_argument(
+        "--fault-hang-rate",
+        type=float,
+        default=0.0,
+        help="per-dispatch probability that a replica hangs past --fault-hang-ms",
+    )
+    serve.add_argument(
+        "--fault-slow-rate",
+        type=float,
+        default=0.0,
+        help="per-dispatch probability that a replica answers --fault-slow-ms late",
+    )
+    serve.add_argument("--fault-hang-ms", type=float, default=50.0)
+    serve.add_argument("--fault-slow-ms", type=float, default=5.0)
+    serve.add_argument(
+        "--fault-workers",
+        type=int,
+        nargs="+",
+        default=None,
+        help="restrict injected faults to these worker ids (default: all replicas)",
+    )
+    serve.add_argument("--fault-seed", type=int, default=0, help="seed of the fault plan RNG")
+    serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="failover budget per batch after the dispatched replica fails",
+    )
+    serve.add_argument(
+        "--retry-backoff-ms",
+        type=float,
+        default=0.5,
+        help="base of the capped exponential retry backoff",
+    )
+    serve.add_argument(
+        "--degraded-policy",
+        choices=["fail", "stale_ok"],
+        default="fail",
+        help="what a shard with zero healthy replicas serves (stale_ok: cached rows)",
+    )
     serve.add_argument("--seed", type=int, default=0)
 
     return parser
@@ -395,7 +441,13 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
     from .compression import CompressionConfig
     from .graph import load_dataset
     from .models import Trainer, TrainingConfig, create_model
-    from .serving import InferenceServer, ServingConfig, estimate_shard_request_cycles
+    from .serving import (
+        FaultPlan,
+        FaultSpec,
+        InferenceServer,
+        ServingConfig,
+        estimate_shard_request_cycles,
+    )
 
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed, num_features=args.hidden)
     model = create_model(
@@ -412,8 +464,25 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
     rng = np.random.default_rng(args.seed)
     nodes = rng.choice(graph.num_nodes, size=args.requests, replace=True)
 
+    def build_fault_plan():
+        if args.fault_fail_rate <= 0 and args.fault_hang_rate <= 0 and args.fault_slow_rate <= 0:
+            return None
+        spec = FaultSpec(
+            workers=None if args.fault_workers is None else tuple(args.fault_workers),
+            fail_rate=args.fault_fail_rate,
+            hang_rate=args.fault_hang_rate,
+            slow_rate=args.fault_slow_rate,
+            hang_seconds=args.fault_hang_ms / 1e3,
+            slow_seconds=args.fault_slow_ms / 1e3,
+        )
+        return FaultPlan(spec, seed=args.fault_seed)
+
     def build_server(
-        batch_size: int, cache: int, executor: str, hot_path: str = args.hot_path
+        batch_size: int,
+        cache: int,
+        executor: str,
+        hot_path: str = args.hot_path,
+        faulty: bool = False,
     ) -> InferenceServer:
         return InferenceServer(
             model,
@@ -438,6 +507,11 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
                 max_queue_depth=args.max_queue_depth,
                 overload_policy=args.overload_policy,
                 default_timeout=None if args.deadline_ms is None else args.deadline_ms / 1e3,
+                fault_plan=build_fault_plan() if faulty else None,
+                max_retries=args.max_retries,
+                retry_backoff=args.retry_backoff_ms / 1e3,
+                retry_backoff_cap=max(args.retry_backoff_ms / 1e3 * 8, args.retry_backoff_ms / 1e3),
+                degraded_policy=args.degraded_policy,
                 seed=args.seed,
             ),
         )
@@ -450,8 +524,8 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
         incomplete = sum(1 for request in requests if not request.completed)
         if incomplete:
             print(
-                f"note: {incomplete}/{len(requests)} requests rejected/shed/expired "
-                f"under admission control"
+                f"note: {incomplete}/{len(requests)} requests rejected/shed/expired/failed "
+                f"under admission control or faults"
             )
         return seconds
 
@@ -461,7 +535,10 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
     baseline_seconds = timed_stream(baseline)
     baseline.shutdown()
 
-    server = build_server(args.batch_size, args.cache, args.executor)
+    # Only the main measured server takes the fault plan (if any): the naive
+    # baseline and the executor/hot-path comparisons stay fault-free so the
+    # printed ratios keep meaning "engine vs no engine", not "faults vs none".
+    server = build_server(args.batch_size, args.cache, args.executor, faulty=True)
     batched_seconds = timed_stream(server)
     cold = server.stats()
 

@@ -25,12 +25,20 @@ trained (optionally block-circulant-compressed) GNN:
   :class:`ConcurrentExecutor` (thread pool; NumPy kernels release the GIL so
   shard flushes genuinely overlap);
 * admission control bounds each shard queue (``max_queue_depth``) with
-  ``reject`` / ``shed_oldest`` / ``block`` overload policies, and
-  deadline-aware expiry guarantees every request terminates as exactly one
-  of ``completed`` / ``rejected`` / ``shed`` / ``expired``;
+  ``reject`` / ``shed_oldest`` / ``block`` overload policies (``block`` is a
+  real condition-variable wait, woken when depth drops), and deadline-aware
+  expiry guarantees every request terminates as exactly one of
+  ``completed`` / ``rejected`` / ``shed`` / ``expired`` / ``failed``;
+* the fault-tolerance layer keeps that guarantee under replica failure: a
+  seedable :class:`FaultPlan` injects deterministic raise/hang/slow/flap
+  faults, a per-replica :class:`HealthTracker` circuit breaker gates
+  dispatch, failed batches fail over to sibling replicas with capped,
+  deadline-aware exponential backoff, and a shard with zero healthy
+  replicas can serve cache/halo-resident rows as ``stale`` completions
+  (``degraded_policy="stale_ok"``);
 * :class:`InferenceServer` ties it together and exposes :class:`ServerStats`
   (p50/p95/p99 latency, cache hit rate, per-shard load, overload counters,
-  executor concurrency) plus a perfmodel bridge
+  fault/failover counters, executor concurrency) plus a perfmodel bridge
   (:func:`estimate_shard_request_cycles`) pricing requests in accelerator
   cycles per shard.
 """
@@ -39,9 +47,11 @@ from ..graph.restriction import PlanCache, PlanCacheStats
 from .batcher import TERMINAL_STATUSES, InferenceRequest, MicroBatcher
 from .cache import CACHE_POLICIES, CacheStats, EmbeddingCache, HaloStore, LegacyEmbeddingCache
 from .clock import Clock, ManualClock, SystemClock
-from .config import ServingConfig
+from .config import DEGRADED_POLICIES, ServingConfig
 from .engine import InferenceServer
 from .executor import ConcurrentExecutor, FlushExecutor, SerialExecutor, make_executor
+from .faults import FAULT_KINDS, FaultDecision, FaultPlan, FaultSpec, InjectedFault, ReplicaHung
+from .health import HealthTracker, ReplicaHealth
 from .scheduler import Scheduler
 from .shard import GraphShard, build_shards, expand_neighborhood
 from .stats import ServerStats, WorkerLoad, estimate_shard_request_cycles
@@ -75,6 +85,15 @@ __all__ = [
     "expand_neighborhood",
     "ShardWorker",
     "ServingConfig",
+    "DEGRADED_POLICIES",
+    "FaultSpec",
+    "FaultDecision",
+    "FaultPlan",
+    "FAULT_KINDS",
+    "InjectedFault",
+    "ReplicaHung",
+    "HealthTracker",
+    "ReplicaHealth",
     "InferenceServer",
     "ServerStats",
     "WorkerLoad",

@@ -19,11 +19,20 @@ Every request terminates in exactly one state:
     Admitted but later evicted from a full queue to make room for newer work
     (``overload_policy="shed_oldest"``).
 ``expired``
-    Flushed after its deadline had already passed, so it was not executed.
+    Flushed after its deadline had already passed (or its deadline could not
+    survive retry backoff), so it was not executed.
 ``failed``
-    Abnormal path only: the worker raised while serving the batch.  The
-    engine marks the dequeued requests failed and re-raises, so even a
-    crashing flush can never strand a request in ``pending``.
+    The worker (or an injected fault) raised while serving the batch and
+    every failover retry was exhausted — or no healthy replica remained and
+    the degraded path had no cached answer.  Failures never strand a request
+    in ``pending``.
+
+Transient failures are not terminal: a batch whose replica crashed is
+retried on a sibling replica (``retries`` counts the attempts; the request
+eventually lands in one of the states above).  Requests answered from the
+degraded cache/halo path while a shard had no healthy replica complete with
+``stale=True`` (``stale_ok`` semantics — the value may predate the newest
+weights).
 
 The benchmark/property suites assert that accounting: no request is ever
 silently dropped.
@@ -61,6 +70,8 @@ class InferenceRequest:
     completion_time: Optional[float] = None
     worker_id: Optional[int] = None
     batch_size: Optional[int] = None
+    retries: int = 0                     # failover attempts this request survived
+    stale: bool = False                  # served from the degraded cache path
 
     @property
     def done(self) -> bool:

@@ -80,6 +80,7 @@ class CacheStats:
     insertions: int = 0
     evictions: int = 0
     invalidations: int = 0
+    discarded: int = 0  # publishes dropped by the halo epoch guard
 
     @property
     def lookups(self) -> int:
@@ -97,6 +98,7 @@ class CacheStats:
             insertions=self.insertions + other.insertions,
             evictions=self.evictions + other.evictions,
             invalidations=self.invalidations + other.invalidations,
+            discarded=self.discarded + other.discarded,
         )
 
 
@@ -517,6 +519,15 @@ class HaloStore:
     count *eligible* lookups only — a non-boundary node can never be
     exchanged, and counting it would misstate the tier's effectiveness.
 
+    Fault isolation: the store carries an *epoch* that the engine bumps
+    whenever a replica fails mid-flush.  Workers capture the epoch before
+    computing and pass it to :meth:`publish`; a publish whose epoch is stale
+    is discarded (counted in ``stats.discarded``), so rows computed alongside
+    a failure — possibly by a replica that is itself dying — can never enter
+    the shared tier after the failure was observed.  Together with the
+    complete-row filter (only fully computed boundary rows are ever offered)
+    this keeps the tier exact even under fault injection.
+
     Thread-safe: workers on different executor threads publish and gather
     concurrently under an internal ``RLock``.
     """
@@ -531,6 +542,7 @@ class HaloStore:
         self._layers: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
         self._signature: Optional[Hashable] = None
         self._lock = threading.RLock()
+        self._epoch = 0
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -546,6 +558,18 @@ class HaloStore:
     def shared_nodes(self) -> np.ndarray:
         """Sorted global ids eligible for exchange (held by >= 2 workers)."""
         return self._shared
+
+    @property
+    def epoch(self) -> int:
+        """Fault epoch; publishes captured before a bump are discarded."""
+        with self._lock:
+            return self._epoch
+
+    def bump_epoch(self) -> int:
+        """Invalidate in-flight publishes (the engine calls this on failure)."""
+        with self._lock:
+            self._epoch += 1
+            return self._epoch
 
     # -- versioning -----------------------------------------------------------
 
@@ -596,13 +620,27 @@ class HaloStore:
             self.stats.misses += n_eligible - len(values)
             return hit, values
 
-    def publish(self, layer: int, nodes: Sequence[int], values: np.ndarray) -> None:
-        """Store freshly computed layer rows; non-boundary nodes are ignored."""
+    def publish(
+        self,
+        layer: int,
+        nodes: Sequence[int],
+        values: np.ndarray,
+        epoch: Optional[int] = None,
+    ) -> None:
+        """Store freshly computed layer rows; non-boundary nodes are ignored.
+
+        ``epoch`` (when given) must match the store's current fault epoch —
+        a mismatch means a replica failed while these rows were in flight,
+        and the whole publish is discarded rather than trusted.
+        """
         nodes = np.asarray(nodes, dtype=np.int64)
         values = np.asarray(values, dtype=np.float64)
         if values.ndim != 2 or len(values) != len(nodes):
             raise ValueError("values must be a (len(nodes), dim) array")
         with self._lock:
+            if epoch is not None and epoch != self._epoch:
+                self.stats.discarded += len(nodes)
+                return
             slots = self._slot_of[nodes]
             mask = slots >= 0
             count = int(mask.sum())

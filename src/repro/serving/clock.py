@@ -9,6 +9,7 @@ Production code uses :class:`SystemClock` (``time.perf_counter``).
 
 from __future__ import annotations
 
+import threading
 import time
 
 __all__ = ["Clock", "SystemClock", "ManualClock"]
@@ -20,12 +21,20 @@ class Clock:
     def now(self) -> float:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def sleep(self, seconds: float) -> None:  # pragma: no cover - interface
+        """Let ``seconds`` of clock time pass (retry backoff, injected hangs)."""
+        raise NotImplementedError
+
 
 class SystemClock(Clock):
     """Real wall-clock time via ``time.perf_counter``."""
 
     def now(self) -> float:
         return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
 
 
 class ManualClock(Clock):
@@ -39,6 +48,7 @@ class ManualClock(Clock):
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
+        self._lock = threading.Lock()
 
     def now(self) -> float:
         return self._now
@@ -47,7 +57,19 @@ class ManualClock(Clock):
         """Move the clock forward by ``seconds`` (must be non-negative)."""
         if seconds < 0:
             raise ValueError("a monotonic clock cannot move backwards")
-        self._now += float(seconds)
-        return self._now
+        with self._lock:
+            self._now += float(seconds)
+            return self._now
 
     tick = advance
+
+    def sleep(self, seconds: float) -> None:
+        """Simulated sleep: advances the clock instead of blocking the thread.
+
+        Retry backoff and injected hangs/slowdowns become pure clock
+        arithmetic under tests — no wall time passes, so "hang for 50 ms"
+        costs nothing but makes deadline expiry observable.
+        """
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot move backwards")
+        self.advance(seconds)

@@ -3,15 +3,23 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from .cache import CACHE_POLICIES
 
-__all__ = ["ServingConfig", "HOT_PATHS"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults imports nothing back)
+    from .faults import FaultPlan
+
+__all__ = ["ServingConfig", "HOT_PATHS", "DEGRADED_POLICIES"]
 
 #: Exact-mode implementations a worker can run (canonical definition; the
 #: worker and the CLI both validate against this tuple).
 HOT_PATHS = ("compiled", "legacy")
+
+#: What a shard with zero healthy replicas does with a flushed batch:
+#: ``"fail"`` fails every request; ``"stale_ok"`` answers cache/halo-resident
+#: rows from the degraded read path (flagged ``stale``) and fails only misses.
+DEGRADED_POLICIES = ("fail", "stale_ok")
 
 
 @dataclass(frozen=True)
@@ -96,6 +104,29 @@ class ServingConfig:
         Deadline in clock seconds applied to every request that does not
         carry its own (``None`` = no deadline).  A request flushed after its
         deadline terminates as ``expired`` instead of being executed.
+    fault_plan:
+        A :class:`~repro.serving.faults.FaultPlan` injecting deterministic
+        replica failures at dispatch time (``None`` = no injection; the
+        fault layer then adds no work to the hot path).
+    max_retries:
+        Failover budget per batch: after the dispatched replica fails, the
+        batch is retried on a sibling (or, failing that, the same) replica
+        up to this many more times before its requests terminate ``failed``.
+    retry_backoff, retry_backoff_cap:
+        Capped exponential backoff between retry attempts, in clock
+        seconds: attempt ``n`` sleeps ``min(retry_backoff * 2**(n-1),
+        retry_backoff_cap)``.  Requests whose deadline would pass during
+        the backoff expire instead of being retried (deadline-aware
+        budgets: a retry never runs past a request's deadline).
+    degraded_policy:
+        ``"fail"`` or ``"stale_ok"`` — see :data:`DEGRADED_POLICIES`.
+    health_failure_threshold, health_cooldown, health_latency_threshold:
+        Per-replica circuit breaker (:class:`~repro.serving.health.HealthTracker`):
+        ``health_failure_threshold`` consecutive failures open the breaker,
+        which re-admits one probe dispatch after ``health_cooldown`` clock
+        seconds; a latency EWMA above ``health_latency_threshold`` (``None``
+        disables the latency trip) also opens it so dispatch prefers faster
+        siblings.
     seed:
         Seeds partitioning and the per-worker samplers (determinism).
     """
@@ -121,6 +152,14 @@ class ServingConfig:
     max_queue_depth: Optional[int] = None
     overload_policy: str = "reject"
     default_timeout: Optional[float] = None
+    fault_plan: Optional["FaultPlan"] = None
+    max_retries: int = 2
+    retry_backoff: float = 0.0005
+    retry_backoff_cap: float = 0.01
+    degraded_policy: str = "fail"
+    health_failure_threshold: int = 3
+    health_cooldown: float = 0.05
+    health_latency_threshold: Optional[float] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -165,3 +204,22 @@ class ServingConfig:
             )
         if self.default_timeout is not None and self.default_timeout <= 0:
             raise ValueError("default_timeout must be positive (or None for no deadline)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative (0 disables failover)")
+        if self.retry_backoff < 0 or self.retry_backoff_cap < 0:
+            raise ValueError("retry_backoff and retry_backoff_cap must be non-negative")
+        if self.retry_backoff_cap < self.retry_backoff:
+            raise ValueError("retry_backoff_cap must be >= retry_backoff")
+        if self.degraded_policy not in DEGRADED_POLICIES:
+            raise ValueError(
+                f"degraded_policy must be one of {DEGRADED_POLICIES}, "
+                f"got {self.degraded_policy!r}"
+            )
+        if self.health_failure_threshold < 1:
+            raise ValueError("health_failure_threshold must be >= 1")
+        if self.health_cooldown < 0:
+            raise ValueError("health_cooldown must be non-negative")
+        if self.health_latency_threshold is not None and self.health_latency_threshold <= 0:
+            raise ValueError(
+                "health_latency_threshold must be positive (or None to disable)"
+            )

@@ -13,7 +13,7 @@ Request lifecycle::
                      │  FlushExecutor (SerialExecutor inline, or
                      │  ConcurrentExecutor over a thread pool)
                      ▼
-    InferenceRequest.status ∈ {completed, rejected, shed, expired}
+    InferenceRequest.status ∈ {completed, rejected, shed, expired, failed}
     ServerStats (p50/p95/p99, hit rate, per-shard load, overload counters)
 
 The :class:`~repro.serving.scheduler.Scheduler` owns the flush loop; by
@@ -25,6 +25,18 @@ default ``SerialExecutor`` plus a ``ManualClock`` every run is bit-for-bit
 deterministic, and with ``mode="exact"`` the served predictions are identical
 to offline full-graph evaluation (``evaluate_accuracy(mode="full")``) under
 *either* executor.
+
+Fault tolerance (the no-lost-request contract): a flush round is crash-safe.
+A replica that raises — for real, or through an injected
+:class:`~repro.serving.faults.FaultPlan` — fails only its own batch's
+*attempt*: the batch retries on a sibling replica with capped exponential
+backoff (never past a request's deadline), dispatch consults a per-replica
+:class:`~repro.serving.health.HealthTracker` circuit breaker to route around
+repeat offenders, and a shard with zero dispatchable replicas either fails
+its batch or (``degraded_policy="stale_ok"``) answers cache/halo-resident
+rows as ``stale`` completions.  Whatever the fault schedule, every submitted
+request terminates in exactly one terminal state and the other shards'
+results commit.
 """
 
 from __future__ import annotations
@@ -52,6 +64,8 @@ from .cache import CacheStats, EmbeddingCache, HaloStore, LegacyEmbeddingCache
 from .clock import Clock, SystemClock
 from .config import ServingConfig
 from .executor import make_executor
+from .faults import InjectedFault, ReplicaHung
+from .health import HealthTracker
 from .scheduler import Scheduler
 from .shard import GraphShard, build_shards
 from .stats import ServerStats, WorkerLoad
@@ -160,8 +174,23 @@ class InferenceServer:
         # Engine-wide lock: guards queue admission, dispatcher state and the
         # stats accumulators.  Flush tasks run prediction *outside* it.
         self._lock = threading.RLock()
+        # Capacity condition over the same lock: blocked submitters
+        # (overload_policy="block") wait here and are woken when a flush
+        # frees queue space, when an in-flight flush settles, or on shutdown.
+        self._capacity = threading.Condition(self._lock)
+        self._inflight_flushes = 0
         self._serving_depth = 0
+        # Monotone per-shard dispatch counters: round_robin indexes the
+        # *currently dispatchable* replica pool with counter % len(pool), so
+        # rotation stays fair as breakers open and close.
         self._round_robin = [0] * len(self.shards)
+        self.faults = self.config.fault_plan
+        self.health = HealthTracker(
+            [worker.worker_id for worker in self.workers],
+            failure_threshold=self.config.health_failure_threshold,
+            cooldown=self.config.health_cooldown,
+            latency_threshold=self.config.health_latency_threshold,
+        )
         self._request_counter = 0
         self._latencies: List[float] = []
         self._batch_sizes: List[int] = []
@@ -169,6 +198,13 @@ class InferenceServer:
         self._rejected = 0
         self._shed = 0
         self._expired = 0
+        self._failed = 0
+        self._retried = 0
+        self._failovers = 0
+        self._degraded = 0
+        self._worker_failures = 0
+        self._block_waits = 0
+        self._block_self_flushes = 0
         self._first_enqueue: Optional[float] = None
         self._last_completion: Optional[float] = None
         self._closed = False
@@ -284,6 +320,12 @@ class InferenceServer:
     ) -> List[InferenceRequest]:
         return [self.submit(node, timeout=timeout) for node in nodes]
 
+    #: Lost-wakeup safety net for blocked submitters, in wall seconds.  Every
+    #: capacity transition notifies the condition, so the timeout should never
+    #: be the thing that wakes a waiter — it only bounds the damage if a future
+    #: change forgets a notify.
+    _BLOCK_WAIT_TIMEOUT = 0.05
+
     def _admit(self, request: InferenceRequest) -> bool:
         """Apply the overload policy; returns False when ``request`` was rejected."""
         shard_id = request.shard_id
@@ -299,12 +341,41 @@ class InferenceServer:
                     victim = self.batcher.shed_oldest(shard_id)
                     victim._finish(SHED, self.clock.now())
                     self._shed += 1
-            else:  # block: synchronous backpressure — serve until there is room
-                while self.batcher.is_full(shard_id):
-                    self._flush(shard_id, forced=True)
+            else:  # block: backpressure — wait for room (or make it ourselves)
+                return self._admit_blocking(request)
         with self._lock:
             self.batcher.enqueue(request)
         return True
+
+    def _admit_blocking(self, request: InferenceRequest) -> bool:
+        """``overload_policy="block"``: a real wait, not a busy spin.
+
+        While another thread has a flush in flight the submitter parks on the
+        capacity condition and is woken when queue depth drops (or the server
+        shuts down, which rejects the request deterministically).  When *no*
+        flush is in flight anywhere — the single-threaded case — waiting
+        would deadlock, so the submitter force-flushes the shard itself
+        (counted separately, so tests can assert no busy-spin happened).
+        """
+        shard_id = request.shard_id
+        while True:
+            flush_self = False
+            with self._capacity:
+                if self._closed:
+                    request._finish(REJECTED, self.clock.now())
+                    self._rejected += 1
+                    return False
+                if not self.batcher.is_full(shard_id):
+                    self.batcher.enqueue(request)
+                    return True
+                if self._inflight_flushes > 0:
+                    self._block_waits += 1
+                    self._capacity.wait(timeout=self._BLOCK_WAIT_TIMEOUT)
+                else:
+                    self._block_self_flushes += 1
+                    flush_self = True
+            if flush_self:
+                self._flush(shard_id, forced=True)
 
     # -- execution ---------------------------------------------------------------
 
@@ -329,17 +400,32 @@ class InferenceServer:
         if incomplete:
             raise RuntimeError(
                 f"{incomplete} of {len(requests)} requests did not complete "
-                "(rejected/shed/expired by admission control); "
+                "(rejected/shed/expired by admission control, or failed); "
                 "use submit_many() + drain() and check request.status"
             )
         return np.array([request.result() for request in requests], dtype=np.int64)
 
     def shutdown(self) -> None:
-        """Drain pending work, then release executor threads (idempotent)."""
+        """Deterministic teardown: every in-flight request reaches a terminal
+        state before executor threads are released (idempotent).
+
+        Order matters: the server closes *first* (new submits raise, blocked
+        submitters wake and reject), then pending queues drain, then the
+        call waits for any flush still in flight on another thread to
+        settle — so a shutdown racing a mid-flight round can never leave a
+        request non-terminal — and drains once more to catch requests that
+        were admitted while the round was settling.
+        """
         if self._closed:
             return
+        with self._capacity:
+            self._closed = True
+            self._capacity.notify_all()  # blocked submitters wake up and reject
         self.drain()
-        self._closed = True
+        with self._capacity:
+            while self._inflight_flushes > 0:
+                self._capacity.wait(timeout=self._BLOCK_WAIT_TIMEOUT)
+        self.drain()
         self.scheduler.shutdown()
         if self.config.fft_workers is not None:
             from ..compression.spectral import set_fft_workers
@@ -376,10 +462,18 @@ class InferenceServer:
                     self.model.train(self._was_training)
 
     def _flush(self, shard_id: int, forced: bool = False) -> int:
+        """Pop and serve one batch; crash-safe (never raises on worker failure).
+
+        Whatever happens inside — injected faults, a replica raising mid
+        batch, every replica unhealthy — the popped requests all reach a
+        terminal state here, so a failure on one shard can never take down a
+        flush round's other shards or strand a request in ``pending``.
+        """
         with self._lock:
             batch = self.batcher.pop_batch(shard_id, forced=forced)
             if not batch:
                 return 0
+            self._capacity.notify_all()  # queue depth dropped: wake blocked submitters
             now = self.clock.now()
             live: List[InferenceRequest] = []
             for request in batch:
@@ -390,45 +484,196 @@ class InferenceServer:
                     live.append(request)
             if not live:
                 return 1
-            worker = self._pick_worker(shard_id)
-
-        nodes = np.array([request.node for request in live], dtype=np.int64)
+            self._inflight_flushes += 1
         try:
-            with self._serving_mode():
-                predictions = worker.predict(nodes)
+            self._serve_batch(shard_id, live)
         except BaseException:
-            # The batch was already dequeued; a crash must not strand it in
-            # "pending" (the exactly-once-termination contract).
+            # Retry/failover handles worker errors; only non-Exception escapes
+            # (KeyboardInterrupt and kin) reach here.  Even then, nothing may
+            # stay stranded in "pending".
             with self._lock:
                 now = self.clock.now()
                 for request in live:
-                    request._finish(FAILED, now)
+                    if not request.done:
+                        request._finish(FAILED, now)
+                        self._failed += 1
             raise
-
-        with self._lock:
-            now = self.clock.now()
-            for request, prediction in zip(live, predictions):
-                request.prediction = int(prediction)
-                request.worker_id = worker.worker_id
-                request.batch_size = len(live)
-                request._finish(COMPLETED, now)
-                self._latencies.append(request.latency)
-            self._completed += len(live)
-            self._batch_sizes.append(len(live))
-            self._last_completion = now
+        finally:
+            with self._lock:
+                self._inflight_flushes -= 1
+                self._capacity.notify_all()  # unblock waiters and shutdown()
         return 1
 
-    def _pick_worker(self, shard_id: int) -> ShardWorker:
-        """Dispatch among a shard's replicas (trivial when num_replicas == 1)."""
+    def _serve_batch(self, shard_id: int, live: List[InferenceRequest]) -> None:
+        """Serve a dequeued batch with health-gated dispatch and failover.
+
+        Attempt loop: pick a dispatchable replica (circuit breakers
+        consulted, already-failed replicas excluded while siblings remain),
+        serve, and on failure retry with capped exponential backoff — expiring
+        any request whose deadline cannot survive the backoff, so a retry
+        never runs past a deadline.  When no replica is dispatchable the
+        batch falls through to the degraded path.
+        """
+        tried: set = set()
+        attempt = 0
+        while live:
+            worker = self._pick_worker(shard_id, self.clock.now(), exclude=tried)
+            if worker is None:
+                self._serve_degraded(shard_id, live)
+                return
+            nodes = np.array([request.node for request in live], dtype=np.int64)
+            start = self.clock.now()
+            try:
+                predictions = self._attempt(worker, nodes)
+            except Exception:
+                now = self.clock.now()
+                self.health.record_failure(worker.worker_id, now)
+                if self.halo_store is not None:
+                    # Epoch guard: in-flight publishes that raced with this
+                    # failure (possibly from the dying replica itself) are
+                    # discarded rather than trusted.
+                    self.halo_store.bump_epoch()
+                tried.add(worker.worker_id)
+                attempt += 1
+                with self._lock:
+                    self._worker_failures += 1
+                    if attempt > self.config.max_retries:
+                        for request in live:
+                            request._finish(FAILED, now)
+                        self._failed += len(live)
+                        return
+                    backoff = min(
+                        self.config.retry_backoff * (2 ** (attempt - 1)),
+                        self.config.retry_backoff_cap,
+                    )
+                    survivors: List[InferenceRequest] = []
+                    for request in live:
+                        if request.deadline is not None and request.deadline <= now + backoff:
+                            request._finish(EXPIRED, now)
+                            self._expired += 1
+                        else:
+                            request.retries += 1
+                            survivors.append(request)
+                    self._retried += len(survivors)
+                live = survivors
+                if live and backoff > 0:
+                    self.clock.sleep(backoff)
+                continue
+
+            latency = self.clock.now() - start
+            self.health.record_success(worker.worker_id, self.clock.now(), latency)
+            with self._lock:
+                now = self.clock.now()
+                if tried and worker.worker_id not in tried:
+                    self._failovers += 1
+                for request, prediction in zip(live, predictions):
+                    request.prediction = int(prediction)
+                    request.worker_id = worker.worker_id
+                    request.batch_size = len(live)
+                    request._finish(COMPLETED, now)
+                    self._latencies.append(request.latency)
+                self._completed += len(live)
+                self._batch_sizes.append(len(live))
+                self._last_completion = now
+            return
+
+    def _attempt(self, worker: ShardWorker, nodes: np.ndarray) -> np.ndarray:
+        """One dispatch to one replica, with the fault plan consulted first."""
+        if self.faults is not None:
+            decision = self.faults.decide(worker.worker_id, self.clock.now())
+            if decision is not None:
+                if decision.kind == "raise":
+                    raise InjectedFault(
+                        f"injected failure on worker {worker.worker_id}"
+                    )
+                if decision.kind == "hang":
+                    # The hang burns clock time past any sane deadline before
+                    # the dispatch is declared dead (a timeout, simulated).
+                    self.clock.sleep(decision.seconds)
+                    raise ReplicaHung(
+                        f"worker {worker.worker_id} hung for "
+                        f"{decision.seconds * 1e3:.1f} ms"
+                    )
+                # "slow": extra latency, then a normal (correct) answer — the
+                # signal the health tracker's latency EWMA watches.
+                self.clock.sleep(decision.seconds)
+        with self._serving_mode():
+            return worker.predict(nodes)
+
+    def _pick_worker(
+        self, shard_id: int, now: float, exclude: Optional[set] = None
+    ) -> Optional[ShardWorker]:
+        """Health-gated dispatch among a shard's replicas.
+
+        Closed-breaker replicas are preferred; half-open ones (cooldown
+        elapsed, awaiting a probe) are the fallback.  Replicas that already
+        failed this batch (``exclude``) are skipped while any other
+        dispatchable sibling exists — but with a single replica a transient
+        fault retries in place rather than giving up.  Returns ``None`` only
+        when the shard has zero dispatchable replicas (degraded territory).
+        """
         group = self._replicas[shard_id]
-        if len(group) == 1:
-            return group[0]
+        ids = [worker.worker_id for worker in group]
+        closed, probing = self.health.partition(ids, now)
+        if exclude:
+            pool_ids = [i for i in closed if i not in exclude] or [
+                i for i in probing if i not in exclude
+            ]
+            if not pool_ids:
+                pool_ids = closed or probing
+        else:
+            pool_ids = closed or probing
+        if not pool_ids:
+            return None
+        by_id = {worker.worker_id: worker for worker in group}
+        pool = [by_id[worker_id] for worker_id in pool_ids]
+        if len(pool) == 1:
+            return pool[0]
         if self.config.dispatch == "round_robin":
-            index = self._round_robin[shard_id]
-            self._round_robin[shard_id] = (index + 1) % len(group)
-            return group[index]
+            with self._lock:
+                counter = self._round_robin[shard_id]
+                self._round_robin[shard_id] = counter + 1
+            return pool[counter % len(pool)]
         # least_loaded: fewest nodes served so far, lowest worker id on ties.
-        return min(group, key=lambda worker: (worker.nodes_served, worker.worker_id))
+        return min(pool, key=lambda worker: (worker.nodes_served, worker.worker_id))
+
+    def _serve_degraded(self, shard_id: int, live: List[InferenceRequest]) -> None:
+        """Zero dispatchable replicas: apply ``degraded_policy`` to the batch.
+
+        ``"fail"`` fails everything; ``"stale_ok"`` answers the rows whose
+        final-layer logits are already resident in a replica's embedding
+        cache or the shared halo tier — flagged ``stale``, since nothing was
+        recomputed — and fails only the true misses.
+        """
+        nodes = np.array([request.node for request in live], dtype=np.int64)
+        hit = np.zeros(len(nodes), dtype=bool)
+        predictions = np.full(len(nodes), -1, dtype=np.int64)
+        if self.config.degraded_policy == "stale_ok":
+            for worker in self._replicas[shard_id]:
+                if hit.all():
+                    break
+                mask, values = worker.degraded_logits(nodes)
+                fresh = mask & ~hit
+                predictions[fresh] = values[fresh]
+                hit |= fresh
+        with self._lock:
+            now = self.clock.now()
+            served = int(hit.sum())
+            for request, ok, prediction in zip(live, hit, predictions):
+                if ok:
+                    request.prediction = int(prediction)
+                    request.stale = True
+                    request.batch_size = served
+                    request._finish(COMPLETED, now)
+                    self._latencies.append(request.latency)
+                else:
+                    request._finish(FAILED, now)
+            self._completed += served
+            self._degraded += served
+            self._failed += len(live) - served
+            if served:
+                self._batch_sizes.append(served)
+                self._last_completion = now
 
     # -- introspection -----------------------------------------------------------
 
@@ -442,18 +687,26 @@ class InferenceServer:
         halo = CacheStats()
         if self.halo_store is not None:
             halo = halo.merge(self.halo_store.stats)
-        loads = tuple(
-            WorkerLoad(
-                worker_id=worker.worker_id,
-                shard_id=worker.shard.part_id,
-                batches=worker.batches_served,
-                nodes=worker.nodes_served,
-                core_nodes=worker.shard.num_core,
-                halo_nodes=worker.shard.num_halo,
-                peak_concurrency=worker.peak_inflight,
+        now = self.clock.now()
+        loads = []
+        for worker in self.workers:
+            record = self.health.snapshot(worker.worker_id)
+            loads.append(
+                WorkerLoad(
+                    worker_id=worker.worker_id,
+                    shard_id=worker.shard.part_id,
+                    batches=worker.batches_served,
+                    nodes=worker.nodes_served,
+                    core_nodes=worker.shard.num_core,
+                    halo_nodes=worker.shard.num_halo,
+                    peak_concurrency=worker.peak_inflight,
+                    health=self.health.state(worker.worker_id, now),
+                    failures=record.failures,
+                    breaker_opens=record.opens,
+                    latency_ewma=record.latency_ewma,
+                )
             )
-            for worker in self.workers
-        )
+        loads = tuple(loads)
         if self._first_enqueue is not None and self._last_completion is not None:
             duration = self._last_completion - self._first_enqueue
         else:
@@ -477,6 +730,14 @@ class InferenceServer:
             rejected_requests=self._rejected,
             shed_requests=self._shed,
             expired_requests=self._expired,
+            failed_requests=self._failed,
+            retried_requests=self._retried,
+            failovers=self._failovers,
+            degraded_requests=self._degraded,
+            worker_failures=self._worker_failures,
+            injected_faults=self.faults.total_injected if self.faults is not None else 0,
+            block_waits=self._block_waits,
+            block_self_flushes=self._block_self_flushes,
             halo=halo,
             halo_tier=self.halo_store is not None,
             plans=plans,
@@ -494,6 +755,13 @@ class InferenceServer:
         self._rejected = 0
         self._shed = 0
         self._expired = 0
+        self._failed = 0
+        self._retried = 0
+        self._failovers = 0
+        self._degraded = 0
+        self._worker_failures = 0
+        self._block_waits = 0
+        self._block_self_flushes = 0
         self._first_enqueue = None
         self._last_completion = None
         self.batcher.size_flushes = 0

@@ -59,10 +59,19 @@ class SerialExecutor(FlushExecutor):
         self._peak = 0
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        # Settle the whole round even if a task raises — same barrier
+        # contract as ConcurrentExecutor.map: remaining shards still flush,
+        # and the first error propagates only after the round completed.
+        errors = []
         results: List[R] = []
         for item in items:
             self._peak = max(self._peak, 1)
-            results.append(fn(item))
+            try:
+                results.append(fn(item))
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+        if errors:
+            raise errors[0]
         return results
 
     @property

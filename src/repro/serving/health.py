@@ -1,0 +1,181 @@
+"""Per-replica health tracking: a small circuit breaker for dispatch.
+
+Each :class:`~repro.serving.worker.ShardWorker` replica gets a
+:class:`ReplicaHealth` record inside the shard's :class:`HealthTracker`.
+Dispatch (`round_robin` / `least_loaded` in the engine) consults
+``available(worker_id, now)`` before routing a batch, so traffic flows
+around replicas that keep failing or have gone slow — and probes them
+again after a cooldown instead of writing them off forever.
+
+State machine (the classic three states):
+
+``closed``
+    Healthy.  Dispatchable.  A failure increments ``consecutive_failures``;
+    reaching ``failure_threshold`` opens the breaker.  A success whose
+    latency EWMA exceeds ``latency_threshold`` also opens it (the replica
+    answers, but too slowly to be worth routing to).
+``open``
+    Unhealthy.  Not dispatchable until ``cooldown`` clock seconds pass.
+``half_open``
+    Cooldown elapsed: ``available`` returns ``True`` again so exactly the
+    next dispatch acts as a probe.  Success closes the breaker; failure
+    re-opens it and restarts the cooldown.
+
+All timing uses the serving plane's :class:`~repro.serving.clock.Clock`,
+so recovery schedules are exact under :class:`ManualClock`.  The tracker
+is thread-safe (concurrent executor records from pool threads).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ReplicaHealth", "HealthTracker"]
+
+_EWMA_ALPHA = 0.3  # weight of the newest latency sample in the EWMA
+
+
+@dataclass
+class ReplicaHealth:
+    """Mutable health record for one replica (guarded by the tracker's lock)."""
+
+    worker_id: int
+    state: str = "closed"                 # closed | open (half-open is derived)
+    consecutive_failures: int = 0
+    failures: int = 0
+    successes: int = 0
+    latency_ewma: Optional[float] = None
+    opened_at: float = field(default=0.0)
+    opens: int = 0                        # how many times the breaker tripped
+    probes: int = 0                       # half-open dispatches attempted
+
+    def snapshot(self) -> "ReplicaHealth":
+        return ReplicaHealth(
+            worker_id=self.worker_id,
+            state=self.state,
+            consecutive_failures=self.consecutive_failures,
+            failures=self.failures,
+            successes=self.successes,
+            latency_ewma=self.latency_ewma,
+            opened_at=self.opened_at,
+            opens=self.opens,
+            probes=self.probes,
+        )
+
+
+class HealthTracker:
+    """Circuit breakers for a set of replicas, keyed by worker id."""
+
+    def __init__(
+        self,
+        worker_ids: Sequence[int],
+        failure_threshold: int = 3,
+        cooldown: float = 0.05,
+        latency_threshold: Optional[float] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        if latency_threshold is not None and latency_threshold <= 0:
+            raise ValueError("latency_threshold must be positive when set")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.latency_threshold = latency_threshold
+        self._lock = threading.Lock()
+        self._replicas: Dict[int, ReplicaHealth] = {
+            int(worker_id): ReplicaHealth(worker_id=int(worker_id)) for worker_id in worker_ids
+        }
+
+    # ------------------------------------------------------------------ state
+
+    def state(self, worker_id: int, now: float) -> str:
+        """``closed``, ``open`` or ``half_open`` as of clock time ``now``."""
+        with self._lock:
+            return self._state_locked(self._replicas[worker_id], now)
+
+    def _state_locked(self, replica: ReplicaHealth, now: float) -> str:
+        if replica.state == "closed":
+            return "closed"
+        if now - replica.opened_at >= self.cooldown:
+            return "half_open"
+        return "open"
+
+    def available(self, worker_id: int, now: float) -> bool:
+        """May dispatch route to this replica right now (closed or probing)?"""
+        return self.state(worker_id, now) != "open"
+
+    def healthy(self, worker_id: int, now: float) -> bool:
+        """Strictly healthy — closed breaker, no probe credit needed."""
+        return self.state(worker_id, now) == "closed"
+
+    def partition(self, worker_ids: Sequence[int], now: float) -> "tuple[List[int], List[int]]":
+        """Split ids into (closed, half-open) dispatchable groups, order kept."""
+        closed: List[int] = []
+        probing: List[int] = []
+        with self._lock:
+            for worker_id in worker_ids:
+                state = self._state_locked(self._replicas[worker_id], now)
+                if state == "closed":
+                    closed.append(worker_id)
+                elif state == "half_open":
+                    probing.append(worker_id)
+        return closed, probing
+
+    # ---------------------------------------------------------------- records
+
+    def record_success(self, worker_id: int, now: float, latency: float = 0.0) -> None:
+        with self._lock:
+            replica = self._replicas[worker_id]
+            replica.successes += 1
+            replica.consecutive_failures = 0
+            if replica.latency_ewma is None:
+                replica.latency_ewma = latency
+            else:
+                replica.latency_ewma = (
+                    _EWMA_ALPHA * latency + (1.0 - _EWMA_ALPHA) * replica.latency_ewma
+                )
+            if self._state_locked(replica, now) == "half_open":
+                replica.probes += 1
+            if (
+                self.latency_threshold is not None
+                and replica.latency_ewma > self.latency_threshold
+            ):
+                # Answers, but too slowly: keep (or put) the breaker open so
+                # dispatch prefers faster siblings; probes keep sampling it.
+                if replica.state == "closed":
+                    replica.opens += 1
+                replica.state = "open"
+                replica.opened_at = now
+            else:
+                replica.state = "closed"
+
+    def record_failure(self, worker_id: int, now: float) -> None:
+        with self._lock:
+            replica = self._replicas[worker_id]
+            was_half_open = self._state_locked(replica, now) == "half_open"
+            replica.failures += 1
+            replica.consecutive_failures += 1
+            if was_half_open:
+                # Failed probe: re-open and restart the cooldown.
+                replica.probes += 1
+                replica.opened_at = now
+            elif replica.state == "closed" and (
+                replica.consecutive_failures >= self.failure_threshold
+            ):
+                replica.state = "open"
+                replica.opened_at = now
+                replica.opens += 1
+
+    # --------------------------------------------------------------- plumbing
+
+    def snapshot(self, worker_id: int) -> ReplicaHealth:
+        with self._lock:
+            return self._replicas[worker_id].snapshot()
+
+    def reset(self) -> None:
+        with self._lock:
+            for worker_id in list(self._replicas):
+                self._replicas[worker_id] = ReplicaHealth(worker_id=worker_id)

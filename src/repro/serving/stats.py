@@ -40,6 +40,10 @@ class WorkerLoad:
     core_nodes: int
     halo_nodes: int
     peak_concurrency: int = 0    # max batches in flight on this worker at once
+    health: str = "closed"       # circuit-breaker state at snapshot time
+    failures: int = 0            # dispatch attempts that failed on this replica
+    breaker_opens: int = 0       # times the replica's breaker tripped
+    latency_ewma: Optional[float] = None  # smoothed dispatch latency (seconds)
 
 
 @dataclass(frozen=True)
@@ -70,6 +74,14 @@ class ServerStats:
     halo_tier: bool = False          # was a shared HaloStore active for the run?
     #: restriction-plan cache counters, summed over workers
     plans: PlanCacheStats = field(default_factory=PlanCacheStats)
+    failed_requests: int = 0         # retries exhausted / degraded misses
+    retried_requests: int = 0        # request-attempts that were retried
+    failovers: int = 0               # batches completed on a sibling after a failure
+    degraded_requests: int = 0       # completed stale from the degraded path
+    worker_failures: int = 0         # dispatch attempts that raised (real or injected)
+    injected_faults: int = 0         # faults the FaultPlan actually fired
+    block_waits: int = 0             # condition waits by blocked submitters
+    block_self_flushes: int = 0      # blocked submitters that flushed for themselves
 
     # -- accounting --------------------------------------------------------------
 
@@ -81,6 +93,7 @@ class ServerStats:
             + self.rejected_requests
             + self.shed_requests
             + self.expired_requests
+            + self.failed_requests
         )
 
     # -- latency ---------------------------------------------------------------
@@ -103,8 +116,16 @@ class ServerStats:
 
     @property
     def throughput(self) -> float:
-        """Completed requests per clock second."""
-        return self.completed_requests / self.duration if self.duration > 0 else float("inf")
+        """Completed requests per clock second.
+
+        Guarded denominators: a run that completed nothing has throughput
+        0.0 (not a division error, not a misleading ``inf``); a run that
+        completed work in zero clock time (ManualClock that never advanced)
+        is genuinely instantaneous — ``inf``.
+        """
+        if self.duration > 0:
+            return self.completed_requests / self.duration
+        return float("inf") if self.completed_requests else 0.0
 
     @property
     def mean_batch_size(self) -> float:
@@ -141,30 +162,76 @@ class ServerStats:
         """Total seconds attributed to hot-path stages across all workers."""
         return float(sum(self.stage_seconds.values()))
 
+    @staticmethod
+    def _rate(numerator: int, denominator: int) -> str:
+        """A percentage, or ``n/a`` when nothing was measured.
+
+        A run in which every request failed or was shed makes zero lookups;
+        rendering that as a 0.0% hit-rate would misread as "the cache was
+        cold", so empty denominators render ``n/a`` instead.
+        """
+        if denominator <= 0:
+            return "n/a"
+        return f"{numerator / denominator * 100:.1f}%"
+
+    @staticmethod
+    def _ms(seconds: float) -> str:
+        """Milliseconds, or ``n/a`` for the NaN of an empty latency sample."""
+        if not np.isfinite(seconds):
+            return "n/a"
+        return f"{seconds * 1e3:.3f} ms"
+
     def render(self) -> str:
+        if self.duration > 0 and np.isfinite(self.throughput):
+            throughput = f"{self.throughput:.1f} req/s"
+        elif self.completed_requests:
+            throughput = "inf req/s (zero clock duration)"
+        else:
+            throughput = "n/a (nothing completed)"
         lines = [
             f"mode {self.mode} ({self.hot_path}, {self.cache_policy} cache): "
             f"{self.completed_requests} requests in "
-            f"{len(self.batch_sizes)} batches (mean size {self.mean_batch_size:.1f})",
+            f"{len(self.batch_sizes)} batches (mean size "
+            f"{'n/a' if not len(self.batch_sizes) else f'{self.mean_batch_size:.1f}'})",
             f"  executor {self.executor} (peak concurrency {self.peak_concurrency})",
-            f"  latency p50 {self.p50_latency * 1e3:.3f} ms   "
-            f"p95 {self.p95_latency * 1e3:.3f} ms   "
-            f"p99 {self.p99_latency * 1e3:.3f} ms   mean {self.mean_latency * 1e3:.3f} ms",
-            f"  throughput {self.throughput:.1f} req/s over {self.duration * 1e3:.1f} ms",
+            f"  latency p50 {self._ms(self.p50_latency)}   "
+            f"p95 {self._ms(self.p95_latency)}   "
+            f"p99 {self._ms(self.p99_latency)}   mean {self._ms(self.mean_latency)}",
+            f"  throughput {throughput} over {self.duration * 1e3:.1f} ms",
             f"  flushes: {self.size_flushes} size, {self.delay_flushes} delay, "
             f"{self.forced_flushes} forced",
             f"  admission: {self.rejected_requests} rejected, {self.shed_requests} shed, "
-            f"{self.expired_requests} expired "
+            f"{self.expired_requests} expired, {self.failed_requests} failed "
             f"({self.submitted_requests} requests accounted for)",
             f"  embedding cache: {self.cache.hits} hits / {self.cache.lookups} lookups "
-            f"({self.cache_hit_rate * 100:.1f}%), {self.cache.evictions} evictions, "
+            f"({self._rate(self.cache.hits, self.cache.lookups)}), "
+            f"{self.cache.evictions} evictions, "
             f"{self.cache.invalidations} invalidations",
         ]
+        if (
+            self.worker_failures
+            or self.retried_requests
+            or self.failovers
+            or self.degraded_requests
+            or self.injected_faults
+        ):
+            lines.append(
+                f"  faults: {self.worker_failures} worker failures "
+                f"({self.injected_faults} injected), {self.retried_requests} retried, "
+                f"{self.failovers} failovers, {self.degraded_requests} served stale"
+            )
+        if self.block_waits or self.block_self_flushes:
+            lines.append(
+                f"  backpressure: {self.block_waits} waits, "
+                f"{self.block_self_flushes} self-flushes by blocked submitters"
+            )
         if self.halo_tier:
             lines.append(
                 f"  halo tier: {self.halo.hits} hits / {self.halo.lookups} boundary lookups "
-                f"({self.halo_hit_rate * 100:.1f}%), {self.halo.insertions} published, "
+                f"({self._rate(self.halo.hits, self.halo.lookups)}), "
+                f"{self.halo.insertions} published, "
                 f"{self.halo.invalidations} invalidations"
+                + (f", {self.halo.discarded} discarded" if self.halo.discarded else "")
             )
         if self.plans.lookups > 0:
             lines.append(
@@ -181,11 +248,22 @@ class ServerStats:
             )
             lines.append(f"  flush stages: {breakdown}")
         for worker in self.workers:
+            health = ""
+            if worker.health != "closed" or worker.failures or worker.breaker_opens:
+                ewma = (
+                    f", ewma {worker.latency_ewma * 1e3:.2f} ms"
+                    if worker.latency_ewma is not None
+                    else ""
+                )
+                health = (
+                    f", {worker.health}: {worker.failures} failures, "
+                    f"{worker.breaker_opens} opens{ewma}"
+                )
             lines.append(
                 f"  worker {worker.worker_id} (shard {worker.shard_id}): "
                 f"{worker.nodes} nodes in {worker.batches} batches "
                 f"[{worker.core_nodes} core + {worker.halo_nodes} halo, "
-                f"peak {worker.peak_concurrency} in flight]"
+                f"peak {worker.peak_concurrency} in flight{health}]"
             )
         return "\n".join(lines)
 

@@ -168,6 +168,51 @@ class ShardWorker:
                 self._inflight -= 1
         return logits.argmax(axis=-1)
 
+    def degraded_logits(self, global_nodes: np.ndarray):
+        """Last-resort read path for a shard with zero healthy replicas.
+
+        Returns ``(hit_mask, predictions)``: predictions (argmax of the
+        final-layer logits) for the positions of ``global_nodes`` whose
+        output-layer row is already resident in this replica's embedding
+        cache or the shared halo tier.  Nothing is computed and the weight
+        signature is deliberately *not* checked — the point of ``stale_ok``
+        is that a value cached before the newest weight update is still a
+        better answer than a failure.  Misses stay misses (``hit_mask``
+        False); the engine fails those requests.
+        """
+        nodes = np.asarray(global_nodes, dtype=np.int64)
+        final = self.model.num_layers
+        hit = np.zeros(len(nodes), dtype=bool)
+        predictions = np.full(len(nodes), -1, dtype=np.int64)
+        if self.mode != "exact" or not len(nodes):
+            return hit, predictions
+        if self.hot_path == "compiled":
+            if getattr(self.cache, "enabled", False):
+                mask, values = self.cache.take_mask(final, nodes)
+                if len(values):
+                    hit |= mask
+                    predictions[mask] = values.argmax(axis=-1)
+            if self.halo_store is not None and not hit.all():
+                remaining = np.where(~hit)[0]
+                halo_mask, halo_values = self.halo_store.take_mask(final, nodes[remaining])
+                if len(halo_values):
+                    positions = remaining[halo_mask]
+                    hit[positions] = True
+                    predictions[positions] = halo_values.argmax(axis=-1)
+        elif getattr(self.cache, "enabled", False):
+            hit_global, hit_rows, _ = self.cache.take(final, nodes)
+            if len(hit_global):
+                answers = {
+                    int(node): int(np.argmax(row))
+                    for node, row in zip(hit_global, hit_rows)
+                }
+                for position, node in enumerate(nodes):
+                    answer = answers.get(int(node))
+                    if answer is not None:
+                        hit[position] = True
+                        predictions[position] = answer
+        return hit, predictions
+
     # -- exact mode --------------------------------------------------------------
 
     def _layer_dim(self, layer: int) -> int:
@@ -193,6 +238,11 @@ class ShardWorker:
         self.cache.ensure_signature(signature)
         if halo is not None:
             halo.ensure_signature(signature)
+            # Epoch capture for fault isolation: if a sibling replica fails
+            # while this batch is in flight, the engine bumps the store's
+            # epoch and every publish below is discarded — a possibly-dying
+            # replica must not write into the shared tier.
+            halo_epoch = halo.epoch
 
         # Sorted-unique seeds without np.unique's dispatch overhead (the
         # masked-array check alone costs more than this whole dedup).
@@ -284,9 +334,14 @@ class ShardWorker:
                 with timer.stage("halo_publish"):
                     if self._halo_publishable is not None:
                         publishable = self._halo_publishable[needed[k][miss_idx[k]]]
-                        halo.publish(k, miss_global[k][publishable], computed[publishable])
+                        halo.publish(
+                            k,
+                            miss_global[k][publishable],
+                            computed[publishable],
+                            epoch=halo_epoch,
+                        )
                     else:
-                        halo.publish(k, miss_global[k], computed)
+                        halo.publish(k, miss_global[k], computed, epoch=halo_epoch)
             h_prev = values
 
         return h_prev[np.searchsorted(unique_seeds, seeds_local)]

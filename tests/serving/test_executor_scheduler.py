@@ -192,6 +192,9 @@ class TestConcurrentServing:
         assert "executor concurrent" in stats.render()
 
     def test_crashing_worker_marks_requests_failed_not_pending(self, small_graph):
+        # A crashing replica no longer takes the drain down with it: the
+        # flush round is crash-safe, the batch retries (same replica — it is
+        # the only one) until the budget exhausts, then fails terminally.
         model = _model(small_graph)
         server = _server(model, small_graph, num_shards=1, max_batch_size=4)
         server.scheduler.flush_on_submit = False
@@ -201,12 +204,17 @@ class TestConcurrentServing:
             raise RuntimeError("worker crashed")
 
         server.workers[0].predict = boom
-        with pytest.raises(RuntimeError, match="worker crashed"):
-            server.drain()
+        server.drain()  # must NOT raise: the failure is isolated to the batch
         assert [request.status for request in requests] == ["failed"] * 4
         assert all(request.done for request in requests)
         with pytest.raises(RuntimeError, match="failed"):
             requests[0].result()
+        stats = server.stats()
+        assert stats.failed_requests == 4
+        assert stats.submitted_requests == 4
+        # max_retries=2 default: 1 initial + 2 retries, all on the lone replica
+        assert stats.worker_failures == 3
+        assert stats.retried_requests == 8  # 4 requests x 2 retry rounds
 
     def test_shutdown_drains_then_rejects_new_work(self, small_graph):
         model = _model(small_graph)
@@ -214,6 +222,37 @@ class TestConcurrentServing:
         server.scheduler.flush_on_submit = False
         requests = server.submit_many(range(6))
         server.shutdown()
+        assert all(request.completed for request in requests)
+        with pytest.raises(RuntimeError, match="shut down"):
+            server.submit(0)
+
+    def test_shutdown_during_in_flight_flush_is_deterministic(self, small_graph):
+        # shutdown() called while a concurrent flush round is mid-predict must
+        # wait for the in-flight round to settle (condition variable, not a
+        # sleep loop), finish every request, and only then close the executor.
+        model = _model(small_graph)
+        server = _server(model, small_graph, executor="concurrent", num_shards=2)
+        server.scheduler.flush_on_submit = False
+        worker = server.workers[0]
+        original = worker.predict
+        entered, release = threading.Event(), threading.Event()
+
+        def slow_predict(nodes):
+            entered.set()
+            assert release.wait(timeout=5.0)
+            return original(nodes)
+
+        worker.predict = slow_predict
+        requests = server.submit_many(range(8))
+        drainer = threading.Thread(target=server.drain)
+        drainer.start()
+        assert entered.wait(timeout=5.0)      # round in flight, worker 0 parked
+        closer = threading.Thread(target=server.shutdown)
+        closer.start()
+        release.set()
+        drainer.join(timeout=5.0)
+        closer.join(timeout=5.0)
+        assert not drainer.is_alive() and not closer.is_alive()
         assert all(request.completed for request in requests)
         with pytest.raises(RuntimeError, match="shut down"):
             server.submit(0)
@@ -266,6 +305,65 @@ class TestAdmissionControl:
         stats = server.stats()
         assert stats.rejected_requests == 0 and stats.shed_requests == 0
         assert stats.forced_flushes >= 2  # blocking forced early flushes
+
+    def test_block_policy_single_threaded_self_flushes_instead_of_waiting(self, small_graph):
+        # With no concurrent flush in flight there is nobody to wait for: the
+        # submitter must make room itself (self-flush), never park on the
+        # condition — a parked single thread would deadlock forever.
+        model = _model(small_graph)
+        server = _server(
+            model, small_graph, num_shards=1, max_queue_depth=2, overload_policy="block",
+            max_batch_size=2,
+        )
+        server.scheduler.flush_on_submit = False
+        requests = server.submit_many(range(6))
+        server.drain()
+        assert all(request.completed for request in requests)
+        stats = server.stats()
+        assert stats.block_waits == 0
+        assert stats.block_self_flushes >= 2
+
+    def test_block_policy_blocked_submitter_wakes_when_room_appears(self, small_graph):
+        # A submitter hitting a full queue while another thread's flush is in
+        # flight parks on the capacity condition (a real wait, no busy-spin)
+        # and wakes when the flush settles and frees queue space.
+        model = _model(small_graph)
+        server = _server(
+            model, small_graph, num_shards=1, max_queue_depth=2, overload_policy="block",
+            max_batch_size=2,
+        )
+        server.scheduler.flush_on_submit = False
+        worker = server.workers[0]
+        original = worker.predict
+        entered, release = threading.Event(), threading.Event()
+
+        def slow_predict(nodes):
+            entered.set()
+            assert release.wait(timeout=5.0)
+            return original(nodes)
+
+        worker.predict = slow_predict
+        first = server.submit_many(range(2))        # fills the queue
+        drainer = threading.Thread(target=server.drain)
+        drainer.start()
+        assert entered.wait(timeout=5.0)            # flush in flight, queue empty
+        second = server.submit_many(range(2, 4))    # refill the queue
+        blocked = []
+        submitter = threading.Thread(target=lambda: blocked.append(server.submit(4)))
+        submitter.start()
+        submitter.join(timeout=0.3)
+        assert submitter.is_alive()                 # parked: queue full, flush in flight
+        release.set()
+        submitter.join(timeout=5.0)
+        assert not submitter.is_alive()
+        drainer.join(timeout=5.0)
+        server.drain()                              # settle whatever the race left queued
+        requests = first + second + blocked
+        assert len(requests) == 5
+        assert all(request.completed for request in requests)
+        stats = server.stats()
+        assert stats.block_waits >= 1
+        assert stats.rejected_requests == 0 and stats.shed_requests == 0
 
     def test_predict_raises_when_admission_drops_requests(self, small_graph):
         model = _model(small_graph)

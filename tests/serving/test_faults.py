@@ -1,0 +1,449 @@
+"""Fault injection, failover, degraded serving and the no-lost-request
+invariant.
+
+The contract under test:
+
+* a :class:`FaultPlan` is deterministic — same seed, same dispatch sequence,
+  same faults — and windowed/flapping schedules fire exactly as written;
+* a replica that raises (or hangs past a deadline) fails only its own
+  batch's attempt: the batch fails over to a sibling, completed predictions
+  stay bitwise-equal to the fault-free run, and a drain never raises;
+* a shard with zero dispatchable replicas degrades per ``degraded_policy``
+  (``stale_ok`` serves cache/halo-resident rows flagged ``stale``);
+* the HaloStore epoch guard keeps a dying replica's publishes out of the
+  shared tier;
+* under *any* fault plan, every submitted request reaches exactly one
+  terminal state and the stats ledger balances (the hypothesis property).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import CompressionConfig
+from repro.graph.datasets import synthetic_graph
+from repro.models import create_model
+from repro.serving import (
+    TERMINAL_STATUSES,
+    FaultPlan,
+    FaultSpec,
+    HaloStore,
+    InferenceServer,
+    InjectedFault,
+    ManualClock,
+    ServingConfig,
+)
+
+
+def _model(graph, block_size=1, seed=0):
+    return create_model(
+        "GCN",
+        in_features=graph.num_features,
+        hidden_features=16,
+        num_classes=graph.num_classes,
+        compression=CompressionConfig(block_size=block_size),
+        seed=seed,
+    )
+
+
+def _server(model, graph, clock=None, **overrides):
+    defaults = dict(num_shards=2, max_batch_size=8, max_delay=0.5, cache_capacity=1024, seed=0)
+    defaults.update(overrides)
+    return InferenceServer(
+        model, graph, ServingConfig(**defaults), clock=clock or ManualClock()
+    )
+
+
+class TestFaultPlan:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(fail_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(fail_rate=0.6, hang_rate=0.6)  # sum > 1
+        with pytest.raises(ValueError):
+            FaultSpec(hang_seconds=-1.0)
+        with pytest.raises(ValueError):
+            FaultSpec(flap_period=4, flap_down=5)
+        with pytest.raises(ValueError):
+            FaultSpec(after=2.0, until=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(())
+
+    def test_decisions_are_deterministic_per_seed(self):
+        spec = FaultSpec(fail_rate=0.2, hang_rate=0.1, slow_rate=0.1)
+        plans = [FaultPlan(spec, seed=42) for _ in range(2)]
+        sequences = [
+            [plan.decide(worker_id, now=0.0) for worker_id in (0, 1, 0, 1, 0) for _ in range(20)]
+            for plan in plans
+        ]
+        assert sequences[0] == sequences[1]
+        assert plans[0].injected == plans[1].injected
+        assert any(decision is not None for decision in sequences[0])
+        # A different seed gives a different schedule.
+        other = FaultPlan(spec, seed=43)
+        assert sequences[0] != [
+            [other.decide(worker_id, now=0.0) for worker_id in (0, 1, 0, 1, 0) for _ in range(20)]
+        ][0]
+
+    def test_worker_streams_are_independent(self):
+        # Worker 1's decisions do not depend on how often worker 0 was asked.
+        spec = FaultSpec(fail_rate=0.5)
+        plan_a = FaultPlan(spec, seed=7)
+        plan_b = FaultPlan(spec, seed=7)
+        for _ in range(10):
+            plan_a.decide(0, now=0.0)  # extra traffic on worker 0 only
+        a = [plan_a.decide(1, now=0.0) for _ in range(10)]
+        b = [plan_b.decide(1, now=0.0) for _ in range(10)]
+        assert a == b
+
+    def test_flap_schedule_is_exact(self):
+        plan = FaultPlan(FaultSpec(flap_period=4, flap_down=2), seed=0)
+        kinds = [plan.decide(0, now=0.0).kind for _ in range(2)]
+        assert kinds == ["raise", "raise"]
+        assert plan.decide(0, now=0.0) is None  # dispatches 2 and 3 are up
+        assert plan.decide(0, now=0.0) is None
+        assert plan.decide(0, now=0.0).kind == "raise"  # next period starts
+
+    def test_time_window_gates_the_spec(self):
+        plan = FaultPlan(FaultSpec(fail_rate=1.0, after=1.0, until=2.0), seed=0)
+        assert plan.decide(0, now=0.5) is None
+        assert plan.decide(0, now=1.0).kind == "raise"
+        assert plan.decide(0, now=2.0) is None  # until is exclusive
+
+    def test_worker_filter_reset_and_describe(self):
+        plan = FaultPlan(FaultSpec(workers=(1,), fail_rate=1.0), seed=0)
+        assert plan.decide(0, now=0.0) is None
+        assert plan.decide(1, now=0.0).kind == "raise"
+        assert plan.total_injected == 1
+        plan.reset()
+        assert plan.total_injected == 0
+        assert "workers [1]" in plan.describe()
+        convenience = FaultPlan.replica_failures(0.25, seed=3)
+        assert convenience.specs[0].fail_rate == 0.25
+
+
+class TestFailover:
+    def test_failed_batches_fail_over_and_answers_stay_exact(self, small_graph):
+        model = _model(small_graph)
+        reference = model.full_forward(small_graph).data.argmax(axis=-1)
+        nodes = np.random.default_rng(3).choice(small_graph.num_nodes, size=96, replace=True)
+        plan = FaultPlan.replica_failures(0.3, seed=11)
+        server = _server(model, small_graph, num_replicas=2, fault_plan=plan)
+        requests = server.submit_many(nodes)
+        server.drain()
+        stats = server.stats()
+        assert stats.worker_failures > 0          # faults really fired
+        assert stats.injected_faults == stats.worker_failures
+        assert stats.failovers > 0                # and siblings picked them up
+        assert all(request.completed for request in requests)
+        for request in requests:
+            assert request.prediction == reference[request.node]
+        assert stats.submitted_requests == len(requests)
+
+    def test_two_shards_failing_in_the_same_round_both_settle(self, small_graph):
+        # Both shards' (only) replicas raise in the same drain round: each
+        # batch exhausts its retries and fails, the round itself survives,
+        # and nothing is left pending.
+        model = _model(small_graph)
+        server = _server(model, small_graph, num_shards=2, num_replicas=1, max_retries=1)
+        server.scheduler.flush_on_submit = False
+        requests = server.submit_many(range(16))
+        assert len({request.shard_id for request in requests}) == 2
+
+        def boom(nodes):
+            raise RuntimeError("replica down")
+
+        for worker in server.workers:
+            worker.predict = boom
+        server.drain()  # must not raise
+        assert all(request.status == "failed" for request in requests)
+        stats = server.stats()
+        assert stats.failed_requests == 16
+        assert stats.submitted_requests == 16
+
+    def test_retry_counts_and_request_metadata(self, small_graph):
+        model = _model(small_graph)
+        plan = FaultPlan(FaultSpec(workers=(0,), fail_rate=1.0), seed=0)
+        server = _server(
+            model, small_graph, num_shards=1, num_replicas=2, fault_plan=plan
+        )
+        server.scheduler.flush_on_submit = False
+        requests = server.submit_many(range(8))
+        server.drain()
+        assert all(request.completed for request in requests)
+        # Whoever was dispatched to worker 0 retried at least once and was
+        # finally served by worker 1.
+        retried = [request for request in requests if request.retries]
+        assert retried
+        assert all(request.worker_id == 1 for request in retried)
+        assert not any(request.stale for request in requests)
+
+    def test_hang_past_deadline_expires_requests_deadline_aware(self, small_graph):
+        # The hang burns more clock than the deadline allows; the retry
+        # machinery must expire those requests rather than retry past it.
+        model = _model(small_graph)
+        clock = ManualClock()
+        plan = FaultPlan(FaultSpec(hang_rate=1.0, hang_seconds=0.2), seed=0)
+        server = _server(
+            model,
+            small_graph,
+            clock=clock,
+            num_shards=1,
+            num_replicas=2,
+            default_timeout=0.05,
+            fault_plan=plan,
+            max_retries=2,
+        )
+        server.scheduler.flush_on_submit = False
+        requests = server.submit_many(range(6))
+        server.drain()
+        assert [request.status for request in requests] == ["expired"] * 6
+        assert clock.now() >= 0.2  # the hang really consumed clock time
+        stats = server.stats()
+        assert stats.expired_requests == 6
+        assert stats.submitted_requests == 6
+
+    def test_slow_faults_complete_but_feed_the_latency_breaker(self, small_graph):
+        model = _model(small_graph)
+        reference = model.full_forward(small_graph).data.argmax(axis=-1)
+        plan = FaultPlan(FaultSpec(workers=(0,), slow_rate=1.0, slow_seconds=0.05), seed=0)
+        server = _server(
+            model,
+            small_graph,
+            num_shards=1,
+            num_replicas=2,
+            fault_plan=plan,
+            health_latency_threshold=0.01,
+            health_cooldown=100.0,
+        )
+        nodes = np.arange(32)
+        predictions = server.predict(nodes)
+        assert np.array_equal(predictions, reference[nodes])
+        # Worker 0 answered (slowly) at least once, tripped the latency
+        # breaker, and dispatch routed the rest to worker 1.
+        assert server.health.state(0, server.clock.now()) == "open"
+        loads = {load.worker_id: load for load in server.stats().workers}
+        assert loads[1].nodes > loads[0].nodes
+
+    def test_zero_rate_plan_changes_nothing(self, small_graph):
+        model = _model(small_graph)
+        nodes = np.random.default_rng(5).choice(small_graph.num_nodes, size=64, replace=True)
+        results = {}
+        for label, plan in (
+            ("none", None),
+            ("zero", FaultPlan(FaultSpec(fail_rate=0.0), seed=0)),
+        ):
+            server = _server(model, small_graph, num_replicas=2, fault_plan=plan)
+            predictions = server.predict(nodes)
+            stats = server.stats()
+            results[label] = (predictions, stats.worker_failures, stats.injected_faults)
+            server.shutdown()
+        assert np.array_equal(results["none"][0], results["zero"][0])
+        assert results["zero"][1] == 0 and results["zero"][2] == 0
+
+
+class TestDegradedServing:
+    def _dead_replica_server(self, model, graph, **overrides):
+        # Breakers trip on the first failure and never cool down, so once
+        # the (windowed, total) fault plan kicks in the shard goes dark.
+        plan = FaultPlan(FaultSpec(fail_rate=1.0, after=1.0), seed=0)
+        defaults = dict(
+            num_shards=1,
+            num_replicas=2,
+            fault_plan=plan,
+            health_failure_threshold=1,
+            health_cooldown=1e6,
+            max_retries=2,
+        )
+        defaults.update(overrides)
+        return _server(model, graph, **defaults)
+
+    def test_stale_ok_serves_cached_rows_and_fails_true_misses(self, small_graph):
+        model = _model(small_graph)
+        reference = model.full_forward(small_graph).data.argmax(axis=-1)
+        server = self._dead_replica_server(
+            model, small_graph, degraded_policy="stale_ok"
+        )
+        warm_nodes = list(range(24))
+        assert np.array_equal(server.predict(warm_nodes), reference[warm_nodes])
+        server.clock.advance(2.0)  # enter the fault window: every replica dies
+        server.scheduler.flush_on_submit = False
+        cold_node = small_graph.num_nodes - 1  # never requested: a true miss
+        assert cold_node not in warm_nodes
+        requests = server.submit_many(warm_nodes[:6] + [cold_node])
+        server.drain()
+        warm_requests, miss_request = requests[:6], requests[-1]
+        assert all(request.completed and request.stale for request in warm_requests)
+        for request in warm_requests:
+            assert request.prediction == reference[request.node]
+        assert miss_request.status == "failed"
+        assert not miss_request.stale
+        stats = server.stats()
+        assert stats.degraded_requests == 6
+        assert stats.failed_requests == 1
+        assert "served stale" in stats.render()
+
+    def test_fail_policy_fails_the_whole_batch(self, small_graph):
+        model = _model(small_graph)
+        server = self._dead_replica_server(model, small_graph, degraded_policy="fail")
+        server.predict(list(range(24)))  # warm anyway: must not matter
+        server.clock.advance(2.0)
+        server.scheduler.flush_on_submit = False
+        requests = server.submit_many(range(6))
+        server.drain()
+        assert all(request.status == "failed" for request in requests)
+        assert server.stats().degraded_requests == 0
+
+
+class TestHaloEpochGuard:
+    def test_stale_epoch_publishes_are_discarded(self):
+        store = HaloStore(10, np.arange(10))
+        fresh = store.epoch
+        store.publish(1, [0, 1], np.ones((2, 3)), epoch=fresh)
+        assert store.contains(1, 0)
+        stale = store.epoch
+        store.bump_epoch()
+        store.publish(1, [2, 3], np.ones((2, 3)), epoch=stale)
+        assert not store.contains(1, 2)
+        assert store.stats.discarded == 2
+        store.publish(1, [4], np.ones((1, 3)), epoch=store.epoch)
+        assert store.contains(1, 4)
+        # Publishes that never sampled an epoch keep working (legacy callers).
+        store.publish(1, [5], np.ones((1, 3)))
+        assert store.contains(1, 5)
+
+    def test_worker_failure_bumps_the_server_epoch(self, small_graph):
+        model = _model(small_graph)
+        plan = FaultPlan(FaultSpec(workers=(0,), fail_rate=1.0), seed=0)
+        server = _server(model, small_graph, num_shards=1, num_replicas=2, fault_plan=plan)
+        assert server.halo_store is not None
+        before = server.halo_store.epoch
+        server.predict(range(8))
+        assert server.halo_store.epoch > before
+
+
+GRAPH = synthetic_graph(
+    num_nodes=48, num_edges=180, num_features=8, num_classes=3, seed=11, name="faults-graph"
+)
+MODEL = create_model(
+    "GCN",
+    in_features=GRAPH.num_features,
+    hidden_features=8,
+    num_classes=GRAPH.num_classes,
+    compression=CompressionConfig(block_size=4),
+    seed=0,
+)
+REFERENCE = MODEL.full_forward(GRAPH).data.argmax(axis=-1)
+
+
+def _operations():
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("submit"), st.integers(0, GRAPH.num_nodes - 1)),
+            st.tuples(st.just("advance"), st.floats(0.01, 1.0)),
+            st.tuples(st.just("poll"), st.just(0)),
+            st.tuples(st.just("drain"), st.just(0)),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    operations=_operations(),
+    num_replicas=st.integers(1, 2),
+    fail_rate=st.floats(0.0, 0.6),
+    hang_rate=st.floats(0.0, 0.2),
+    slow_rate=st.floats(0.0, 0.2),
+    flap=st.booleans(),
+    fault_seed=st.integers(0, 5),
+    max_retries=st.integers(0, 2),
+    degraded_policy=st.sampled_from(["fail", "stale_ok"]),
+    default_timeout=st.one_of(st.none(), st.floats(0.05, 0.5)),
+)
+def test_every_request_terminates_exactly_once_under_any_fault_plan(
+    operations,
+    num_replicas,
+    fail_rate,
+    hang_rate,
+    slow_rate,
+    flap,
+    fault_seed,
+    max_retries,
+    degraded_policy,
+    default_timeout,
+):
+    plan = FaultPlan(
+        FaultSpec(
+            fail_rate=fail_rate,
+            hang_rate=hang_rate,
+            slow_rate=slow_rate,
+            hang_seconds=0.6,
+            slow_seconds=0.01,
+            flap_period=5 if flap else 0,
+            flap_down=2 if flap else 0,
+        ),
+        seed=fault_seed,
+    )
+    clock = ManualClock()
+    server = InferenceServer(
+        MODEL,
+        GRAPH,
+        ServingConfig(
+            num_shards=2,
+            num_replicas=num_replicas,
+            max_batch_size=4,
+            max_delay=0.2,
+            cache_capacity=64,
+            fault_plan=plan,
+            max_retries=max_retries,
+            degraded_policy=degraded_policy,
+            health_failure_threshold=2,
+            health_cooldown=0.1,
+            default_timeout=default_timeout,
+            seed=0,
+        ),
+        clock=clock,
+    )
+
+    requests = []
+    for operation, value in operations:
+        if operation == "submit":
+            requests.append(server.submit(value))
+        elif operation == "advance":
+            clock.advance(value)
+        elif operation == "poll":
+            server.poll()
+        else:
+            server.drain()
+    server.shutdown()  # final drain: nothing may stay pending
+
+    # Exactly-once termination, under any fault schedule.
+    assert all(request.status in TERMINAL_STATUSES for request in requests)
+    assert all(request.done for request in requests)
+    for request in requests:
+        if request.status == "completed":
+            # Stale or fresh, a completed answer is the exact answer (the
+            # weights never changed, so cached rows equal recomputed ones).
+            assert request.prediction == REFERENCE[request.node]
+        else:
+            assert request.prediction is None
+            assert not request.stale
+
+    # The ledger balances: nothing dropped, nothing double-counted.
+    stats = server.stats()
+    assert stats.submitted_requests == len(requests)
+    assert stats.completed_requests == sum(r.status == "completed" for r in requests)
+    assert stats.failed_requests == sum(r.status == "failed" for r in requests)
+    assert stats.expired_requests == sum(r.status == "expired" for r in requests)
+    assert stats.degraded_requests == sum(r.stale for r in requests)
+    assert server.batcher.pending == 0
+
+
+def test_injected_fault_is_a_runtime_error():
+    # Callers that caught RuntimeError for PR-3 worker crashes keep working.
+    assert issubclass(InjectedFault, RuntimeError)

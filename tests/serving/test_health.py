@@ -1,0 +1,114 @@
+"""Unit tests for the per-replica circuit breaker (``repro.serving.health``).
+
+State machine under test: ``closed`` → (``failure_threshold`` consecutive
+failures, or a latency EWMA past ``latency_threshold``) → ``open`` →
+(cooldown elapses) → ``half_open`` probe → success closes / failure re-opens.
+All transitions are pure clock arithmetic, so every schedule here is exact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import HealthTracker
+
+
+def _tracker(**overrides):
+    defaults = dict(failure_threshold=3, cooldown=1.0, latency_threshold=None)
+    defaults.update(overrides)
+    return HealthTracker([0, 1], **defaults)
+
+
+class TestBreakerLifecycle:
+    def test_starts_closed_and_available(self):
+        tracker = _tracker()
+        assert tracker.state(0, now=0.0) == "closed"
+        assert tracker.available(0, now=0.0)
+        assert tracker.healthy(0, now=0.0)
+
+    def test_opens_after_consecutive_failures(self):
+        tracker = _tracker(failure_threshold=3)
+        for _ in range(2):
+            tracker.record_failure(0, now=0.0)
+        assert tracker.state(0, now=0.0) == "closed"  # threshold not reached
+        tracker.record_failure(0, now=0.0)
+        assert tracker.state(0, now=0.0) == "open"
+        assert not tracker.available(0, now=0.5)
+        # The sibling is unaffected.
+        assert tracker.state(1, now=0.0) == "closed"
+
+    def test_success_resets_the_consecutive_count(self):
+        tracker = _tracker(failure_threshold=2)
+        tracker.record_failure(0, now=0.0)
+        tracker.record_success(0, now=0.0, latency=0.001)
+        tracker.record_failure(0, now=0.0)
+        assert tracker.state(0, now=0.0) == "closed"  # 1 + reset + 1, never 2
+
+    def test_half_open_after_cooldown_then_probe_closes(self):
+        tracker = _tracker(failure_threshold=1, cooldown=1.0)
+        tracker.record_failure(0, now=0.0)
+        assert tracker.state(0, now=0.5) == "open"
+        assert tracker.state(0, now=1.0) == "half_open"
+        assert tracker.available(0, now=1.0)  # exactly one probe is admitted
+        tracker.record_success(0, now=1.0, latency=0.001)
+        assert tracker.state(0, now=1.0) == "closed"
+        assert tracker.snapshot(0).probes == 1
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self):
+        tracker = _tracker(failure_threshold=1, cooldown=1.0)
+        tracker.record_failure(0, now=0.0)
+        tracker.record_failure(0, now=1.0)  # the probe fails
+        assert tracker.state(0, now=1.5) == "open"      # cooldown restarted at 1.0
+        assert tracker.state(0, now=2.0) == "half_open"  # next probe window
+
+    def test_opens_counter_counts_trips(self):
+        tracker = _tracker(failure_threshold=1, cooldown=1.0)
+        tracker.record_failure(0, now=0.0)
+        tracker.record_success(0, now=1.0, latency=0.001)  # probe closes it
+        tracker.record_failure(0, now=2.0)
+        assert tracker.snapshot(0).opens == 2
+
+
+class TestLatencyTrip:
+    def test_slow_ewma_opens_the_breaker(self):
+        tracker = _tracker(latency_threshold=0.01, cooldown=1.0)
+        # Successes, but consistently far above the threshold: the breaker
+        # opens even though nothing ever failed.
+        for step in range(5):
+            tracker.record_success(0, now=float(step), latency=0.1)
+        assert tracker.state(0, now=4.5) == "open"
+        assert tracker.snapshot(0).latency_ewma > 0.01
+
+    def test_fast_replies_keep_it_closed_and_recover_it(self):
+        tracker = _tracker(latency_threshold=0.01, cooldown=0.0)
+        tracker.record_success(0, now=0.0, latency=0.1)   # trip
+        assert tracker.state(0, now=0.0) != "closed"
+        # cooldown=0: immediately probing; fast probes pull the EWMA back down.
+        for step in range(20):
+            tracker.record_success(0, now=1.0 + step, latency=0.0001)
+        assert tracker.state(0, now=21.0) == "closed"
+
+
+class TestPartition:
+    def test_partition_splits_closed_and_probing(self):
+        tracker = _tracker(failure_threshold=1, cooldown=1.0)
+        tracker.record_failure(1, now=0.0)
+        assert tracker.partition([0, 1], now=0.5) == ([0], [])   # 1 still cooling
+        assert tracker.partition([0, 1], now=1.0) == ([0], [1])  # 1 probes now
+
+    def test_reset_restores_pristine_state(self):
+        tracker = _tracker(failure_threshold=1)
+        tracker.record_failure(0, now=0.0)
+        tracker.reset()
+        assert tracker.state(0, now=0.0) == "closed"
+        assert tracker.snapshot(0).failures == 0
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            HealthTracker([0], failure_threshold=0)
+        with pytest.raises(ValueError):
+            HealthTracker([0], cooldown=-1.0)
+        with pytest.raises(ValueError):
+            HealthTracker([0], latency_threshold=0.0)
