@@ -20,6 +20,7 @@ Refreshing baselines after an intentional change::
         python -m pytest benchmarks/bench_serving.py \
         benchmarks/bench_serving_hotpath.py benchmarks/bench_serving_halo.py \
         benchmarks/bench_serving_faults.py \
+        benchmarks/bench_serving_telemetry.py \
         -q --benchmark-disable
     cp benchmarks/results/BENCH_<gate>.json benchmarks/baselines/
 """
@@ -41,6 +42,7 @@ FLOOR_METRICS: Dict[str, List[str]] = {
     "serving_halo_cold": ["speedup_halo_cold", "halo_hit_rate"],
     "serving_halo_plan_cache": ["plan_speedup", "hit_rate"],
     "serving_faults": ["throughput_ratio"],
+    "serving_telemetry": ["metrics_ratio", "trace_ratio"],
 }
 
 

@@ -241,6 +241,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="what a shard with zero healthy replicas serves (stale_ok: cached rows)",
     )
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--telemetry",
+        choices=["off", "metrics", "trace"],
+        default="metrics",
+        help="observability: off (no accounting), metrics (registry), trace "
+        "(registry + per-request spans)",
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the measured run's Chrome trace-event JSON here "
+        "(open in Perfetto / chrome://tracing; implies --telemetry trace)",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the measured run's metrics here (.prom/.txt: Prometheus "
+        "text exposition, anything else: JSON snapshot)",
+    )
+    serve.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=4096,
+        help="request spans / attempt records kept in the tracer rings",
+    )
 
     return parser
 
@@ -477,12 +504,18 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
         )
         return FaultPlan(spec, seed=args.fault_seed)
 
+    # --trace-out needs the tracer, whatever --telemetry says.
+    telemetry_mode = args.telemetry
+    if args.trace_out is not None and telemetry_mode != "trace":
+        telemetry_mode = "trace"
+
     def build_server(
         batch_size: int,
         cache: int,
         executor: str,
         hot_path: str = args.hot_path,
         faulty: bool = False,
+        telemetry: str = "metrics",
     ) -> InferenceServer:
         return InferenceServer(
             model,
@@ -512,6 +545,8 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
                 retry_backoff=args.retry_backoff_ms / 1e3,
                 retry_backoff_cap=max(args.retry_backoff_ms / 1e3 * 8, args.retry_backoff_ms / 1e3),
                 degraded_policy=args.degraded_policy,
+                telemetry=telemetry,
+                trace_capacity=args.trace_capacity,
                 seed=args.seed,
             ),
         )
@@ -538,13 +573,41 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
     # Only the main measured server takes the fault plan (if any): the naive
     # baseline and the executor/hot-path comparisons stay fault-free so the
     # printed ratios keep meaning "engine vs no engine", not "faults vs none".
-    server = build_server(args.batch_size, args.cache, args.executor, faulty=True)
+    server = build_server(
+        args.batch_size, args.cache, args.executor, faulty=True, telemetry=telemetry_mode
+    )
     batched_seconds = timed_stream(server)
     cold = server.stats()
 
+    # reset_stats opens a fresh telemetry window, so the exported metrics and
+    # trace below describe the warm pass only.
     server.reset_stats()
     warm_seconds = timed_stream(server)
     warm = server.stats()
+
+    # Per-shard measured stage cost of the warm pass (before shutdown), for
+    # the predicted-vs-measured table.
+    measured_per_shard = {}
+    for worker in server.workers:
+        seconds, served = measured_per_shard.get(worker.shard.part_id, (0.0, 0))
+        measured_per_shard[worker.shard.part_id] = (
+            seconds + sum(worker.timings.totals.values()),
+            served + worker.nodes_served,
+        )
+
+    export_lines = []
+    if args.metrics_out is not None:
+        server.telemetry.write_metrics(args.metrics_out)
+        export_lines.append(f"  metrics (warm pass) -> {args.metrics_out}")
+    if args.trace_out is not None:
+        server.telemetry.write_trace(args.trace_out)
+        tracer = server.tracer
+        export_lines.append(
+            f"  chrome trace (warm pass) -> {args.trace_out} "
+            f"({len(tracer.finished())} request spans, "
+            f"{len(tracer.attempts())} attempts, "
+            f"{tracer.dropped_traces} dropped)"
+        )
     server.shutdown()
 
     # Concurrent-vs-serial: replay the cold stream under both executors (no
@@ -583,11 +646,24 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
         num_layers=model.num_layers,
         sample_sizes=fanouts,
     )
-    cycle_lines = "\n".join(
-        f"  shard {shard.part_id}: {estimate.cycles_per_node:.0f} cycles/request "
-        f"({estimate.cycles_per_node / estimate.config.frequency_hz * 1e6:.1f} us @ 100 MHz)"
-        for shard, estimate in zip(server.shards, estimates)
-    )
+    # Predicted (perfmodel cycles on the CirCore accelerator) vs measured
+    # (warm-pass stage seconds on this host) per request, per shard.  The
+    # two columns run on different hardware, so the interesting signal is
+    # how the *ratio across shards* tracks: a shard the model prices high
+    # should also measure high.
+    cycle_lines = []
+    for shard, estimate in zip(server.shards, estimates):
+        predicted_us = estimate.cycles_per_node / estimate.config.frequency_hz * 1e6
+        seconds, served = measured_per_shard.get(shard.part_id, (0.0, 0))
+        if served > 0:
+            measured = f"{seconds / served * 1e6:9.1f} us/request ({served} nodes)"
+        else:
+            measured = "      n/a (no warm traffic)"
+        cycle_lines.append(
+            f"  shard {shard.part_id}: predicted {estimate.cycles_per_node:9.0f} cycles/request "
+            f"({predicted_us:7.1f} us @ 100 MHz)   measured {measured}"
+        )
+    cycle_lines = "\n".join(cycle_lines)
     executor_comparison = "\n".join(executor_lines)
     hotpath_comparison = (
         "--- hot-path comparison (legacy = PR-3 reference) ---\n"
@@ -612,7 +688,8 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
         f"--- executor comparison ({args.shards} shards, cold, no cache) ---\n"
         f"{executor_comparison}\n"
         f"{hotpath_comparison}"
-        f"--- perfmodel: estimated accelerator cost per request ---\n{cycle_lines}"
+        f"--- perfmodel: predicted vs measured cost per request ---\n{cycle_lines}"
+        + ("\n--- telemetry exports ---\n" + "\n".join(export_lines) if export_lines else "")
     )
 
 

@@ -362,6 +362,16 @@ class PlanCacheStats:
             evictions=self.evictions + other.evictions,
         )
 
+    def as_dict(self) -> dict:
+        """Event-name → count view (the telemetry gauge mirror exports this)."""
+        return {
+            "exact_hits": self.exact_hits,
+            "subset_hits": self.subset_hits,
+            "superset_hits": self.superset_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
 
 class PlanCache:
     """LRU of ``(layer, miss-set signature)`` → :class:`Restriction`, with

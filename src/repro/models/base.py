@@ -46,7 +46,11 @@ def stage_scope(timer, name: str):
     """``timer.stage(name)`` when a stage timer is supplied, else a no-op scope.
 
     Keeps the layers free of any dependency on the serving package: a timer
-    is whatever exposes ``stage(name) -> context manager``.
+    is whatever exposes ``stage(name) -> context manager``.  The serving
+    :class:`~repro.serving.StageTimer` returns a *cached* scope per stage
+    name (and, when telemetry is on, mirrors each exit into a labelled
+    latency histogram), so entering a scope here allocates nothing on the
+    hot path.
     """
     return timer.stage(name) if timer is not None else contextlib.nullcontext()
 

@@ -37,10 +37,19 @@ trained (optionally block-circulant-compressed) GNN:
   replicas can serve cache/halo-resident rows as ``stale`` completions
   (``degraded_policy="stale_ok"``);
 * :class:`InferenceServer` ties it together and exposes :class:`ServerStats`
-  (p50/p95/p99 latency, cache hit rate, per-shard load, overload counters,
-  fault/failover counters, executor concurrency) plus a perfmodel bridge
-  (:func:`estimate_shard_request_cycles`) pricing requests in accelerator
-  cycles per shard.
+  (p50/p95/p99/p99.9 latency, cache hit rate, per-shard load, overload
+  counters, fault/failover counters, executor concurrency) plus a perfmodel
+  bridge (:func:`estimate_shard_request_cycles`) pricing requests in
+  accelerator cycles per shard;
+* observability rides on :mod:`repro.telemetry`: the engine owns a
+  :class:`~repro.telemetry.Telemetry` handle whose
+  :class:`~repro.telemetry.MetricsRegistry` holds every serving counter and
+  latency histogram (:class:`ServingMetrics` names them), and — in
+  ``telemetry="trace"`` mode — a :class:`~repro.telemetry.RequestTracer`
+  records per-request span trees (submit → queue → dispatch attempts with
+  breaker/fault/backoff detail → terminal state) exportable as Prometheus
+  text, JSON snapshots, or Chrome ``traceEvents``.  ``ServerStats`` is a
+  *view* over the registry, so the frozen-dataclass API is unchanged.
 """
 
 from ..graph.restriction import PlanCache, PlanCacheStats
@@ -52,6 +61,7 @@ from .engine import InferenceServer
 from .executor import ConcurrentExecutor, FlushExecutor, SerialExecutor, make_executor
 from .faults import FAULT_KINDS, FaultDecision, FaultPlan, FaultSpec, InjectedFault, ReplicaHung
 from .health import HealthTracker, ReplicaHealth
+from .metrics import ServingMetrics
 from .scheduler import Scheduler
 from .shard import GraphShard, build_shards, expand_neighborhood
 from .stats import ServerStats, WorkerLoad, estimate_shard_request_cycles
@@ -95,6 +105,7 @@ __all__ = [
     "HealthTracker",
     "ReplicaHealth",
     "InferenceServer",
+    "ServingMetrics",
     "ServerStats",
     "WorkerLoad",
     "estimate_shard_request_cycles",

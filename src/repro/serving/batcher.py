@@ -138,6 +138,13 @@ class MicroBatcher:
         self.size_flushes = 0
         self.delay_flushes = 0
         self.forced_flushes = 0
+        # Optional labelled sinks: cause -> per-shard counter children
+        # (bound by the engine from its ServingMetrics schema).
+        self._flush_counters = None
+
+    def bind_metrics(self, flush_counters) -> None:
+        """Mirror flush causes into per-(shard, cause) registry counters."""
+        self._flush_counters = flush_counters
 
     @property
     def pending(self) -> int:
@@ -198,10 +205,15 @@ class MicroBatcher:
             return batch
         if forced:
             self.forced_flushes += 1
+            cause = "forced"
         elif len(batch) >= self.max_batch_size:
             self.size_flushes += 1
+            cause = "size"
         else:
             self.delay_flushes += 1
+            cause = "delay"
+        if self._flush_counters is not None:
+            self._flush_counters[cause][shard_id].inc()
         return batch
 
     def nonempty_shards(self) -> List[int]:

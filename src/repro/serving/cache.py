@@ -101,6 +101,17 @@ class CacheStats:
             discarded=self.discarded + other.discarded,
         )
 
+    def as_dict(self) -> dict:
+        """Event-name → count view (the telemetry gauge mirror exports this)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "discarded": self.discarded,
+        }
+
 
 class _LayerSlab:
     """One layer's storage: contiguous value slab + node↔slot index maps."""

@@ -127,6 +127,16 @@ class ServingConfig:
         seconds; a latency EWMA above ``health_latency_threshold`` (``None``
         disables the latency trip) also opens it so dispatch prefers faster
         siblings.
+    telemetry, trace_capacity:
+        Observability mode (see :data:`repro.telemetry.TELEMETRY_MODES`):
+        ``"metrics"`` (default) records labelled counters/histograms into the
+        server's :class:`~repro.telemetry.MetricsRegistry`; ``"trace"``
+        additionally records one root span per request plus per-dispatch
+        attempt records into a ring of ``trace_capacity`` entries
+        (``InferenceServer.telemetry`` exposes the exporters); ``"off"``
+        compiles telemetry out (null registry, no tracer — note
+        ``ServerStats`` counters then read zero; intended for overhead
+        baselines only).
     seed:
         Seeds partitioning and the per-worker samplers (determinism).
     """
@@ -160,6 +170,8 @@ class ServingConfig:
     health_failure_threshold: int = 3
     health_cooldown: float = 0.05
     health_latency_threshold: Optional[float] = None
+    telemetry: str = "metrics"
+    trace_capacity: int = 4096
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -223,3 +235,11 @@ class ServingConfig:
             raise ValueError(
                 "health_latency_threshold must be positive (or None to disable)"
             )
+        from ..telemetry import TELEMETRY_MODES
+
+        if self.telemetry not in TELEMETRY_MODES:
+            raise ValueError(
+                f"telemetry must be one of {TELEMETRY_MODES}, got {self.telemetry!r}"
+            )
+        if self.trace_capacity < 1:
+            raise ValueError("trace_capacity must be >= 1")

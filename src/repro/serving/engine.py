@@ -60,12 +60,14 @@ from .batcher import (
     MicroBatcher,
 )
 from ..graph.restriction import PlanCacheStats
+from ..telemetry import Telemetry
 from .cache import CacheStats, EmbeddingCache, HaloStore, LegacyEmbeddingCache
 from .clock import Clock, SystemClock
 from .config import ServingConfig
 from .executor import make_executor
 from .faults import InjectedFault, ReplicaHung
 from .health import HealthTracker
+from .metrics import ServingMetrics
 from .scheduler import Scheduler
 from .shard import GraphShard, build_shards
 from .stats import ServerStats, WorkerLoad
@@ -194,20 +196,34 @@ class InferenceServer:
         self._request_counter = 0
         self._latencies: List[float] = []
         self._batch_sizes: List[int] = []
-        self._completed = 0
-        self._rejected = 0
-        self._shed = 0
-        self._expired = 0
-        self._failed = 0
-        self._retried = 0
-        self._failovers = 0
-        self._degraded = 0
-        self._worker_failures = 0
-        self._block_waits = 0
-        self._block_self_flushes = 0
         self._first_enqueue: Optional[float] = None
         self._last_completion: Optional[float] = None
         self._closed = False
+
+        # Telemetry plane: every counter ServerStats reports lives in the
+        # registry (ServerStats is a *view* over it); the tracer (telemetry
+        # mode "trace") records per-request root spans and batch-level
+        # dispatch attempts.  With telemetry "off" the registry is null and
+        # the tracer is None, so the hot path degrades to no-op calls and
+        # `is not None` checks.
+        self.telemetry = Telemetry(self.config.telemetry, self.config.trace_capacity)
+        self.tracer = self.telemetry.tracer
+        self._metrics = ServingMetrics(
+            self.telemetry.registry, len(self.shards), [w.worker_id for w in self.workers]
+        )
+        if self.telemetry.enabled:
+            self.batcher.bind_metrics(self._metrics.flushes)
+            self.scheduler.bind_metrics(self._metrics.flush_rounds)
+            self.health.bind_metrics(
+                self._metrics.replica_failures, self._metrics.breaker_opens
+            )
+            if self.faults is not None:
+                self.faults.bind_metrics(self._metrics.faults)
+            for worker in self.workers:
+                worker.timings.bind_histograms(
+                    self._metrics.stage_seconds, worker.worker_id
+                )
+            self.telemetry.add_collector(self._collect_gauges)
 
     def _build_halo_store(self) -> Optional[HaloStore]:
         """The shared boundary-embedding tier, when the config and topology
@@ -311,6 +327,9 @@ class InferenceServer:
         self._request_counter += 1
         if self._first_enqueue is None:
             self._first_enqueue = now
+        if self.tracer is not None:
+            # Before admission: rejected requests get a root span too.
+            self.tracer.on_submit(request.request_id, node, request.shard_id, now)
         if self._admit(request):
             self.scheduler.on_submit()
         return request
@@ -326,6 +345,24 @@ class InferenceServer:
     #: change forgets a notify.
     _BLOCK_WAIT_TIMEOUT = 0.05
 
+    def _terminal(self, request: InferenceRequest, status: str, now: float) -> None:
+        """One request reaches its terminal state: ledger counter + root span.
+
+        Callers hold the engine lock (or are otherwise serialised for this
+        request); ``request._finish`` enforces exactly-once.
+        """
+        request._finish(status, now)
+        self._metrics.requests[status][request.shard_id].inc()
+        if self.tracer is not None:
+            self.tracer.on_terminal(
+                request.request_id,
+                status,
+                now,
+                worker_id=request.worker_id,
+                retries=request.retries,
+                stale=request.stale,
+            )
+
     def _admit(self, request: InferenceRequest) -> bool:
         """Apply the overload policy; returns False when ``request`` was rejected."""
         shard_id = request.shard_id
@@ -333,14 +370,12 @@ class InferenceServer:
             policy = self.config.overload_policy
             if policy == "reject":
                 with self._lock:
-                    request._finish(REJECTED, self.clock.now())
-                    self._rejected += 1
+                    self._terminal(request, REJECTED, self.clock.now())
                 return False
             if policy == "shed_oldest":
                 with self._lock:
                     victim = self.batcher.shed_oldest(shard_id)
-                    victim._finish(SHED, self.clock.now())
-                    self._shed += 1
+                    self._terminal(victim, SHED, self.clock.now())
             else:  # block: backpressure — wait for room (or make it ourselves)
                 return self._admit_blocking(request)
         with self._lock:
@@ -362,17 +397,16 @@ class InferenceServer:
             flush_self = False
             with self._capacity:
                 if self._closed:
-                    request._finish(REJECTED, self.clock.now())
-                    self._rejected += 1
+                    self._terminal(request, REJECTED, self.clock.now())
                     return False
                 if not self.batcher.is_full(shard_id):
                     self.batcher.enqueue(request)
                     return True
                 if self._inflight_flushes > 0:
-                    self._block_waits += 1
+                    self._metrics.block_waits.inc()
                     self._capacity.wait(timeout=self._BLOCK_WAIT_TIMEOUT)
                 else:
-                    self._block_self_flushes += 1
+                    self._metrics.block_self_flushes.inc()
                     flush_self = True
             if flush_self:
                 self._flush(shard_id, forced=True)
@@ -475,11 +509,18 @@ class InferenceServer:
                 return 0
             self._capacity.notify_all()  # queue depth dropped: wake blocked submitters
             now = self.clock.now()
+            if self.telemetry.enabled:
+                self._metrics.queue_wait[shard_id].observe_many(
+                    [now - request.enqueue_time for request in batch]
+                )
+                if self.tracer is not None:
+                    self.tracer.on_dequeue(
+                        [request.request_id for request in batch], now
+                    )
             live: List[InferenceRequest] = []
             for request in batch:
                 if request.deadline is not None and now >= request.deadline:
-                    request._finish(EXPIRED, now)
-                    self._expired += 1
+                    self._terminal(request, EXPIRED, now)
                 else:
                     live.append(request)
             if not live:
@@ -495,8 +536,7 @@ class InferenceServer:
                 now = self.clock.now()
                 for request in live:
                     if not request.done:
-                        request._finish(FAILED, now)
-                        self._failed += 1
+                        self._terminal(request, FAILED, now)
             raise
         finally:
             with self._lock:
@@ -516,6 +556,7 @@ class InferenceServer:
         """
         tried: set = set()
         attempt = 0
+        tracer = self.tracer
         while live:
             worker = self._pick_worker(shard_id, self.clock.now(), exclude=tried)
             if worker is None:
@@ -523,9 +564,25 @@ class InferenceServer:
                 return
             nodes = np.array([request.node for request in live], dtype=np.int64)
             start = self.clock.now()
+            record = None
+            fault_info: dict = {}
+            if tracer is not None:
+                # One attempt record per batch dispatch — the granularity at
+                # which the fault plan and the health tracker are consulted,
+                # so failed attempt records and HealthTracker failure counts
+                # match one for one.
+                record = tracer.attempt(
+                    shard_id,
+                    worker.worker_id,
+                    [request.request_id for request in live],
+                    attempt,
+                    self.health.state(worker.worker_id, start),
+                    start,
+                )
+                stages_before = worker.timings.snapshot()
             try:
-                predictions = self._attempt(worker, nodes)
-            except Exception:
+                predictions = self._attempt(worker, nodes, fault_info)
+            except Exception as exc:
                 now = self.clock.now()
                 self.health.record_failure(worker.worker_id, now)
                 if self.halo_store is not None:
@@ -535,53 +592,85 @@ class InferenceServer:
                     self.halo_store.bump_epoch()
                 tried.add(worker.worker_id)
                 attempt += 1
+                fault = fault_info.get("kind", type(exc).__name__)
+                backoff = 0.0
+                survivors: List[InferenceRequest] = []
                 with self._lock:
-                    self._worker_failures += 1
+                    self._metrics.worker_failures.inc()
                     if attempt > self.config.max_retries:
                         for request in live:
-                            request._finish(FAILED, now)
-                        self._failed += len(live)
+                            self._terminal(request, FAILED, now)
+                        if record is not None:
+                            tracer.end_attempt(record, now, "error", fault=fault)
                         return
                     backoff = min(
                         self.config.retry_backoff * (2 ** (attempt - 1)),
                         self.config.retry_backoff_cap,
                     )
-                    survivors: List[InferenceRequest] = []
                     for request in live:
                         if request.deadline is not None and request.deadline <= now + backoff:
-                            request._finish(EXPIRED, now)
-                            self._expired += 1
+                            self._terminal(request, EXPIRED, now)
                         else:
                             request.retries += 1
                             survivors.append(request)
-                    self._retried += len(survivors)
+                    if survivors:
+                        self._metrics.retries[shard_id].inc(len(survivors))
+                if record is not None:
+                    tracer.end_attempt(
+                        record,
+                        now,
+                        "error",
+                        fault=fault,
+                        backoff=backoff if survivors else 0.0,
+                    )
                 live = survivors
                 if live and backoff > 0:
                     self.clock.sleep(backoff)
                 continue
 
-            latency = self.clock.now() - start
-            self.health.record_success(worker.worker_id, self.clock.now(), latency)
+            end = self.clock.now()
+            latency = end - start
+            self.health.record_success(worker.worker_id, end, latency)
+            if record is not None:
+                after = worker.timings.snapshot()
+                stages = {
+                    name: after[name] - stages_before.get(name, 0.0) for name in after
+                }
+                tracer.end_attempt(
+                    record, end, "ok", fault=fault_info.get("kind"), stages=stages
+                )
             with self._lock:
                 now = self.clock.now()
                 if tried and worker.worker_id not in tried:
-                    self._failovers += 1
+                    self._metrics.failovers[shard_id].inc()
                 for request, prediction in zip(live, predictions):
                     request.prediction = int(prediction)
                     request.worker_id = worker.worker_id
                     request.batch_size = len(live)
-                    request._finish(COMPLETED, now)
+                    self._terminal(request, COMPLETED, now)
                     self._latencies.append(request.latency)
-                self._completed += len(live)
                 self._batch_sizes.append(len(live))
+                if self.telemetry.enabled:
+                    self._metrics.latency[shard_id].observe_many(
+                        self._latencies[-len(live):]
+                    )
+                    self._metrics.batch_size[shard_id].observe(len(live))
                 self._last_completion = now
             return
 
-    def _attempt(self, worker: ShardWorker, nodes: np.ndarray) -> np.ndarray:
-        """One dispatch to one replica, with the fault plan consulted first."""
+    def _attempt(
+        self, worker: ShardWorker, nodes: np.ndarray, fault_info: Optional[dict] = None
+    ) -> np.ndarray:
+        """One dispatch to one replica, with the fault plan consulted first.
+
+        ``fault_info`` (when given) surfaces the injected-fault kind to the
+        tracer: it gains a ``"kind"`` entry whenever the plan fired.
+        """
         if self.faults is not None:
             decision = self.faults.decide(worker.worker_id, self.clock.now())
             if decision is not None:
+                if fault_info is not None:
+                    fault_info["kind"] = decision.kind
                 if decision.kind == "raise":
                     raise InjectedFault(
                         f"injected failure on worker {worker.worker_id}"
@@ -645,6 +734,7 @@ class InferenceServer:
         cache or the shared halo tier — flagged ``stale``, since nothing was
         recomputed — and fails only the true misses.
         """
+        start = self.clock.now()
         nodes = np.array([request.node for request in live], dtype=np.int64)
         hit = np.zeros(len(nodes), dtype=bool)
         predictions = np.full(len(nodes), -1, dtype=np.int64)
@@ -664,18 +754,58 @@ class InferenceServer:
                     request.prediction = int(prediction)
                     request.stale = True
                     request.batch_size = served
-                    request._finish(COMPLETED, now)
+                    self._terminal(request, COMPLETED, now)
                     self._latencies.append(request.latency)
                 else:
-                    request._finish(FAILED, now)
-            self._completed += served
-            self._degraded += served
-            self._failed += len(live) - served
+                    self._terminal(request, FAILED, now)
             if served:
+                self._metrics.degraded[shard_id].inc(served)
                 self._batch_sizes.append(served)
+                if self.telemetry.enabled:
+                    self._metrics.latency[shard_id].observe_many(
+                        self._latencies[-served:]
+                    )
+                    self._metrics.batch_size[shard_id].observe(served)
                 self._last_completion = now
+        if self.tracer is not None:
+            record = self.tracer.attempt(
+                shard_id,
+                None,
+                [request.request_id for request in live],
+                0,
+                None,
+                start,
+            )
+            self.tracer.end_attempt(record, now, "degraded")
 
     # -- introspection -----------------------------------------------------------
+
+    def _collect_gauges(self) -> None:
+        """Pull-hook run before every telemetry export.
+
+        Cache/halo/plan counters and executor state live in their own
+        structs on the hot path; exports mirror them into gauges here
+        instead of paying per-event metric increments.
+        """
+        metrics = self._metrics
+        cache = CacheStats()
+        plans = PlanCacheStats()
+        for worker in self.workers:
+            cache = cache.merge(worker.cache.stats)
+            if worker.plan_cache is not None:
+                plans = plans.merge(worker.plan_cache.stats)
+        for event, value in cache.as_dict().items():
+            metrics.cache_gauge.labels(event).set(value)
+        for event, value in plans.as_dict().items():
+            metrics.plan_gauge.labels(event).set(value)
+        if self.halo_store is not None:
+            for event, value in self.halo_store.stats.as_dict().items():
+                metrics.halo_gauge.labels(event).set(value)
+        metrics.executor_peak.set(self.executor.peak_concurrency)
+        for shard_id in range(len(self.shards)):
+            metrics.queue_depth.labels(str(shard_id)).set(
+                self.batcher.queue_depth(shard_id)
+            )
 
     def stats(self) -> ServerStats:
         cache = CacheStats()
@@ -711,12 +841,16 @@ class InferenceServer:
             duration = self._last_completion - self._first_enqueue
         else:
             duration = 0.0
+        # ServerStats is a *view over the registry*: every ledger counter
+        # below reads the metric children the serving paths incremented (all
+        # zero under telemetry="off").
+        metrics = self._metrics
         return ServerStats(
             mode=self.config.mode,
             hot_path=self.config.hot_path,
             cache_policy=self.config.cache_policy,
             stage_seconds=merge_stage_totals(worker.timings for worker in self.workers),
-            completed_requests=self._completed,
+            completed_requests=metrics.status_total(COMPLETED),
             latencies=np.asarray(self._latencies, dtype=np.float64),
             batch_sizes=np.asarray(self._batch_sizes, dtype=np.int64),
             cache=cache,
@@ -727,17 +861,17 @@ class InferenceServer:
             duration=duration,
             executor=self.executor.name,
             peak_concurrency=self.executor.peak_concurrency,
-            rejected_requests=self._rejected,
-            shed_requests=self._shed,
-            expired_requests=self._expired,
-            failed_requests=self._failed,
-            retried_requests=self._retried,
-            failovers=self._failovers,
-            degraded_requests=self._degraded,
-            worker_failures=self._worker_failures,
+            rejected_requests=metrics.status_total(REJECTED),
+            shed_requests=metrics.status_total(SHED),
+            expired_requests=metrics.status_total(EXPIRED),
+            failed_requests=metrics.status_total(FAILED),
+            retried_requests=metrics.retried_total(),
+            failovers=metrics.failover_total(),
+            degraded_requests=metrics.degraded_total(),
+            worker_failures=metrics.worker_failures.value,
             injected_faults=self.faults.total_injected if self.faults is not None else 0,
-            block_waits=self._block_waits,
-            block_self_flushes=self._block_self_flushes,
+            block_waits=metrics.block_waits.value,
+            block_self_flushes=metrics.block_self_flushes.value,
             halo=halo,
             halo_tier=self.halo_store is not None,
             plans=plans,
@@ -751,17 +885,7 @@ class InferenceServer:
         """
         self._latencies.clear()
         self._batch_sizes.clear()
-        self._completed = 0
-        self._rejected = 0
-        self._shed = 0
-        self._expired = 0
-        self._failed = 0
-        self._retried = 0
-        self._failovers = 0
-        self._degraded = 0
-        self._worker_failures = 0
-        self._block_waits = 0
-        self._block_self_flushes = 0
+        self.telemetry.reset()
         self._first_enqueue = None
         self._last_completion = None
         self.batcher.size_flushes = 0

@@ -145,6 +145,21 @@ class FaultPlan:
         self._rngs: Dict[int, np.random.Generator] = {}
         self._dispatches: Dict[int, int] = {}
         self.injected: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        # Optional per-kind counter sinks (telemetry); a plan can be shared
+        # with at most one instrumented server at a time (last bind wins).
+        self._kind_counters: Dict[str, object] = {}
+
+    def bind_metrics(self, kind_family) -> None:
+        """Mirror injected faults into per-kind registry counters."""
+        with self._lock:
+            self._kind_counters = {kind: kind_family.labels(kind) for kind in FAULT_KINDS}
+
+    def _record(self, kind: str) -> None:
+        """Count one injected fault (caller holds the lock)."""
+        self.injected[kind] += 1
+        counter = self._kind_counters.get(kind)
+        if counter is not None:
+            counter.inc()
 
     @classmethod
     def replica_failures(
@@ -179,17 +194,17 @@ class FaultPlan:
                 if not spec.applies_to(worker_id) or not spec.active_at(now):
                     continue
                 if spec.flap_period and dispatch % spec.flap_period < spec.flap_down:
-                    self.injected["raise"] += 1
+                    self._record("raise")
                     return FaultDecision("raise")
                 draw = float(rng.random())
                 if draw < spec.fail_rate:
-                    self.injected["raise"] += 1
+                    self._record("raise")
                     return FaultDecision("raise")
                 if draw < spec.fail_rate + spec.hang_rate:
-                    self.injected["hang"] += 1
+                    self._record("hang")
                     return FaultDecision("hang", seconds=spec.hang_seconds)
                 if draw < spec.fail_rate + spec.hang_rate + spec.slow_rate:
-                    self.injected["slow"] += 1
+                    self._record("slow")
                     return FaultDecision("slow", seconds=spec.slow_seconds)
             return None
 

@@ -88,6 +88,20 @@ class HealthTracker:
         self._replicas: Dict[int, ReplicaHealth] = {
             int(worker_id): ReplicaHealth(worker_id=int(worker_id)) for worker_id in worker_ids
         }
+        # Optional per-replica counter sinks (telemetry); resolved once so
+        # record paths never pay a label lookup.
+        self._failure_counters: Dict[int, object] = {}
+        self._open_counters: Dict[int, object] = {}
+
+    def bind_metrics(self, failures_family, opens_family) -> None:
+        """Mirror failures / breaker opens into per-replica registry counters."""
+        with self._lock:
+            self._failure_counters = {
+                worker_id: failures_family.labels(str(worker_id)) for worker_id in self._replicas
+            }
+            self._open_counters = {
+                worker_id: opens_family.labels(str(worker_id)) for worker_id in self._replicas
+            }
 
     # ------------------------------------------------------------------ state
 
@@ -147,6 +161,9 @@ class HealthTracker:
                 # dispatch prefers faster siblings; probes keep sampling it.
                 if replica.state == "closed":
                     replica.opens += 1
+                    counter = self._open_counters.get(worker_id)
+                    if counter is not None:
+                        counter.inc()
                 replica.state = "open"
                 replica.opened_at = now
             else:
@@ -158,6 +175,9 @@ class HealthTracker:
             was_half_open = self._state_locked(replica, now) == "half_open"
             replica.failures += 1
             replica.consecutive_failures += 1
+            counter = self._failure_counters.get(worker_id)
+            if counter is not None:
+                counter.inc()
             if was_half_open:
                 # Failed probe: re-open and restart the cooldown.
                 replica.probes += 1
@@ -168,6 +188,9 @@ class HealthTracker:
                 replica.state = "open"
                 replica.opened_at = now
                 replica.opens += 1
+                counter = self._open_counters.get(worker_id)
+                if counter is not None:
+                    counter.inc()
 
     # --------------------------------------------------------------- plumbing
 

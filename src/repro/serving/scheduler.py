@@ -50,6 +50,11 @@ class Scheduler:
         self.executor = executor
         self.flush_on_submit = bool(flush_on_submit)
         self.rounds = 0
+        # Optional registry counter mirroring `rounds` (bound by the engine).
+        self._rounds_counter = None
+
+    def bind_metrics(self, rounds_counter) -> None:
+        self._rounds_counter = rounds_counter
 
     # -- the loop ---------------------------------------------------------------
 
@@ -73,6 +78,8 @@ class Scheduler:
         if not shard_ids:
             return 0
         self.rounds += 1
+        if self._rounds_counter is not None:
+            self._rounds_counter.inc()
         return sum(self.executor.map(lambda shard_id: self._flush(shard_id, forced), shard_ids))
 
     # -- lifecycle ---------------------------------------------------------------

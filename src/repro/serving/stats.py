@@ -111,6 +111,10 @@ class ServerStats:
         return _percentile(self.latencies, 99.0)
 
     @property
+    def p999_latency(self) -> float:
+        return _percentile(self.latencies, 99.9)
+
+    @property
     def mean_latency(self) -> float:
         return float(self.latencies.mean()) if len(self.latencies) else float("nan")
 
@@ -196,7 +200,8 @@ class ServerStats:
             f"  executor {self.executor} (peak concurrency {self.peak_concurrency})",
             f"  latency p50 {self._ms(self.p50_latency)}   "
             f"p95 {self._ms(self.p95_latency)}   "
-            f"p99 {self._ms(self.p99_latency)}   mean {self._ms(self.mean_latency)}",
+            f"p99 {self._ms(self.p99_latency)}   "
+            f"p99.9 {self._ms(self.p999_latency)}   mean {self._ms(self.mean_latency)}",
             f"  throughput {throughput} over {self.duration * 1e3:.1f} ms",
             f"  flushes: {self.size_flushes} size, {self.delay_flushes} delay, "
             f"{self.forced_flushes} forced",

@@ -6,6 +6,10 @@ request must terminate in *exactly one* of the four terminal states —
 ``completed``, ``rejected``, ``shed`` or ``expired`` — and the server's
 counters must account for all of them.  Completed answers must still match
 offline full-graph inference bitwise.
+
+The runs execute with ``telemetry="trace"``, which adds the tracing leg of
+the invariant: every terminal request owns exactly one closed root span (and
+no span stays open once the server shuts down).
 """
 
 from __future__ import annotations
@@ -76,6 +80,8 @@ def test_every_request_terminates_exactly_once(
             max_queue_depth=max_queue_depth,
             overload_policy=overload_policy,
             default_timeout=default_timeout,
+            telemetry="trace",
+            trace_capacity=256,
             seed=0,
         ),
         clock=clock,
@@ -113,3 +119,17 @@ def test_every_request_terminates_exactly_once(
     assert stats.shed_requests == sum(r.status == "shed" for r in requests)
     assert stats.expired_requests == sum(r.status == "expired" for r in requests)
     assert server.batcher.pending == 0
+
+    # The tracing leg: every terminal request has exactly one closed root
+    # span, with the request's terminal status — and nothing stays open.
+    assert server.tracer.active_count == 0
+    assert server.tracer.dropped_traces == 0
+    spans = server.tracer.finished()
+    by_request = {}
+    for span in spans:
+        assert span["request_id"] not in by_request, "duplicate root span"
+        assert span["end"] is not None and span["status"] in TERMINAL_STATUSES
+        by_request[span["request_id"]] = span
+    assert len(by_request) == len(requests)
+    for request in requests:
+        assert by_request[request.request_id]["status"] == request.status

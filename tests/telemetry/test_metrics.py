@@ -1,0 +1,191 @@
+"""The metrics registry contract: bounded-error quantiles, exact merges.
+
+The two acceptance properties from the telemetry design:
+
+* a ``LogHistogram`` quantile is within one log-bucket's relative width of
+  ``np.percentile`` over the raw sample (the histogram keeps O(buckets)
+  state, so that error bound is the whole trade);
+* two registries that each saw half of an observation stream merge —
+  by addition — into *bitwise* the same snapshot as one registry that saw
+  the whole stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    LogHistogram,
+    MetricsRegistry,
+    NullRegistry,
+    default_latency_buckets,
+    metrics_json,
+)
+
+
+class TestBuckets:
+    def test_default_grid_spans_latency_range(self):
+        edges = default_latency_buckets()
+        assert edges[0] == pytest.approx(1e-7)
+        assert edges[-1] == pytest.approx(1e2)
+        assert np.all(np.diff(edges) > 0)
+        # nine buckets per decade -> neighbouring edges differ by 10**(1/9)
+        ratios = edges[1:] / edges[:-1]
+        assert np.allclose(ratios, 10 ** (1 / 9))
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            default_latency_buckets(lo=1.0, hi=0.5)
+        with pytest.raises(ValueError):
+            default_latency_buckets(per_decade=0)
+        with pytest.raises(ValueError):
+            LogHistogram(np.array([2.0, 1.0]))
+
+
+class TestCounterGauge:
+    def test_counter_only_goes_up(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.get() == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(3.0)
+        gauge.inc(2.0)
+        gauge.dec(1.0)
+        assert gauge.get() == pytest.approx(4.0)
+
+
+class TestLogHistogramQuantiles:
+    def test_quantiles_within_one_bucket_of_exact(self):
+        # Acceptance: 10k lognormal "latencies"; p50/p95/p99 from the
+        # histogram within one bucket's relative width of np.percentile.
+        rng = np.random.default_rng(7)
+        samples = np.exp(rng.normal(loc=-6.0, scale=1.2, size=10_000))
+        hist = LogHistogram()
+        hist.observe_many(samples)
+        bucket_ratio = 10 ** (1 / 9)  # one default bucket's relative width
+        for q in (50.0, 95.0, 99.0, 99.9):
+            exact = float(np.percentile(samples, q))
+            approx = hist.quantile(q)
+            assert exact / bucket_ratio <= approx <= exact * bucket_ratio, (
+                f"p{q}: histogram {approx} vs exact {exact}"
+            )
+
+    def test_observe_matches_observe_many(self):
+        rng = np.random.default_rng(1)
+        samples = np.exp(rng.normal(size=500))
+        one_by_one, batched = LogHistogram(), LogHistogram()
+        for value in samples:
+            one_by_one.observe(value)
+        batched.observe_many(samples)
+        assert np.array_equal(one_by_one.counts, batched.counts)
+        assert one_by_one.count == batched.count == 500
+
+    def test_under_and_overflow_clamp_to_edge_values(self):
+        hist = LogHistogram()
+        hist.observe(1e-12)  # below the lowest edge
+        assert hist.quantile(50.0) == pytest.approx(1e-7)
+        hist.reset()
+        hist.observe(1e6)  # above the highest edge
+        assert hist.quantile(50.0) == pytest.approx(1e2)
+
+    def test_empty_histogram_quantile_is_nan(self):
+        hist = LogHistogram()
+        assert np.isnan(hist.quantile(99.0))
+        assert np.isnan(hist.mean)
+        with pytest.raises(ValueError):
+            hist.quantile(101.0)
+
+    def test_merge_requires_matching_edges(self):
+        with pytest.raises(ValueError):
+            LogHistogram().merge_from(LogHistogram(default_latency_buckets(per_decade=3)))
+
+
+class TestRegistryMerge:
+    @staticmethod
+    def _emit(registry, chunks, statuses):
+        requests = registry.counter("requests_total", "reqs", labels=("status",))
+        latency = registry.histogram("latency_seconds", "lat")
+        depth = registry.gauge("depth", "queue depth")
+        for chunk in chunks:
+            # one observe_many per chunk, exactly as the engine batches one
+            # histogram write per flush
+            latency.labels().observe_many(chunk)
+            depth.labels().inc(0.5 * len(chunk))
+        for status in statuses:
+            requests.labels(status).inc()
+        return registry
+
+    def test_split_stream_merges_to_bitwise_identical_snapshot(self):
+        # Acceptance: registry A sees the prefix batches, registry B the
+        # suffix batches; A.merge(B) must reproduce the single-registry
+        # snapshot *bitwise* (the prefix/suffix split keeps the float
+        # addition order of the merged sums identical to the whole stream's).
+        rng = np.random.default_rng(3)
+        values = np.exp(rng.normal(size=400))
+        statuses = rng.choice(["completed", "failed", "shed"], size=400).tolist()
+        prefix = [values[:137]]
+        suffix = [values[137:]]
+        whole = self._emit(MetricsRegistry(), prefix + suffix, statuses)
+        part_a = self._emit(MetricsRegistry(), prefix, statuses[:137])
+        part_b = self._emit(MetricsRegistry(), suffix, statuses[137:])
+        merged = part_a.merge(part_b)
+        assert merged is part_a
+        assert metrics_json(merged) == metrics_json(whole)
+
+    def test_merge_creates_missing_families_with_source_schema(self):
+        source = MetricsRegistry()
+        source.histogram("h", "x", edges=default_latency_buckets(per_decade=2)).labels().observe(0.5)
+        source.counter("c", "y", labels=("k",)).labels("a").inc(3)
+        target = MetricsRegistry().merge(source)
+        assert metrics_json(target) == metrics_json(source)
+
+    def test_schema_conflicts_are_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m", labels=("a",))
+        with pytest.raises(ValueError):
+            registry.gauge("m", labels=("a",))  # kind mismatch
+        with pytest.raises(ValueError):
+            registry.counter("m", labels=("b",))  # label mismatch
+
+    def test_label_arity_and_names_enforced(self):
+        family = MetricsRegistry().counter("m", labels=("shard", "status"))
+        with pytest.raises(ValueError):
+            family.labels("0")
+        with pytest.raises(ValueError):
+            family.labels("0", "ok", "extra")
+        with pytest.raises(ValueError):
+            family.labels(shard="0", bogus="x")
+        assert family.labels(shard="0", status="ok") is family.labels("0", "ok")
+
+    def test_reset_zeroes_samples_but_keeps_schema(self):
+        registry = MetricsRegistry()
+        registry.counter("c").labels().inc(5)
+        registry.histogram("h").labels().observe(0.1)
+        registry.reset()
+        assert registry.get("c").labels().value == 0
+        child = registry.get("h").labels()
+        assert child.count == 0 and child.sum == 0.0 and not child.counts.any()
+
+
+class TestNullRegistry:
+    def test_every_call_site_is_a_no_op(self):
+        registry = NullRegistry()
+        family = registry.counter("anything", labels=("a", "b"))
+        child = family.labels("x", "y")
+        child.inc()
+        child.observe(1.0)
+        child.observe_many([1.0, 2.0])
+        child.set(3.0)
+        assert child.value == 0 and child.get() == 0
+        assert np.isnan(child.quantile(50.0))
+        assert registry.snapshot() == {}
+        assert registry.collect() == []
+        assert registry.merge(MetricsRegistry()) is registry
