@@ -21,6 +21,7 @@ Refreshing baselines after an intentional change::
         benchmarks/bench_serving_hotpath.py benchmarks/bench_serving_halo.py \
         benchmarks/bench_serving_faults.py \
         benchmarks/bench_serving_telemetry.py \
+        benchmarks/bench_serving_frontdoor.py \
         -q --benchmark-disable
     cp benchmarks/results/BENCH_<gate>.json benchmarks/baselines/
 """
@@ -43,6 +44,8 @@ FLOOR_METRICS: Dict[str, List[str]] = {
     "serving_halo_plan_cache": ["plan_speedup", "hit_rate"],
     "serving_faults": ["throughput_ratio"],
     "serving_telemetry": ["metrics_ratio", "trace_ratio"],
+    "serving_frontdoor": ["backfill_shed_share"],
+    "serving_frontdoor_stealing": ["steal_round_ratio"],
 }
 
 

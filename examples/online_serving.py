@@ -12,7 +12,11 @@ Walks through the serving engine end to end:
 6. serve the same stream through the concurrent (thread-pool) executor and
    check it answers bit-identically to the serial one,
 7. overload the server 2x with bounded queues + ``shed_oldest`` and watch
-   admission control keep p99 bounded while accounting for every request.
+   class-aware admission shed backfill first while accounting for every
+   request,
+8. go through the front door: ``submit()`` returns :class:`RequestHandle`
+   futures, and with ``ingress="thread"`` a background pump serves them —
+   ``handle.result()`` blocks until the answer lands, no ``drain()`` needed.
 
 Run with:  python examples/online_serving.py
 """
@@ -130,10 +134,11 @@ def main() -> None:
             f"peak {peak} flushes in flight)"
         )
 
-    # 7. Overload: 2x the service rate against bounded queues.  shed_oldest
-    #    keeps latency bounded by dropping the stalest work — and every
-    #    request still terminates in exactly one state.
-    print("\n--- admission control under 2x overload (shed_oldest) ---")
+    # 7. Overload: 2x the service rate against bounded queues.  Admission is
+    #    class-aware: under shed_oldest the lightest class (backfill) is
+    #    evicted first, premium batches first — and every request still
+    #    terminates in exactly one state.
+    print("\n--- admission control under 2x overload (shed_oldest, 3 classes) ---")
     clock = ManualClock()
     overloaded = InferenceServer(
         model,
@@ -145,10 +150,14 @@ def main() -> None:
         clock=clock,
     )
     overloaded.scheduler.flush_on_submit = False  # open loop: we drive the rounds
+    class_cycle = ("premium", "standard", "backfill", "backfill")
     submitted = []
     for _ in range(20):
         arrivals = rng.choice(graph.num_nodes, size=64, replace=True)  # 2x capacity
-        submitted.extend(overloaded.submit(int(node)) for node in arrivals)
+        submitted.extend(
+            overloaded.submit(int(node), request_class=class_cycle[i % len(class_cycle)])
+            for i, node in enumerate(arrivals)
+        )
         clock.advance(0.010)
         overloaded.poll()
     overloaded.shutdown()
@@ -158,9 +167,44 @@ def main() -> None:
         f"{stats.shed_requests} shed, {stats.expired_requests} expired, "
         f"{stats.rejected_requests} rejected"
     )
+    for name, ledger in stats.class_requests.items():
+        print(
+            f"  class {name:9s}: {ledger['completed']:4d} completed, "
+            f"{ledger['shed']:4d} shed, {ledger['expired']:4d} expired"
+        )
     print(f"completed-request p99 latency: {stats.p99_latency * 1e3:.1f} ms (simulated clock)")
     assert stats.submitted_requests == len(submitted)
     print("every request accounted for: OK")
+
+    # 8. The front door: RequestHandle futures + a background ingress pump.
+    #    submit() enqueues and wakes the pump; result() blocks until the
+    #    answer lands.  No drain(), no polling — and work stealing lets idle
+    #    executor slots drain the hottest queue at round barriers.
+    print("\n--- front door: handles, background ingress, work stealing ---")
+    front = InferenceServer(
+        model,
+        graph,
+        ServingConfig(
+            num_shards=2, max_batch_size=32, max_delay=0.002, cache_capacity=4096,
+            ingress="thread", work_stealing=True, executor="concurrent",
+        ),
+    )
+    try:
+        handles = [
+            front.submit(int(node), request_class="premium" if i % 4 == 0 else "backfill")
+            for i, node in enumerate(requests[:64])
+        ]
+        answers = np.array([handle.result(timeout=10.0) for handle in handles])
+    finally:
+        front.shutdown()
+    assert np.array_equal(answers, reference[:64])
+    premium_latencies = [h.latency for h in handles if h.request_class == "premium"]
+    print(
+        f"{len(handles)} handles resolved by the background pump (no drain); "
+        f"premium p99 {np.percentile(premium_latencies, 99) * 1e3:.2f} ms, "
+        f"{front.stats().stolen_batches} batches work-stolen"
+    )
+    print("front-door answers identical to full-graph inference: OK")
 
 
 if __name__ == "__main__":

@@ -189,6 +189,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="what to do when a bounded queue is full",
     )
     serve.add_argument(
+        "--ingress",
+        choices=["sync", "thread"],
+        default="sync",
+        help="request intake: sync (submit flushes due batches inline) or "
+        "thread (background front-door pump drives flush rounds)",
+    )
+    serve.add_argument(
+        "--work-stealing",
+        action="store_true",
+        help="executor slots idling at a round barrier drain the hottest due queue",
+    )
+    serve.add_argument(
+        "--class-mix",
+        default=None,
+        metavar="NAME=FRAC,...",
+        help="weighted request-class mix for the measured stream, e.g. "
+        "premium=0.25,standard=0.25,backfill=0.5 (default: all standard); "
+        "heavier classes batch first and shed last under overload",
+    )
+    serve.add_argument(
         "--deadline-ms",
         type=float,
         default=None,
@@ -491,6 +511,18 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
     rng = np.random.default_rng(args.seed)
     nodes = rng.choice(graph.num_nodes, size=args.requests, replace=True)
 
+    # Fixed per-request class assignment (same across every server built
+    # below, so the streams stay comparable).
+    classes = None
+    if args.class_mix is not None:
+        mix = {}
+        for part in args.class_mix.split(","):
+            name, _, fraction = part.partition("=")
+            mix[name.strip()] = float(fraction)
+        total = sum(mix.values())
+        names = list(mix)
+        classes = rng.choice(names, size=args.requests, p=[mix[n] / total for n in names])
+
     def build_fault_plan():
         if args.fault_fail_rate <= 0 and args.fault_hang_rate <= 0 and args.fault_slow_rate <= 0:
             return None
@@ -545,6 +577,8 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
                 retry_backoff=args.retry_backoff_ms / 1e3,
                 retry_backoff_cap=max(args.retry_backoff_ms / 1e3 * 8, args.retry_backoff_ms / 1e3),
                 degraded_policy=args.degraded_policy,
+                ingress=args.ingress,
+                work_stealing=args.work_stealing,
                 telemetry=telemetry,
                 trace_capacity=args.trace_capacity,
                 seed=args.seed,
@@ -552,14 +586,22 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
         )
 
     def timed_stream(server: InferenceServer) -> float:
+        # submit() returns RequestHandle futures; .completed/.result() read
+        # the terminal state once drain() has settled the stream.
         start = time.perf_counter()
-        requests = server.submit_many(nodes)
+        if classes is None:
+            handles = server.submit_many(nodes)
+        else:
+            handles = [
+                server.submit(node, request_class=name)
+                for node, name in zip(nodes, classes)
+            ]
         server.drain()
         seconds = time.perf_counter() - start
-        incomplete = sum(1 for request in requests if not request.completed)
+        incomplete = sum(1 for handle in handles if not handle.completed)
         if incomplete:
             print(
-                f"note: {incomplete}/{len(requests)} requests rejected/shed/expired/failed "
+                f"note: {incomplete}/{len(handles)} requests rejected/shed/expired/failed "
                 f"under admission control or faults"
             )
         return seconds

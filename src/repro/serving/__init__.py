@@ -29,6 +29,16 @@ trained (optionally block-circulant-compressed) GNN:
   real condition-variable wait, woken when depth drops), and deadline-aware
   expiry guarantees every request terminates as exactly one of
   ``completed`` / ``rejected`` / ``shed`` / ``expired`` / ``failed``;
+* the front door (:mod:`repro.serving.frontdoor`) makes ``submit()`` return
+  a :class:`RequestHandle` future (``result(timeout=)``, ``done()``, typed
+  terminal exceptions, awaitable), tags every request with a weighted
+  *request class* (``premium``/``standard``/``backfill`` by default) so
+  admission pops heaviest-class/deadline-earliest first and overload sheds
+  the lightest class first, and — with ``ingress="thread"`` — runs a
+  background :class:`FrontDoor` pump so arrivals land during flush rounds;
+  ``work_stealing=True`` additionally lets executor threads idling at a
+  round barrier drain the hottest due queue (GNNIE-style load balancing),
+  with deadline expiry re-checked after every steal pass;
 * the fault-tolerance layer keeps that guarantee under replica failure: a
   seedable :class:`FaultPlan` injects deterministic raise/hang/slow/flap
   faults, a per-replica :class:`HealthTracker` circuit breaker gates
@@ -56,10 +66,21 @@ from ..graph.restriction import PlanCache, PlanCacheStats
 from .batcher import TERMINAL_STATUSES, InferenceRequest, MicroBatcher
 from .cache import CACHE_POLICIES, CacheStats, EmbeddingCache, HaloStore, LegacyEmbeddingCache
 from .clock import Clock, ManualClock, SystemClock
-from .config import DEGRADED_POLICIES, ServingConfig
+from .config import DEGRADED_POLICIES, INGRESS_MODES, ServingConfig
 from .engine import InferenceServer
 from .executor import ConcurrentExecutor, FlushExecutor, SerialExecutor, make_executor
 from .faults import FAULT_KINDS, FaultDecision, FaultPlan, FaultSpec, InjectedFault, ReplicaHung
+from .frontdoor import (
+    DEFAULT_REQUEST_CLASSES,
+    FrontDoor,
+    RequestError,
+    RequestExpired,
+    RequestFailed,
+    RequestHandle,
+    RequestPending,
+    RequestRejected,
+    RequestShed,
+)
 from .health import HealthTracker, ReplicaHealth
 from .metrics import ServingMetrics
 from .scheduler import Scheduler
@@ -96,6 +117,16 @@ __all__ = [
     "ShardWorker",
     "ServingConfig",
     "DEGRADED_POLICIES",
+    "INGRESS_MODES",
+    "DEFAULT_REQUEST_CLASSES",
+    "FrontDoor",
+    "RequestHandle",
+    "RequestError",
+    "RequestRejected",
+    "RequestShed",
+    "RequestExpired",
+    "RequestFailed",
+    "RequestPending",
     "FaultSpec",
     "FaultDecision",
     "FaultPlan",

@@ -17,7 +17,9 @@ Every request terminates in exactly one state:
     (``overload_policy="reject"``).
 ``shed``
     Admitted but later evicted from a full queue to make room for newer work
-    (``overload_policy="shed_oldest"``).
+    (``overload_policy="shed_oldest"``; with multiple request classes the
+    victim is the lightest class's oldest request — see
+    :meth:`MicroBatcher.shed_victim`).
 ``expired``
     Flushed after its deadline had already passed (or its deadline could not
     survive retry backoff), so it was not executed.
@@ -40,9 +42,10 @@ silently dropped.
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
-from typing import Deque, List, Optional
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 __all__ = ["InferenceRequest", "MicroBatcher", "TERMINAL_STATUSES"]
 
@@ -72,6 +75,11 @@ class InferenceRequest:
     batch_size: Optional[int] = None
     retries: int = 0                     # failover attempts this request survived
     stale: bool = False                  # served from the degraded cache path
+    request_class: str = "standard"      # admission class (see serving.frontdoor)
+    weight: float = 1.0                  # the class's admission weight
+    #: completion event backing RequestHandle.result(timeout=); None for
+    #: requests constructed outside the engine (direct batcher use).
+    _event: Optional[threading.Event] = field(default=None, repr=False, compare=False)
 
     @property
     def done(self) -> bool:
@@ -98,6 +106,18 @@ class InferenceRequest:
             )
         raise RuntimeError(f"request {self.request_id} was {self.status}, not completed")
 
+    # -- admission ordering ------------------------------------------------------
+
+    def admission_rank(self) -> Tuple[float, float, int]:
+        """Sort key of class-aware admission: heaviest class first, earliest
+        deadline inside a class, submission order as the total tie-break.
+
+        With a single class and uniform deadlines this degenerates to FIFO,
+        so classless callers keep the PR-3 batching behaviour bit-for-bit.
+        """
+        deadline = math.inf if self.deadline is None else self.deadline
+        return (-self.weight, deadline, self.request_id)
+
     # -- terminal transitions (called by the engine, under its lock) -----------
 
     def _finish(self, status: str, at: float) -> None:
@@ -107,10 +127,17 @@ class InferenceRequest:
             )
         self.status = status
         self.completion_time = at
+        if self._event is not None:
+            self._event.set()
 
 
 class MicroBatcher:
-    """Per-shard FIFO queues with size-, delay- and deadline-triggered flushing.
+    """Per-shard queues with size-, delay- and deadline-triggered flushing.
+
+    Queues keep arrival order but *pop* by :meth:`InferenceRequest.admission_rank`
+    (heaviest class first, earliest deadline inside a class), so with a
+    single request class they behave as the original FIFO queues while
+    multi-class traffic gets weighted, deadline-earliest-first admission.
 
     ``max_queue_depth`` bounds each shard's queue (``None`` = unbounded); the
     batcher only *reports* fullness — the admission policy (reject / shed /
@@ -133,7 +160,8 @@ class MicroBatcher:
         self.max_batch_size = int(max_batch_size)
         self.max_delay = float(max_delay)
         self.max_queue_depth = None if max_queue_depth is None else int(max_queue_depth)
-        self._queues: List[Deque[InferenceRequest]] = [deque() for _ in range(num_shards)]
+        # Arrival-ordered lists (append at the tail; rank-ordered removal).
+        self._queues: List[List[InferenceRequest]] = [[] for _ in range(num_shards)]
         # Flush-cause counters, surfaced by ServerStats.
         self.size_flushes = 0
         self.delay_flushes = 0
@@ -165,22 +193,50 @@ class MicroBatcher:
     def enqueue(self, request: InferenceRequest) -> None:
         self._queues[request.shard_id].append(request)
 
-    def shed_oldest(self, shard_id: int) -> InferenceRequest:
-        """Evict the head of a full queue (the engine marks it ``shed``)."""
-        return self._queues[shard_id].popleft()
+    def shed_victim(self, shard_id: int) -> InferenceRequest:
+        """Evict the least-valuable queued request (the engine marks it ``shed``).
+
+        Victim selection is class-aware: lowest admission weight first, then
+        the oldest request inside that class — so multi-class overload sheds
+        backfill before premium, while a single-class queue sheds its head
+        exactly like the original FIFO ``shed_oldest``.
+        """
+        queue = self._queues[shard_id]
+        victim = min(queue, key=lambda r: (r.weight, r.enqueue_time, r.request_id))
+        queue.remove(victim)
+        return victim
+
+    #: Pre-class name, kept for callers written against the FIFO batcher.
+    shed_oldest = shed_victim
+
+    @staticmethod
+    def _earliest_deadline(queue: List[InferenceRequest]) -> Optional[float]:
+        deadline = math.inf
+        for request in queue:
+            if request.deadline is not None and request.deadline < deadline:
+                deadline = request.deadline
+        return None if deadline is math.inf else deadline
 
     def due_shards(self, now: float) -> List[int]:
-        """Shards whose queue must flush at ``now`` (size, delay or deadline)."""
+        """Shards whose queue must flush at ``now`` (size, delay or deadline).
+
+        The delay trigger watches the oldest *remaining* request (``queue[0]``
+        — arrival order survives rank-ordered removal) and the deadline
+        trigger the earliest deadline anywhere in the queue: with class-aware
+        popping an urgent request need not be the head.
+        """
         due: List[int] = []
         for shard_id, queue in enumerate(self._queues):
             if not queue:
                 continue
-            head = queue[0]
             if len(queue) >= self.max_batch_size:
                 due.append(shard_id)
-            elif now - head.enqueue_time >= self.max_delay:
+                continue
+            if now - queue[0].enqueue_time >= self.max_delay:
                 due.append(shard_id)
-            elif head.deadline is not None and now >= head.deadline:
+                continue
+            deadline = self._earliest_deadline(queue)
+            if deadline is not None and now >= deadline:
                 due.append(shard_id)
         return due
 
@@ -190,19 +246,51 @@ class MicroBatcher:
         for queue in self._queues:
             if not queue:
                 continue
-            head = queue[0]
-            when = head.enqueue_time + self.max_delay
-            if head.deadline is not None:
-                when = min(when, head.deadline)
+            when = queue[0].enqueue_time + self.max_delay
+            deadline = self._earliest_deadline(queue)
+            if deadline is not None:
+                when = min(when, deadline)
             times.append(when)
         return min(times) if times else None
 
+    def expire_due(self, now: float) -> List[InferenceRequest]:
+        """Remove and return every queued request whose deadline has passed.
+
+        The scheduler runs this after a work-stealing pass so a stolen
+        round's barrier re-checks expiry before the next round can pop (and
+        the engine marks the returned requests ``expired`` exactly once).
+        """
+        expired: List[InferenceRequest] = []
+        for shard_id, queue in enumerate(self._queues):
+            keep = [
+                request
+                for request in queue
+                if request.deadline is None or now < request.deadline
+            ]
+            if len(keep) != len(queue):
+                expired.extend(
+                    request
+                    for request in queue
+                    if request.deadline is not None and now >= request.deadline
+                )
+                self._queues[shard_id] = keep
+        return expired
+
     def pop_batch(self, shard_id: int, forced: bool = False) -> List[InferenceRequest]:
-        """Dequeue up to ``max_batch_size`` requests from one shard's queue."""
+        """Dequeue up to ``max_batch_size`` requests from one shard's queue,
+        in admission-rank order (class weight, then deadline, then arrival)."""
         queue = self._queues[shard_id]
-        batch = [queue.popleft() for _ in range(min(len(queue), self.max_batch_size))]
-        if not batch:
-            return batch
+        if not queue:
+            return []
+        if len(queue) <= self.max_batch_size:
+            batch = sorted(queue, key=InferenceRequest.admission_rank)
+            queue.clear()
+        else:
+            batch = sorted(queue, key=InferenceRequest.admission_rank)[: self.max_batch_size]
+            taken = {request.request_id for request in batch}
+            self._queues[shard_id] = [
+                request for request in queue if request.request_id not in taken
+            ]
         if forced:
             self.forced_flushes += 1
             cause = "forced"

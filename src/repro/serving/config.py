@@ -2,15 +2,17 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Tuple
 
 from .cache import CACHE_POLICIES
+from .frontdoor import DEFAULT_REQUEST_CLASSES, ClassSpec, normalize_request_classes
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults imports nothing back)
     from .faults import FaultPlan
 
-__all__ = ["ServingConfig", "HOT_PATHS", "DEGRADED_POLICIES"]
+__all__ = ["ServingConfig", "HOT_PATHS", "DEGRADED_POLICIES", "INGRESS_MODES"]
 
 #: Exact-mode implementations a worker can run (canonical definition; the
 #: worker and the CLI both validate against this tuple).
@@ -21,10 +23,20 @@ HOT_PATHS = ("compiled", "legacy")
 #: rows from the degraded read path (flagged ``stale``) and fails only misses.
 DEGRADED_POLICIES = ("fail", "stale_ok")
 
+#: How requests arrive: ``"sync"`` flushes inline from the submitting thread
+#: (the deterministic default); ``"thread"`` starts a background
+#: :class:`~repro.serving.frontdoor.FrontDoor` pump so submissions land
+#: during flush rounds and ``RequestHandle.result()`` can wait.
+INGRESS_MODES = ("sync", "thread")
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, kw_only=True)
 class ServingConfig:
-    """Knobs of :class:`repro.serving.InferenceServer`.
+    """Knobs of :class:`repro.serving.InferenceServer` (keyword-only).
+
+    All fields must be passed by name; :meth:`validate` runs at construction
+    and rejects contradictory knob combinations with one clear error each,
+    so misconfiguration fails at build time instead of mid-flush.
 
     Parameters
     ----------
@@ -98,8 +110,36 @@ class ServingConfig:
         Admission control: each shard queue holds at most ``max_queue_depth``
         waiting requests (``None`` = unbounded).  On a full queue,
         ``"reject"`` turns the new request away, ``"shed_oldest"`` evicts the
-        oldest queued request to make room, and ``"block"`` synchronously
-        force-flushes the shard until there is capacity (backpressure).
+        least-valuable queued request to make room (lightest request class
+        first, oldest within the class — plain oldest-first with a single
+        class), and ``"block"`` synchronously force-flushes the shard until
+        there is capacity (backpressure).
+    request_classes, default_class:
+        Admission classes as ``{name: weight}`` (or ``((name, weight), ...)``).
+        Weight orders both batch admission (heaviest first,
+        deadline-earliest-first within a class) and shed-victim selection
+        (lightest first), so under overload low-weight backfill sheds while
+        high-weight traffic keeps a bounded p99.  ``default_class`` names the
+        class ``submit()`` uses when the caller passes none.
+    ingress, ingress_poll_interval:
+        ``"sync"`` (default) flushes inline from the submitting thread —
+        deterministic, and what ``ManualClock`` tests drive.  ``"thread"``
+        starts a background :class:`~repro.serving.frontdoor.FrontDoor`
+        daemon that owns the flush loop: submissions land during rounds,
+        ``RequestHandle.result()`` blocks until served, and handles are
+        awaitable from asyncio.  While work is pending the pump re-polls
+        every ``ingress_poll_interval`` wall seconds.
+    flush_on_submit:
+        Poll for due flushes inside every ``submit()`` (the ergonomic
+        default).  Open-loop drivers set it ``False`` and call ``poll()``
+        themselves so queues actually build up; ignored under
+        ``ingress="thread"`` (the pump polls instead).
+    work_stealing:
+        GNNIE-style round-barrier stealing: executor workers that finish
+        their own shard's flush drain the hottest *due* queue instead of
+        idling at the barrier, and the scheduler re-checks deadline expiry
+        after the steal pass.  Off by default (rounds then match the PR-3
+        schedule exactly).
     default_timeout:
         Deadline in clock seconds applied to every request that does not
         carry its own (``None`` = no deadline).  A request flushed after its
@@ -161,6 +201,12 @@ class ServingConfig:
     executor_workers: Optional[int] = None
     max_queue_depth: Optional[int] = None
     overload_policy: str = "reject"
+    request_classes: ClassSpec = DEFAULT_REQUEST_CLASSES
+    default_class: str = "standard"
+    ingress: str = "sync"
+    ingress_poll_interval: float = 0.001
+    flush_on_submit: bool = True
+    work_stealing: bool = False
     default_timeout: Optional[float] = None
     fault_plan: Optional["FaultPlan"] = None
     max_retries: int = 2
@@ -175,12 +221,39 @@ class ServingConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        # Normalise the class spec ({name: weight} or pair iterable) to the
+        # hashless tuple-of-pairs form once, so validate() and the engine see
+        # one canonical shape on the frozen instance.
+        object.__setattr__(
+            self, "request_classes", normalize_request_classes(self.request_classes)
+        )
+        self.validate()
+
+    def class_weights(self) -> dict:
+        """The admission classes as a ``{name: weight}`` lookup dict."""
+        return dict(self.request_classes)
+
+    def validate(self) -> "ServingConfig":
+        """Reject invalid values and contradictory knob combinations.
+
+        Runs automatically at construction (and therefore after every
+        ``dataclasses.replace``); each conflict raises ``ValueError`` with
+        its own message.  Returns ``self`` so call sites can chain.
+        """
         if self.num_shards <= 0:
             raise ValueError("num_shards must be positive")
         if self.num_replicas <= 0:
             raise ValueError("num_replicas must be positive")
+        if self.max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if self.max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
         if self.mode not in ("exact", "sampled"):
             raise ValueError(f"mode must be 'exact' or 'sampled', got {self.mode!r}")
+        if self.mode == "sampled" and self.fanouts is None:
+            raise ValueError(
+                "mode='sampled' needs config.fanouts (per-layer sample sizes)"
+            )
         if self.dispatch not in ("round_robin", "least_loaded"):
             raise ValueError(
                 f"dispatch must be 'round_robin' or 'least_loaded', got {self.dispatch!r}"
@@ -243,3 +316,38 @@ class ServingConfig:
             )
         if self.trace_capacity < 1:
             raise ValueError("trace_capacity must be >= 1")
+        if self.ingress not in INGRESS_MODES:
+            raise ValueError(
+                f"ingress must be one of {INGRESS_MODES}, got {self.ingress!r}"
+            )
+        if self.ingress_poll_interval <= 0:
+            raise ValueError("ingress_poll_interval must be positive")
+        if not self.request_classes:
+            raise ValueError("request_classes must define at least one class")
+        names = [name for name, _ in self.request_classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"request_classes has duplicate class names: {names}")
+        for name, weight in self.request_classes:
+            if not name:
+                raise ValueError("request class names must be non-empty strings")
+            if not math.isfinite(weight) or weight <= 0:
+                raise ValueError(
+                    f"request class {name!r} needs a finite positive weight, got {weight!r}"
+                )
+        if self.default_class not in names:
+            raise ValueError(
+                f"default_class {self.default_class!r} is not a configured request "
+                f"class (have: {names})"
+            )
+        if (
+            self.overload_policy == "block"
+            and not self.flush_on_submit
+            and self.ingress == "sync"
+        ):
+            raise ValueError(
+                "overload_policy='block' with flush_on_submit=False and "
+                "ingress='sync' would deadlock: a blocked submitter waits for a "
+                "flush nothing is scheduled to run — enable flush_on_submit, use "
+                "ingress='thread', or pick another overload policy"
+            )
+        return self

@@ -2,8 +2,13 @@
 
 Request lifecycle::
 
-    submit(node) ──▶ admission control (bounded per-shard queues:
-                     │  reject / shed_oldest / block on overload)
+    submit(node, request_class=...) ──▶ RequestHandle (future: result(timeout=),
+                     │  done(), typed terminal exceptions; awaitable under
+                     │  ingress="thread", where a FrontDoor pump thread
+                     │  drives the flush loop so arrivals land mid-round)
+                     ▼
+                     admission control (bounded per-shard queues:
+                     │  reject / shed (lightest class first) / block)
                      ▼
                      route by node id to the owning shard's queue
                      │  (MicroBatcher: flush at max_batch_size, max_delay,
@@ -43,7 +48,8 @@ from __future__ import annotations
 
 import contextlib
 import threading
-from typing import Iterator, List, Optional, Sequence
+import warnings
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -66,6 +72,7 @@ from .clock import Clock, SystemClock
 from .config import ServingConfig
 from .executor import make_executor
 from .faults import InjectedFault, ReplicaHung
+from .frontdoor import FrontDoor, RequestHandle
 from .health import HealthTracker
 from .metrics import ServingMetrics
 from .scheduler import Scheduler
@@ -74,7 +81,7 @@ from .stats import ServerStats, WorkerLoad
 from .timing import merge_stage_totals
 from .worker import ShardWorker
 
-__all__ = ["ServingConfig", "InferenceServer"]
+__all__ = ["ServingConfig", "InferenceServer", "RequestHandle"]
 
 
 class InferenceServer:
@@ -171,7 +178,20 @@ class InferenceServer:
             else len(self.workers)
         )
         self.executor = make_executor(self.config.executor, executor_workers)
-        self.scheduler = Scheduler(self.batcher, self.clock, self._flush, self.executor)
+        #: class name -> admission weight (the config normalises the spec).
+        self._class_weights = self.config.class_weights()
+        self.scheduler = Scheduler(
+            self.batcher,
+            self.clock,
+            self._flush,
+            self.executor,
+            # With the background pump the frontdoor thread owns polling;
+            # submit() just enqueues and wakes it.
+            flush_on_submit=self.config.flush_on_submit and self.config.ingress == "sync",
+            work_stealing=self.config.work_stealing,
+            steal_source=self._steal_candidate,
+            expire_overdue=self._expire_overdue,
+        )
 
         # Engine-wide lock: guards queue admission, dispatcher state and the
         # stats accumulators.  Flush tasks run prediction *outside* it.
@@ -209,11 +229,16 @@ class InferenceServer:
         self.telemetry = Telemetry(self.config.telemetry, self.config.trace_capacity)
         self.tracer = self.telemetry.tracer
         self._metrics = ServingMetrics(
-            self.telemetry.registry, len(self.shards), [w.worker_id for w in self.workers]
+            self.telemetry.registry,
+            len(self.shards),
+            [w.worker_id for w in self.workers],
+            class_names=[name for name, _ in self.config.request_classes],
         )
         if self.telemetry.enabled:
             self.batcher.bind_metrics(self._metrics.flushes)
-            self.scheduler.bind_metrics(self._metrics.flush_rounds)
+            self.scheduler.bind_metrics(
+                self._metrics.flush_rounds, self._metrics.stolen_batches
+            )
             self.health.bind_metrics(
                 self._metrics.replica_failures, self._metrics.breaker_opens
             )
@@ -224,6 +249,13 @@ class InferenceServer:
                     self._metrics.stage_seconds, worker.worker_id
                 )
             self.telemetry.add_collector(self._collect_gauges)
+
+        # Background ingress pump (ingress="thread"): started last so it can
+        # never observe a half-built server.
+        self.frontdoor: Optional[FrontDoor] = None
+        if self.config.ingress == "thread":
+            self.frontdoor = FrontDoor(self, self.config.ingress_poll_interval)
+            self.frontdoor.start()
 
     def _build_halo_store(self) -> Optional[HaloStore]:
         """The shared boundary-embedding tier, when the config and topology
@@ -297,15 +329,31 @@ class InferenceServer:
 
     # -- request intake ----------------------------------------------------------
 
-    def submit(self, node: int, timeout: Optional[float] = None) -> InferenceRequest:
-        """Enqueue one prediction request; the scheduler flushes due batches.
+    @property
+    def has_background_ingress(self) -> bool:
+        """Is a FrontDoor pump running (so ``handle.result()`` may block)?"""
+        return self.frontdoor is not None and self.frontdoor.running
+
+    def submit(
+        self,
+        node: int,
+        timeout: Optional[float] = None,
+        request_class: Optional[str] = None,
+    ) -> RequestHandle:
+        """Enqueue one prediction request; returns a :class:`RequestHandle`.
 
         ``timeout`` (clock seconds, defaulting to ``config.default_timeout``)
         sets the request's deadline: if it is still queued when its deadline
-        passes it terminates as ``expired`` instead of being executed.  Under
-        admission control the returned request may already be terminal
-        (``status == "rejected"``) — check ``request.completed`` before
-        calling ``result()``.
+        passes it terminates as ``expired`` instead of being executed.
+        ``request_class`` picks the admission class (``config.default_class``
+        when omitted) — heavier classes are batched first and shed last.
+
+        Under admission control the returned handle may already be terminal
+        (``status == "rejected"``); ``handle.result()`` then raises the
+        mapped :class:`~repro.serving.frontdoor.RequestError`.  With
+        ``ingress="sync"`` due batches flush inline before this returns;
+        with ``ingress="thread"`` the background pump is woken instead and
+        ``handle.result()`` waits for it.
         """
         node = int(node)
         if self._closed:
@@ -316,6 +364,13 @@ class InferenceServer:
             timeout = self.config.default_timeout
         elif timeout <= 0:
             raise ValueError("timeout must be positive (or None for no deadline)")
+        class_name = self.config.default_class if request_class is None else str(request_class)
+        weight = self._class_weights.get(class_name)
+        if weight is None:
+            raise ValueError(
+                f"unknown request_class {class_name!r}; configured classes: "
+                f"{[name for name, _ in self.config.request_classes]}"
+            )
         now = self.clock.now()
         request = InferenceRequest(
             request_id=self._request_counter,
@@ -323,6 +378,9 @@ class InferenceServer:
             shard_id=int(self._owner[node]),
             enqueue_time=now,
             deadline=None if timeout is None else now + timeout,
+            request_class=class_name,
+            weight=weight,
+            _event=threading.Event(),
         )
         self._request_counter += 1
         if self._first_enqueue is None:
@@ -331,13 +389,39 @@ class InferenceServer:
             # Before admission: rejected requests get a root span too.
             self.tracer.on_submit(request.request_id, node, request.shard_id, now)
         if self._admit(request):
-            self.scheduler.on_submit()
-        return request
+            if self.frontdoor is not None:
+                self.frontdoor.notify()
+            else:
+                self.scheduler.on_submit()
+        return RequestHandle(request, self)
+
+    def submit_legacy(
+        self, node: int, timeout: Optional[float] = None
+    ) -> InferenceRequest:
+        """Deprecated: the pre-handle return shape of :meth:`submit`.
+
+        ``submit()`` now returns a :class:`RequestHandle`; the raw record is
+        its ``.request`` attribute.  This shim exists for one transition
+        release.
+        """
+        warnings.warn(
+            "InferenceServer.submit_legacy() is deprecated: submit() returns a "
+            "RequestHandle whose .request attribute is the old InferenceRequest",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.submit(node, timeout=timeout).request
 
     def submit_many(
-        self, nodes: Sequence[int], timeout: Optional[float] = None
-    ) -> List[InferenceRequest]:
-        return [self.submit(node, timeout=timeout) for node in nodes]
+        self,
+        nodes: Sequence[int],
+        timeout: Optional[float] = None,
+        request_class: Optional[str] = None,
+    ) -> List[RequestHandle]:
+        return [
+            self.submit(node, timeout=timeout, request_class=request_class)
+            for node in nodes
+        ]
 
     #: Lost-wakeup safety net for blocked submitters, in wall seconds.  Every
     #: capacity transition notifies the condition, so the timeout should never
@@ -353,6 +437,9 @@ class InferenceServer:
         """
         request._finish(status, now)
         self._metrics.requests[status][request.shard_id].inc()
+        class_children = self._metrics.class_requests.get(request.request_class)
+        if class_children is not None:
+            class_children[status].inc()
         if self.tracer is not None:
             self.tracer.on_terminal(
                 request.request_id,
@@ -374,7 +461,7 @@ class InferenceServer:
                 return False
             if policy == "shed_oldest":
                 with self._lock:
-                    victim = self.batcher.shed_oldest(shard_id)
+                    victim = self.batcher.shed_victim(shard_id)
                     self._terminal(victim, SHED, self.clock.now())
             else:  # block: backpressure — wait for room (or make it ourselves)
                 return self._admit_blocking(request)
@@ -413,13 +500,58 @@ class InferenceServer:
 
     # -- execution ---------------------------------------------------------------
 
+    def _steal_candidate(self) -> Optional[int]:
+        """The hottest *due* shard for a work-stealing executor thread.
+
+        Hottest = deepest queue among the shards due right now (lowest shard
+        id on ties, which keeps serial stealing deterministic).  ``None``
+        ends the steal loop.  Raced picks are harmless: the loser's
+        ``pop_batch`` comes up empty under the engine lock.
+        """
+        with self._lock:
+            due = self.batcher.due_shards(self.clock.now())
+            if not due:
+                return None
+            return max(due, key=self.batcher.queue_depth)
+
+    def _expire_overdue(self) -> int:
+        """Expire every queued request whose deadline has passed (the
+        scheduler's post-steal-pass re-check)."""
+        with self._lock:
+            now = self.clock.now()
+            overdue = self.batcher.expire_due(now)
+            for request in overdue:
+                self._terminal(request, EXPIRED, now)
+            if overdue:
+                self._capacity.notify_all()  # expiry freed queue space
+        return len(overdue)
+
     def poll(self) -> int:
         """Flush every queue that is due at the current clock time."""
         return self.scheduler.poll()
 
     def drain(self) -> int:
-        """Force-flush until no request is pending (end of a request stream)."""
-        return self.scheduler.drain()
+        """Force-flush until no request is pending (end of a request stream).
+
+        Every request submitted before this call is terminal when it
+        returns.  With a background ingress pump the drain must also wait
+        out in-flight flushes: ``batcher.pending`` only counts *queued*
+        requests, so a batch the pump already popped but has not finished
+        serving would otherwise race past the check.
+        """
+        flushed = self.scheduler.drain()
+        if not self.has_background_ingress:
+            return flushed
+        while True:
+            # _capacity shares the engine lock, and the pump pops a batch and
+            # bumps _inflight_flushes inside one locked region — so observing
+            # "nothing in flight and nothing queued" here really is idle.
+            with self._capacity:
+                while self._inflight_flushes > 0:
+                    self._capacity.wait(timeout=self._BLOCK_WAIT_TIMEOUT)
+                if not self.batcher.pending:
+                    return flushed
+            flushed += self.scheduler.drain()
 
     def predict(self, nodes: Sequence[int]) -> np.ndarray:
         """Synchronous convenience: submit ``nodes``, drain, return predictions.
@@ -455,6 +587,10 @@ class InferenceServer:
         with self._capacity:
             self._closed = True
             self._capacity.notify_all()  # blocked submitters wake up and reject
+        if self.frontdoor is not None:
+            # Quiesce the ingress pump before draining so the final drains
+            # cannot race a background poll.
+            self.frontdoor.stop()
         self.drain()
         with self._capacity:
             while self._inflight_flushes > 0:
@@ -510,9 +646,15 @@ class InferenceServer:
             self._capacity.notify_all()  # queue depth dropped: wake blocked submitters
             now = self.clock.now()
             if self.telemetry.enabled:
-                self._metrics.queue_wait[shard_id].observe_many(
-                    [now - request.enqueue_time for request in batch]
-                )
+                waits = [now - request.enqueue_time for request in batch]
+                self._metrics.queue_wait[shard_id].observe_many(waits)
+                waits_by_class: Dict[str, List[float]] = {}
+                for request, wait in zip(batch, waits):
+                    waits_by_class.setdefault(request.request_class, []).append(wait)
+                for class_name, class_waits in waits_by_class.items():
+                    class_wait = self._metrics.class_queue_wait.get(class_name)
+                    if class_wait is not None:
+                        class_wait.observe_many(class_waits)
                 if self.tracer is not None:
                     self.tracer.on_dequeue(
                         [request.request_id for request in batch], now
@@ -875,6 +1017,11 @@ class InferenceServer:
             halo=halo,
             halo_tier=self.halo_store is not None,
             plans=plans,
+            class_requests=metrics.class_totals(),
+            stolen_batches=self.scheduler.stolen_batches,
+            steal_rounds=self.scheduler.steal_rounds,
+            ingress=self.config.ingress,
+            work_stealing=self.scheduler.work_stealing,
         )
 
     def reset_stats(self) -> None:
@@ -891,6 +1038,8 @@ class InferenceServer:
         self.batcher.size_flushes = 0
         self.batcher.delay_flushes = 0
         self.batcher.forced_flushes = 0
+        self.scheduler.stolen_batches = 0
+        self.scheduler.steal_rounds = 0
         self.executor.reset_peak()
         for worker in self.workers:
             worker.batches_served = 0
@@ -920,7 +1069,10 @@ class InferenceServer:
             f"batch<= {self.config.max_batch_size}, delay<= {self.config.max_delay * 1e3:.1f} ms, "
             f"cache {self.config.cache_capacity} entries/worker ({self.config.cache_policy}), "
             f"{halo}, plan cache {self.config.plan_cache_size} plans/worker, "
-            f"executor {self.executor.name}, queues {depth}"
+            f"executor {self.executor.name}, queues {depth}, "
+            f"ingress {self.config.ingress}"
+            + (", work stealing" if self.config.work_stealing else "")
+            + f", classes {{{', '.join(f'{n}={w:g}' for n, w in self.config.request_classes)}}}"
         ]
         lines.extend(f"  {shard.summary()}" for shard in self.shards)
         return "\n".join(lines)

@@ -35,7 +35,9 @@ _BATCH_EDGES = default_latency_buckets(lo=1.0, hi=4096.0, per_decade=6)
 class ServingMetrics:
     """Every serving metric family, with per-shard/replica children resolved."""
 
-    def __init__(self, registry, num_shards: int, worker_ids) -> None:
+    def __init__(
+        self, registry, num_shards: int, worker_ids, class_names=("standard",)
+    ) -> None:
         self.registry = registry
         shards = [str(shard_id) for shard_id in range(num_shards)]
 
@@ -48,6 +50,29 @@ class ServingMetrics:
         self.requests = {
             status: [requests.labels(shard, status) for shard in shards]
             for status in _STATUSES
+        }
+
+        class_requests = registry.counter(
+            "serving_class_requests_total",
+            "Requests by admission class and terminal status",
+            labels=("request_class", "status"),
+        )
+        #: class name -> {status -> child}; the per-class ledger.
+        self.class_requests = {
+            str(name): {
+                status: class_requests.labels(str(name), status)
+                for status in _STATUSES
+            }
+            for name in class_names
+        }
+
+        class_queue_wait = registry.histogram(
+            "serving_class_queue_wait_seconds",
+            "Queue wait by admission class (the signal class weights act on)",
+            labels=("request_class",),
+        )
+        self.class_queue_wait = {
+            str(name): class_queue_wait.labels(str(name)) for name in class_names
         }
 
         latency = registry.histogram(
@@ -145,6 +170,12 @@ class ServingMetrics:
         )
         self.flush_rounds = rounds.labels()
 
+        stolen = registry.counter(
+            "serving_stolen_batches_total",
+            "Batches flushed by work-stealing passes at round barriers",
+        )
+        self.stolen_batches = stolen.labels()
+
         #: per-(stage, worker) hot-path stage time; children are bound into
         #: each worker's StageTimer by the engine.
         self.stage_seconds = registry.histogram(
@@ -184,6 +215,13 @@ class ServingMetrics:
     def status_total(self, status: str) -> int:
         """Engine-wide terminal count for one status (sum over shards)."""
         return sum(child.value for child in self.requests[status])
+
+    def class_totals(self) -> dict:
+        """Per-class terminal counts: ``{class: {status: count}}``."""
+        return {
+            name: {status: child.value for status, child in children.items()}
+            for name, children in self.class_requests.items()
+        }
 
     def retried_total(self) -> int:
         return sum(child.value for child in self.retries)

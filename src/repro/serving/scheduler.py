@@ -24,7 +24,8 @@ backstop, not the contract.
 
 from __future__ import annotations
 
-from typing import Callable, List
+import threading
+from typing import Callable, List, Optional
 
 from .batcher import MicroBatcher
 from .clock import Clock
@@ -34,7 +35,16 @@ __all__ = ["Scheduler"]
 
 
 class Scheduler:
-    """Drives flush rounds over a :class:`MicroBatcher` via a pluggable executor."""
+    """Drives flush rounds over a :class:`MicroBatcher` via a pluggable executor.
+
+    With ``work_stealing`` on, a round's executor workers that finish their
+    own shard's flush pull further shard ids from ``steal_source`` (the
+    engine's "hottest due queue" pick) and flush those too before the
+    barrier settles; after the steal pass the round re-checks deadline
+    expiry via ``expire_overdue`` so a stolen round can never hand the next
+    round a request that already expired (the exactly-one-terminal-state
+    ledger holds with stealing on).
+    """
 
     def __init__(
         self,
@@ -43,18 +53,29 @@ class Scheduler:
         flush: Callable[[int, bool], int],
         executor: FlushExecutor,
         flush_on_submit: bool = True,
+        work_stealing: bool = False,
+        steal_source: Optional[Callable[[], Optional[int]]] = None,
+        expire_overdue: Optional[Callable[[], int]] = None,
     ) -> None:
         self.batcher = batcher
         self.clock = clock
         self._flush = flush
         self.executor = executor
         self.flush_on_submit = bool(flush_on_submit)
+        self.work_stealing = bool(work_stealing) and steal_source is not None
+        self._steal_source = steal_source
+        self._expire_overdue = expire_overdue
         self.rounds = 0
-        # Optional registry counter mirroring `rounds` (bound by the engine).
+        self.stolen_batches = 0   # batches flushed by steal passes
+        self.steal_rounds = 0     # rounds in which at least one steal landed
+        self._steal_lock = threading.Lock()
+        # Optional registry counters (bound by the engine).
         self._rounds_counter = None
+        self._stolen_counter = None
 
-    def bind_metrics(self, rounds_counter) -> None:
+    def bind_metrics(self, rounds_counter, stolen_counter=None) -> None:
         self._rounds_counter = rounds_counter
+        self._stolen_counter = stolen_counter
 
     # -- the loop ---------------------------------------------------------------
 
@@ -80,7 +101,38 @@ class Scheduler:
         self.rounds += 1
         if self._rounds_counter is not None:
             self._rounds_counter.inc()
-        return sum(self.executor.map(lambda shard_id: self._flush(shard_id, forced), shard_ids))
+
+        def task(shard_id: int) -> int:
+            return self._flush(shard_id, forced)
+
+        if not self.work_stealing:
+            return sum(self.executor.map(task, shard_ids))
+
+        stolen_this_round = [0]
+
+        def stolen_task(shard_id: int) -> int:
+            flushed = self._flush(shard_id, forced)
+            if flushed:
+                with self._steal_lock:
+                    stolen_this_round[0] += 1
+                    self.stolen_batches += 1
+                if self._stolen_counter is not None:
+                    self._stolen_counter.inc()
+            return flushed
+
+        flushed = sum(
+            self.executor.map_stealing(task, shard_ids, self._steal_source, stolen_task)
+        )
+        if stolen_this_round[0]:
+            self.steal_rounds += 1
+        if self._expire_overdue is not None:
+            # The fix for stealing x deadlines: a steal pass burns clock time
+            # after the due-shard set was computed, so requests still queued
+            # behind the barrier may have expired meanwhile.  Re-checking
+            # here keeps expiry decisions at round granularity — the next
+            # round can never pop an already-expired request as live.
+            self._expire_overdue()
+        return flushed
 
     # -- lifecycle ---------------------------------------------------------------
 

@@ -82,6 +82,12 @@ class ServerStats:
     injected_faults: int = 0         # faults the FaultPlan actually fired
     block_waits: int = 0             # condition waits by blocked submitters
     block_self_flushes: int = 0      # blocked submitters that flushed for themselves
+    #: per-class terminal ledger: {class: {status: count}} (empty = classless)
+    class_requests: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    stolen_batches: int = 0          # batches flushed by work-stealing passes
+    steal_rounds: int = 0            # rounds in which at least one steal landed
+    ingress: str = "sync"            # arrival path ("sync" or "thread")
+    work_stealing: bool = False      # was round-barrier stealing enabled?
 
     # -- accounting --------------------------------------------------------------
 
@@ -229,6 +235,24 @@ class ServerStats:
             lines.append(
                 f"  backpressure: {self.block_waits} waits, "
                 f"{self.block_self_flushes} self-flushes by blocked submitters"
+            )
+        active_classes = {
+            name: counts
+            for name, counts in self.class_requests.items()
+            if sum(counts.values())
+        }
+        if len(active_classes) > 1:
+            for name, counts in active_classes.items():
+                lines.append(
+                    f"  class {name}: {counts.get('completed', 0)} completed, "
+                    f"{counts.get('shed', 0)} shed, {counts.get('expired', 0)} expired, "
+                    f"{counts.get('rejected', 0)} rejected, "
+                    f"{counts.get('failed', 0)} failed"
+                )
+        if self.stolen_batches:
+            lines.append(
+                f"  work stealing: {self.stolen_batches} stolen batches "
+                f"across {self.steal_rounds} rounds"
             )
         if self.halo_tier:
             lines.append(
