@@ -20,6 +20,7 @@ Refreshing baselines after an intentional change::
         python -m pytest benchmarks/bench_serving.py \
         benchmarks/bench_serving_hotpath.py benchmarks/bench_serving_halo.py \
         benchmarks/bench_serving_faults.py \
+        benchmarks/bench_serving_supervisor.py \
         benchmarks/bench_serving_telemetry.py \
         benchmarks/bench_serving_frontdoor.py \
         -q --benchmark-disable
@@ -43,6 +44,8 @@ FLOOR_METRICS: Dict[str, List[str]] = {
     "serving_halo_cold": ["speedup_halo_cold", "halo_hit_rate"],
     "serving_halo_plan_cache": ["plan_speedup", "hit_rate"],
     "serving_faults": ["throughput_ratio"],
+    "serving_supervisor": ["steady_state_ratio"],
+    "serving_supervisor_hedge": ["hedged_p99_speedup"],
     "serving_telemetry": ["metrics_ratio", "trace_ratio"],
     "serving_frontdoor": ["backfill_shed_share"],
     "serving_frontdoor_stealing": ["steal_round_ratio"],

@@ -232,6 +232,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="per-dispatch probability that a replica answers --fault-slow-ms late",
     )
+    serve.add_argument(
+        "--fault-die-rate",
+        type=float,
+        default=0.0,
+        help="per-dispatch probability that a replica dies permanently "
+        "(stays dead until a supervisor rebuild revives the slot)",
+    )
     serve.add_argument("--fault-hang-ms", type=float, default=50.0)
     serve.add_argument("--fault-slow-ms", type=float, default=5.0)
     serve.add_argument(
@@ -259,6 +266,42 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["fail", "stale_ok"],
         default="fail",
         help="what a shard with zero healthy replicas serves (stale_ok: cached rows)",
+    )
+    serve.add_argument(
+        "--supervisor",
+        action="store_true",
+        help="self-healing: quarantine + rebuild replicas whose breaker keeps re-opening",
+    )
+    serve.add_argument(
+        "--supervisor-budget",
+        type=int,
+        default=2,
+        help="breaker opens inside --supervisor-window-ms before a replica is rebuilt",
+    )
+    serve.add_argument(
+        "--supervisor-window-ms",
+        type=float,
+        default=1000.0,
+        help="rolling window the supervisor counts breaker opens over",
+    )
+    serve.add_argument(
+        "--retry-budget",
+        type=int,
+        default=None,
+        help="process-wide retry token bucket capacity (default: unbudgeted retries)",
+    )
+    serve.add_argument(
+        "--retry-budget-refill",
+        type=float,
+        default=0.25,
+        help="tokens refilled into the retry budget per successful dispatch",
+    )
+    serve.add_argument(
+        "--hedge-after-ms",
+        type=float,
+        default=None,
+        help="duplicate a stalled batch onto a healthy sibling replica once its "
+        "attempt exceeds max(this, the shard's rolling p95); needs --replicas >= 2",
     )
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
@@ -524,13 +567,19 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
         classes = rng.choice(names, size=args.requests, p=[mix[n] / total for n in names])
 
     def build_fault_plan():
-        if args.fault_fail_rate <= 0 and args.fault_hang_rate <= 0 and args.fault_slow_rate <= 0:
+        if (
+            args.fault_fail_rate <= 0
+            and args.fault_hang_rate <= 0
+            and args.fault_slow_rate <= 0
+            and args.fault_die_rate <= 0
+        ):
             return None
         spec = FaultSpec(
             workers=None if args.fault_workers is None else tuple(args.fault_workers),
             fail_rate=args.fault_fail_rate,
             hang_rate=args.fault_hang_rate,
             slow_rate=args.fault_slow_rate,
+            die_rate=args.fault_die_rate,
             hang_seconds=args.fault_hang_ms / 1e3,
             slow_seconds=args.fault_slow_ms / 1e3,
         )
@@ -577,6 +626,16 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
                 retry_backoff=args.retry_backoff_ms / 1e3,
                 retry_backoff_cap=max(args.retry_backoff_ms / 1e3 * 8, args.retry_backoff_ms / 1e3),
                 degraded_policy=args.degraded_policy,
+                supervisor=args.supervisor and faulty,
+                supervisor_failure_budget=args.supervisor_budget,
+                supervisor_window=args.supervisor_window_ms / 1e3,
+                retry_budget=args.retry_budget if faulty else None,
+                retry_budget_refill=args.retry_budget_refill,
+                hedge_after=(
+                    args.hedge_after_ms / 1e3
+                    if args.hedge_after_ms is not None and faulty
+                    else None
+                ),
                 ingress=args.ingress,
                 work_stealing=args.work_stealing,
                 telemetry=telemetry,

@@ -46,6 +46,17 @@ trained (optionally block-circulant-compressed) GNN:
   deadline-aware exponential backoff, and a shard with zero healthy
   replicas can serve cache/halo-resident rows as ``stale`` completions
   (``degraded_policy="stale_ok"``);
+* the self-healing layer closes the loop on permanent failures: a
+  :class:`ReplicaSupervisor` driven from the scheduler tick quarantines a
+  replica whose breaker keeps re-opening and rebuilds it from the shard
+  spec (fresh :class:`ShardWorker` under a bumped epoch, embedding cache
+  pre-warmed from the shared :class:`HaloStore`, re-registered with health
+  and dispatch) — also the machinery behind operator rolling restarts
+  (``InferenceServer.restart_replica``); a process-wide :class:`RetryBudget`
+  token bucket caps total retries so correlated flap storms degrade to
+  ``stale_ok``/fail-fast instead of amplifying, and hedged dispatch
+  (``hedge_after``) duplicates a stalled batch onto a healthy sibling,
+  first result winning, without changing any prediction;
 * :class:`InferenceServer` ties it together and exposes :class:`ServerStats`
   (p50/p95/p99/p99.9 latency, cache hit rate, per-shard load, overload
   counters, fault/failover counters, executor concurrency) plus a perfmodel
@@ -69,7 +80,15 @@ from .clock import Clock, ManualClock, SystemClock
 from .config import DEGRADED_POLICIES, INGRESS_MODES, ServingConfig
 from .engine import InferenceServer
 from .executor import ConcurrentExecutor, FlushExecutor, SerialExecutor, make_executor
-from .faults import FAULT_KINDS, FaultDecision, FaultPlan, FaultSpec, InjectedFault, ReplicaHung
+from .faults import (
+    FAULT_KINDS,
+    FaultDecision,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    ReplicaDead,
+    ReplicaHung,
+)
 from .frontdoor import (
     DEFAULT_REQUEST_CLASSES,
     FrontDoor,
@@ -83,11 +102,12 @@ from .frontdoor import (
 )
 from .health import HealthTracker, ReplicaHealth
 from .metrics import ServingMetrics
-from .scheduler import Scheduler
+from .scheduler import DrainTimeout, Scheduler
 from .shard import GraphShard, build_shards, expand_neighborhood
 from .stats import ServerStats, WorkerLoad, estimate_shard_request_cycles
+from .supervisor import ReplicaSupervisor, RetryBudget
 from .timing import STAGES, StageTimer, merge_stage_totals
-from .worker import ShardWorker
+from .worker import ShardWorker, WorkerRetired
 
 __all__ = [
     "Clock",
@@ -133,8 +153,13 @@ __all__ = [
     "FAULT_KINDS",
     "InjectedFault",
     "ReplicaHung",
+    "ReplicaDead",
+    "WorkerRetired",
     "HealthTracker",
     "ReplicaHealth",
+    "ReplicaSupervisor",
+    "RetryBudget",
+    "DrainTimeout",
     "InferenceServer",
     "ServingMetrics",
     "ServerStats",

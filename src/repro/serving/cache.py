@@ -682,6 +682,34 @@ class HaloStore:
             slot = self._slot_of[int(node)]
             return bool(slot >= 0 and entry[1][slot])
 
+    # -- bulk read-out (supervisor cache pre-warm) ------------------------------
+
+    @property
+    def signature(self) -> Optional[Hashable]:
+        """The weight signature the resident rows were computed under."""
+        with self._lock:
+            return self._signature
+
+    def layers(self) -> List[int]:
+        """Layers with an allocated slab, sorted."""
+        with self._lock:
+            return sorted(self._layers)
+
+    def resident(self, layer: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(global node ids, row values)`` currently present for ``layer``.
+
+        Rows are copied out, so callers (a rebuilt worker pre-warming its
+        private cache) can hold them without pinning the slab.  Does not
+        touch hit/miss stats — this is a maintenance read, not a lookup.
+        """
+        with self._lock:
+            entry = self._layers.get(layer)
+            if entry is None:
+                return np.empty(0, dtype=np.int64), np.empty((0, 0), dtype=np.float64)
+            slab, present = entry
+            slots = np.flatnonzero(present)
+            return self._shared[slots], slab[slots].copy()
+
 
 class LegacyEmbeddingCache:
     """The original per-row ``OrderedDict`` LRU cache (PR-2/PR-3 hot path).

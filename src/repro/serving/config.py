@@ -160,6 +160,36 @@ class ServingConfig:
         budgets: a retry never runs past a request's deadline).
     degraded_policy:
         ``"fail"`` or ``"stale_ok"`` — see :data:`DEGRADED_POLICIES`.
+    supervisor:
+        Enable automatic self-healing: a
+        :class:`~repro.serving.supervisor.ReplicaSupervisor` tick runs with
+        every ``poll()``/``drain()`` (and the front-door pump), quarantining
+        any replica whose breaker opened ``supervisor_failure_budget`` times
+        within ``supervisor_window`` clock seconds and rebuilding it in
+        place (fresh worker, cache pre-warmed from the halo tier, new
+        epoch).  Off by default; ``restart_replica()`` works either way.
+    supervisor_failure_budget, supervisor_window:
+        The quarantine trigger: breaker-open events (first trips *and*
+        failed-probe re-opens) tolerated per replica within the rolling
+        window before the supervisor rebuilds it.
+    retry_budget, retry_budget_refill:
+        Process-wide retry token bucket
+        (:class:`~repro.serving.supervisor.RetryBudget`): every batch retry
+        across all shards spends one of ``retry_budget`` tokens; each
+        successful dispatch refills ``retry_budget_refill`` tokens (capped
+        at the original budget).  With the bucket empty, a failed batch is
+        not retried: it degrades immediately (``stale_ok`` rows or
+        fail-fast), so correlated flap storms cannot amplify into retry
+        storms.  ``None`` (default) leaves retries bounded only by
+        ``max_retries`` per batch.
+    hedge_after:
+        Hedged dispatch (``None`` disables): when the replica chosen for a
+        batch stalls longer than ``max(hedge_after, rolling shard p95)``,
+        the batch is duplicated onto a second healthy replica of the same
+        shard; the first result wins and the loser is cancelled (and
+        counted).  Predictions are bitwise-unchanged — both replicas hold
+        the same shard and compute the same exact answer — so hedging only
+        moves the tail. Needs ``num_replicas >= 2``.
     health_failure_threshold, health_cooldown, health_latency_threshold:
         Per-replica circuit breaker (:class:`~repro.serving.health.HealthTracker`):
         ``health_failure_threshold`` consecutive failures open the breaker,
@@ -213,6 +243,12 @@ class ServingConfig:
     retry_backoff: float = 0.0005
     retry_backoff_cap: float = 0.01
     degraded_policy: str = "fail"
+    supervisor: bool = False
+    supervisor_failure_budget: int = 2
+    supervisor_window: float = 1.0
+    retry_budget: Optional[int] = None
+    retry_budget_refill: float = 0.25
+    hedge_after: Optional[float] = None
     health_failure_threshold: int = 3
     health_cooldown: float = 0.05
     health_latency_threshold: Optional[float] = None
@@ -300,6 +336,22 @@ class ServingConfig:
                 f"degraded_policy must be one of {DEGRADED_POLICIES}, "
                 f"got {self.degraded_policy!r}"
             )
+        if self.supervisor_failure_budget < 1:
+            raise ValueError("supervisor_failure_budget must be >= 1")
+        if self.supervisor_window <= 0:
+            raise ValueError("supervisor_window must be positive")
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ValueError("retry_budget must be non-negative (or None for unbudgeted)")
+        if self.retry_budget_refill < 0:
+            raise ValueError("retry_budget_refill must be non-negative")
+        if self.hedge_after is not None:
+            if self.hedge_after <= 0:
+                raise ValueError("hedge_after must be positive (or None to disable hedging)")
+            if self.num_replicas < 2:
+                raise ValueError(
+                    "hedge_after needs num_replicas >= 2: a hedged dispatch "
+                    "duplicates the batch onto a sibling replica"
+                )
         if self.health_failure_threshold < 1:
             raise ValueError("health_failure_threshold must be >= 1")
         if self.health_cooldown < 0:

@@ -48,7 +48,9 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import time
 import warnings
+from collections import deque
 from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -71,17 +73,22 @@ from .cache import CacheStats, EmbeddingCache, HaloStore, LegacyEmbeddingCache
 from .clock import Clock, SystemClock
 from .config import ServingConfig
 from .executor import make_executor
-from .faults import InjectedFault, ReplicaHung
+from .faults import InjectedFault, ReplicaDead, ReplicaHung
 from .frontdoor import FrontDoor, RequestHandle
 from .health import HealthTracker
 from .metrics import ServingMetrics
-from .scheduler import Scheduler
+from .scheduler import DrainTimeout, Scheduler
 from .shard import GraphShard, build_shards
 from .stats import ServerStats, WorkerLoad
+from .supervisor import ReplicaSupervisor, RetryBudget
 from .timing import merge_stage_totals
 from .worker import ShardWorker
 
-__all__ = ["ServingConfig", "InferenceServer", "RequestHandle"]
+__all__ = ["ServingConfig", "InferenceServer", "RequestHandle", "DrainTimeout"]
+
+#: Sentinel distinguishing "no fault decision passed" from "decision is None"
+#: in ``_attempt`` (hedged dispatch consults the plan before dispatching).
+_UNSET = object()
 
 
 class InferenceServer:
@@ -135,33 +142,25 @@ class InferenceServer:
 
         self.halo_store = self._build_halo_store()
         full_degrees = graph.degrees() if self.halo_store is not None else None
-        self.workers: List[ShardWorker] = []
-        self._replicas: List[List[ShardWorker]] = []
-        for shard in self.shards:
-            # Shard-local mask of rows whose full neighbour list is inside
-            # the shard (the subgraph relabelling is monotone, so induced row
-            # i is global node shard.nodes[i]).  Only those rows may be
-            # published to the shared halo tier.
-            publish_mask = (
+        # Shard-local masks of rows whose full neighbour list is inside the
+        # shard (the subgraph relabelling is monotone, so induced row i is
+        # global node shard.nodes[i]).  Only those rows may be published to
+        # the shared halo tier.  Kept for the supervisor: a rebuilt replica
+        # needs the same mask its corpse was built with.
+        self._publish_masks = [
+            (
                 shard.graph.degrees() == full_degrees[shard.nodes]
                 if full_degrees is not None
                 else None
             )
+            for shard in self.shards
+        ]
+        self.workers: List[ShardWorker] = []
+        self._replicas: List[List[ShardWorker]] = []
+        for shard_id, _shard in enumerate(self.shards):
             group: List[ShardWorker] = []
             for _replica in range(self.config.num_replicas):
-                worker = ShardWorker(
-                    worker_id=len(self.workers),
-                    shard=shard,
-                    model=model,
-                    cache=self._build_cache(shard),
-                    mode=self.config.mode,
-                    fanouts=self.config.fanouts,
-                    seed=self.config.seed + 9176 * len(self.workers),
-                    hot_path=self.config.hot_path,
-                    halo_store=self.halo_store,
-                    halo_publish_mask=publish_mask,
-                    plan_cache_size=self.config.plan_cache_size,
-                )
+                worker = self._build_worker(shard_id, worker_id=len(self.workers))
                 group.append(worker)
                 self.workers.append(worker)
             self._replicas.append(group)
@@ -191,6 +190,7 @@ class InferenceServer:
             work_stealing=self.config.work_stealing,
             steal_source=self._steal_candidate,
             expire_overdue=self._expire_overdue,
+            supervise=self.supervise,
         )
 
         # Engine-wide lock: guards queue admission, dispatcher state and the
@@ -220,6 +220,29 @@ class InferenceServer:
         self._last_completion: Optional[float] = None
         self._closed = False
 
+        # Dispatch-robustness primitives (PR 9).  The retry budget is
+        # process-wide: one bucket across every shard, so a correlated flap
+        # storm cannot multiply retries by the shard count.  The hedge
+        # window keeps a rolling sample of successful attempt latencies per
+        # shard — max(hedge_after, rolling p95) is the stall past which a
+        # duplicate dispatch fires on a sibling replica.
+        self.retry_budget: Optional[RetryBudget] = (
+            RetryBudget(self.config.retry_budget, self.config.retry_budget_refill)
+            if self.config.retry_budget is not None
+            else None
+        )
+        self._hedge_window: Optional[List[deque]] = (
+            [deque(maxlen=64) for _ in self.shards]
+            if self.config.hedge_after is not None
+            else None
+        )
+        self.supervisor = ReplicaSupervisor(
+            self,
+            failure_budget=self.config.supervisor_failure_budget,
+            window=self.config.supervisor_window,
+            auto=self.config.supervisor,
+        )
+
         # Telemetry plane: every counter ServerStats reports lives in the
         # registry (ServerStats is a *view* over it); the tracer (telemetry
         # mode "trace") records per-request root spans and batch-level
@@ -244,6 +267,9 @@ class InferenceServer:
             )
             if self.faults is not None:
                 self.faults.bind_metrics(self._metrics.faults)
+            self.supervisor.bind_metrics(
+                self._metrics.supervisor_restarts, self._metrics.supervisor_quarantines
+            )
             for worker in self.workers:
                 worker.timings.bind_histograms(
                     self._metrics.stage_seconds, worker.worker_id
@@ -326,6 +352,95 @@ class InferenceServer:
             pinned_nodes=pinned,
             initial_pin_count=initial,
         )
+
+    def _build_worker(
+        self, shard_id: int, worker_id: int, epoch: int = 0
+    ) -> ShardWorker:
+        """One replica from the shard spec (initial build *and* supervisor
+        rebuilds go through here, so a rebuilt worker is constructed exactly
+        like its corpse was — same seed, same publish mask — plus a bumped
+        epoch)."""
+        shard = self.shards[shard_id]
+        return ShardWorker(
+            worker_id=worker_id,
+            shard=shard,
+            model=self.model,
+            cache=self._build_cache(shard),
+            mode=self.config.mode,
+            fanouts=self.config.fanouts,
+            seed=self.config.seed + 9176 * worker_id,
+            hot_path=self.config.hot_path,
+            halo_store=self.halo_store,
+            halo_publish_mask=self._publish_masks[shard_id],
+            plan_cache_size=self.config.plan_cache_size,
+            epoch=epoch,
+        )
+
+    # -- self-healing (ReplicaSupervisor mechanics) -------------------------------
+
+    def supervise(self) -> int:
+        """One supervisor tick: rebuild any replica over its failure budget.
+
+        Wired into :meth:`poll` (and hence the front-door pump and every
+        ``drain`` round), so supervision advances with the flush loop and
+        needs no extra thread.  Inert unless ``config.supervisor`` is on.
+        """
+        return self.supervisor.tick(self.clock.now())
+
+    def _rebuild_replica(self, shard_id: int, slot: int):
+        """Swap one replica slot for a freshly built worker (same id, new
+        epoch).
+
+        The corpse is retired first, so any in-flight attempt against it
+        raises :class:`~repro.serving.worker.WorkerRetired` and fails
+        cleanly into the retry path; the halo epoch is bumped so publishes
+        racing the swap are discarded rather than trusted.  The fresh
+        worker's embedding cache is pre-warmed from the shared halo tier
+        before it is re-registered with the health tracker and dispatch.
+        Returns ``(worker, prewarmed_rows)``.
+        """
+        with self._lock:
+            corpse = self._replicas[shard_id][slot]
+            corpse.retire()
+            if self.halo_store is not None:
+                self.halo_store.bump_epoch()
+            worker = self._build_worker(
+                shard_id, worker_id=corpse.worker_id, epoch=corpse.epoch + 1
+            )
+            prewarmed = worker.prewarm_from_halo()
+            self._replicas[shard_id][slot] = worker
+            self.workers[corpse.worker_id] = worker
+            self.health.reinstate(worker.worker_id)
+            if self.faults is not None:
+                self.faults.revive(worker.worker_id)
+            if self.telemetry.enabled:
+                worker.timings.bind_histograms(
+                    self._metrics.stage_seconds, worker.worker_id
+                )
+            return worker, prewarmed
+
+    def restart_replica(self, shard_id: int, replica: int = 0) -> ShardWorker:
+        """Operator-initiated rolling restart of one replica slot.
+
+        The slot is quarantined first (no new dispatches), then the call
+        waits out any batch the replica is currently serving before the
+        supervisor rebuilds it — a rolling restart never abandons an
+        in-flight batch.  Returns the replacement worker.
+        """
+        if not 0 <= shard_id < len(self.shards):
+            raise ValueError(f"shard_id {shard_id} out of range (0..{len(self.shards) - 1})")
+        group = self._replicas[shard_id]
+        if not 0 <= replica < len(group):
+            raise ValueError(f"replica {replica} out of range (0..{len(group) - 1})")
+        worker = group[replica]
+        self.health.quarantine(worker.worker_id)
+        with self._capacity:
+            # Drain the replica's in-flight batches: flush tasks bump the
+            # worker's inflight gauge around predict() and notify _capacity
+            # when a flush settles.
+            while worker.inflight > 0:
+                self._capacity.wait(timeout=self._BLOCK_WAIT_TIMEOUT)
+        return self.supervisor.restart(shard_id, replica, self.clock.now())
 
     # -- request intake ----------------------------------------------------------
 
@@ -528,9 +643,10 @@ class InferenceServer:
 
     def poll(self) -> int:
         """Flush every queue that is due at the current clock time."""
+        self.supervise()
         return self.scheduler.poll()
 
-    def drain(self) -> int:
+    def drain(self, timeout: Optional[float] = None) -> int:
         """Force-flush until no request is pending (end of a request stream).
 
         Every request submitted before this call is terminal when it
@@ -538,20 +654,55 @@ class InferenceServer:
         out in-flight flushes: ``batcher.pending`` only counts *queued*
         requests, so a batch the pump already popped but has not finished
         serving would otherwise race past the check.
+
+        ``timeout`` (wall seconds) bounds the whole call: past it a
+        :class:`~repro.serving.scheduler.DrainTimeout` is raised carrying a
+        ledger snapshot (queue depths, in-flight flushes, terminal counts)
+        so a wedged drain reports *what* is stuck.  The server stays usable
+        — pending requests remain queued for a later ``drain()``.
         """
-        flushed = self.scheduler.drain()
-        if not self.has_background_ingress:
-            return flushed
-        while True:
-            # _capacity shares the engine lock, and the pump pops a batch and
-            # bumps _inflight_flushes inside one locked region — so observing
-            # "nothing in flight and nothing queued" here really is idle.
-            with self._capacity:
-                while self._inflight_flushes > 0:
-                    self._capacity.wait(timeout=self._BLOCK_WAIT_TIMEOUT)
-                if not self.batcher.pending:
-                    return flushed
-            flushed += self.scheduler.drain()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            self.supervise()
+            flushed = self.scheduler.drain(deadline)
+            if not self.has_background_ingress:
+                return flushed
+            while True:
+                # _capacity shares the engine lock, and the pump pops a batch
+                # and bumps _inflight_flushes inside one locked region — so
+                # observing "nothing in flight and nothing queued" here really
+                # is idle.
+                with self._capacity:
+                    while self._inflight_flushes > 0:
+                        if deadline is not None and time.monotonic() >= deadline:
+                            raise DrainTimeout(
+                                "drain deadline passed with a flush still in flight"
+                            )
+                        self._capacity.wait(timeout=self._BLOCK_WAIT_TIMEOUT)
+                    if not self.batcher.pending:
+                        return flushed
+                self.supervise()
+                flushed += self.scheduler.drain(deadline)
+        except DrainTimeout as exc:
+            raise DrainTimeout(str(exc), snapshot=self._ledger_snapshot()) from None
+
+    def _ledger_snapshot(self) -> dict:
+        """Point-in-time view of where every request stands (DrainTimeout
+        payload)."""
+        with self._lock:
+            metrics = self._metrics
+            return {
+                "pending": self.batcher.pending,
+                "queue_depths": {
+                    shard_id: self.batcher.queue_depth(shard_id)
+                    for shard_id in range(len(self.shards))
+                },
+                "inflight_flushes": self._inflight_flushes,
+                "terminal": {
+                    status: metrics.status_total(status)
+                    for status in (COMPLETED, REJECTED, SHED, EXPIRED, FAILED)
+                },
+            }
 
     def predict(self, nodes: Sequence[int]) -> np.ndarray:
         """Synchronous convenience: submit ``nodes``, drain, return predictions.
@@ -695,6 +846,17 @@ class InferenceServer:
         any request whose deadline cannot survive the backoff, so a retry
         never runs past a deadline.  When no replica is dispatchable the
         batch falls through to the degraded path.
+
+        Two robustness layers sit on top (PR 9):
+
+        * **Hedged dispatch** (``config.hedge_after``): the fault plan is
+          consulted *before* dispatching, so a primary that drew a stall
+          longer than the hedge threshold duplicates the batch onto a healthy
+          sibling — first finisher wins, the loser is cancelled and counted.
+        * **Retry budget** (``config.retry_budget``): each retry spends one
+          process-wide token; with the bucket empty the batch degrades
+          immediately (``stale_ok`` rows or fail-fast) instead of feeding a
+          retry storm.
         """
         tried: set = set()
         attempt = 0
@@ -704,6 +866,7 @@ class InferenceServer:
             if worker is None:
                 self._serve_degraded(shard_id, live)
                 return
+            primary = worker
             nodes = np.array([request.node for request in live], dtype=np.int64)
             start = self.clock.now()
             record = None
@@ -722,8 +885,30 @@ class InferenceServer:
                     start,
                 )
                 stages_before = worker.timings.snapshot()
+            # The plan is consulted here (not inside _attempt) so hedging can
+            # see the primary's stall before committing to it; the consult
+            # order per worker is unchanged, so runs with hedging off are
+            # bit-identical to the pre-hedging engine.
+            decision = (
+                self.faults.decide(worker.worker_id, start)
+                if self.faults is not None
+                else None
+            )
+            threshold = self._hedge_threshold(shard_id)
             try:
-                predictions = self._attempt(worker, nodes, fault_info)
+                if (
+                    threshold is not None
+                    and decision is not None
+                    and decision.kind in ("slow", "hang")
+                    and decision.seconds > threshold
+                ):
+                    predictions, worker = self._serve_hedged(
+                        shard_id, worker, decision, nodes, fault_info, tried, start, threshold
+                    )
+                else:
+                    predictions = self._attempt(
+                        worker, nodes, fault_info, decision=decision
+                    )
             except Exception as exc:
                 now = self.clock.now()
                 self.health.record_failure(worker.worker_id, now)
@@ -736,6 +921,7 @@ class InferenceServer:
                 attempt += 1
                 fault = fault_info.get("kind", type(exc).__name__)
                 backoff = 0.0
+                budget_denied = False
                 survivors: List[InferenceRequest] = []
                 with self._lock:
                     self._metrics.worker_failures.inc()
@@ -745,18 +931,25 @@ class InferenceServer:
                         if record is not None:
                             tracer.end_attempt(record, now, "error", fault=fault)
                         return
-                    backoff = min(
-                        self.config.retry_backoff * (2 ** (attempt - 1)),
-                        self.config.retry_backoff_cap,
-                    )
-                    for request in live:
-                        if request.deadline is not None and request.deadline <= now + backoff:
-                            self._terminal(request, EXPIRED, now)
-                        else:
-                            request.retries += 1
-                            survivors.append(request)
-                    if survivors:
-                        self._metrics.retries[shard_id].inc(len(survivors))
+                    if self.retry_budget is not None and not self.retry_budget.try_spend():
+                        # Budget empty: no more retries anywhere in the
+                        # process — degrade this batch right now.
+                        budget_denied = True
+                        self._metrics.retry_budget_exhausted.inc()
+                    else:
+                        self._metrics.retry_attempts.inc()
+                        backoff = min(
+                            self.config.retry_backoff * (2 ** (attempt - 1)),
+                            self.config.retry_backoff_cap,
+                        )
+                        for request in live:
+                            if request.deadline is not None and request.deadline <= now + backoff:
+                                self._terminal(request, EXPIRED, now)
+                            else:
+                                request.retries += 1
+                                survivors.append(request)
+                        if survivors:
+                            self._metrics.retries[shard_id].inc(len(survivors))
                 if record is not None:
                     tracer.end_attempt(
                         record,
@@ -765,6 +958,9 @@ class InferenceServer:
                         fault=fault,
                         backoff=backoff if survivors else 0.0,
                     )
+                if budget_denied:
+                    self._serve_degraded(shard_id, live)
+                    return
                 live = survivors
                 if live and backoff > 0:
                     self.clock.sleep(backoff)
@@ -773,11 +969,22 @@ class InferenceServer:
             end = self.clock.now()
             latency = end - start
             self.health.record_success(worker.worker_id, end, latency)
+            if self.retry_budget is not None:
+                self.retry_budget.on_success()
+            if self._hedge_window is not None:
+                # Rolling latency sample feeding the adaptive p95 threshold.
+                self._hedge_window[shard_id].append(latency)
             if record is not None:
-                after = worker.timings.snapshot()
-                stages = {
-                    name: after[name] - stages_before.get(name, 0.0) for name in after
-                }
+                if worker is primary:
+                    after = worker.timings.snapshot()
+                    stages = {
+                        name: after[name] - stages_before.get(name, 0.0)
+                        for name in after
+                    }
+                else:
+                    # A hedge won: the before-snapshot belongs to the primary,
+                    # so a stage delta would be meaningless.
+                    stages = None
                 tracer.end_attempt(
                     record, end, "ok", fault=fault_info.get("kind"), stages=stages
                 )
@@ -800,34 +1007,175 @@ class InferenceServer:
                 self._last_completion = now
             return
 
+    # -- hedged dispatch ----------------------------------------------------------
+
+    def _hedge_threshold(self, shard_id: int) -> Optional[float]:
+        """The stall (clock seconds) past which a hedge fires, or ``None``
+        when hedging is off.
+
+        The floor is ``config.hedge_after``; once the shard's rolling window
+        holds enough successful-attempt latencies, the threshold adapts
+        upward to their p95 so routine tail latency never triggers a hedge.
+        """
+        if self._hedge_window is None:
+            return None
+        threshold = self.config.hedge_after
+        window = self._hedge_window[shard_id]
+        if len(window) >= 16:
+            threshold = max(
+                threshold, float(np.percentile(np.asarray(window, dtype=np.float64), 95))
+            )
+        return threshold
+
+    def _hedge_candidate(
+        self, shard_id: int, primary: ShardWorker, tried: set, now: float
+    ) -> Optional[ShardWorker]:
+        """A healthy sibling to duplicate a stalled batch onto.
+
+        Never the primary itself and never a replica that already failed
+        this batch — unlike ``_pick_worker``, whose single-replica fallback
+        may legitimately return an excluded worker.  ``None`` means no
+        sibling is dispatchable and the primary just runs un-hedged.
+        """
+        group = self._replicas[shard_id]
+        exclude = set(tried)
+        exclude.add(primary.worker_id)
+        ids = [worker.worker_id for worker in group]
+        closed, probing = self.health.partition(ids, now)
+        pool_ids = [i for i in closed if i not in exclude] or [
+            i for i in probing if i not in exclude
+        ]
+        if not pool_ids:
+            return None
+        by_id = {worker.worker_id: worker for worker in group}
+        pool = [by_id[worker_id] for worker_id in pool_ids]
+        return min(pool, key=lambda worker: (worker.nodes_served, worker.worker_id))
+
+    def _serve_hedged(
+        self,
+        shard_id: int,
+        primary: ShardWorker,
+        decision,
+        nodes: np.ndarray,
+        fault_info: dict,
+        tried: set,
+        start: float,
+        threshold: float,
+    ):
+        """The primary drew a stall past the hedge threshold: race a sibling.
+
+        Under a :class:`~repro.serving.clock.ManualClock` computation costs
+        no clock time, so injected stalls are the *only* latency signal —
+        the race resolves deterministically from finish stamps
+        (``start + primary_stall`` vs ``fired_at + hedge_stall``).  Both
+        replicas hold the same shard and compute bitwise-identical logits,
+        so first-result-wins cannot change any prediction.  The loser is
+        cancelled (no health record: it neither succeeded nor failed) and
+        counted in ``serving_hedges_cancelled_total``.  Returns
+        ``(predictions, winning_worker)``; raises like a plain attempt when
+        the primary hangs and the hedge cannot win.
+        """
+        fault_info["kind"] = decision.kind
+        hedge = self._hedge_candidate(shard_id, primary, tried, self.clock.now())
+        if hedge is None:
+            # Nothing to hedge onto: behave exactly like an un-hedged attempt.
+            return (
+                self._attempt(primary, nodes, fault_info, decision=decision),
+                primary,
+            )
+        # Wait out the trigger, then consult the plan for the hedge dispatch
+        # (same once-per-dispatch discipline as any attempt).
+        self.clock.sleep(threshold)
+        fired_at = self.clock.now()
+        self._metrics.hedges[shard_id].inc()
+        hedge_decision = (
+            self.faults.decide(hedge.worker_id, fired_at)
+            if self.faults is not None
+            else None
+        )
+        hedge_kind = hedge_decision.kind if hedge_decision is not None else None
+        if hedge_kind is not None:
+            fault_info["hedge_kind"] = hedge_kind
+        primary_finishes = decision.kind == "slow"  # a hang never returns
+        primary_finish = start + decision.seconds
+        hedge_stall = hedge_decision.seconds if hedge_kind == "slow" else 0.0
+        hedge_finish = fired_at + hedge_stall
+        hedge_wins = hedge_kind in (None, "slow") and (
+            not primary_finishes or hedge_finish < primary_finish
+        )
+        if hedge_wins:
+            if hedge_stall > 0:
+                self.clock.sleep(hedge_stall)
+            predictions = self._attempt(hedge, nodes, None, decision=None)
+            self._metrics.hedges_won[shard_id].inc()
+            self._metrics.hedges_cancelled[shard_id].inc()  # the primary
+            return predictions, hedge
+        # The hedge lost.  A fast failure (raise/die) is a real dispatch
+        # failure: the breaker sees it and the batch's retry loop must not
+        # re-pick this replica.  A hung or slower hedge is simply cancelled.
+        if hedge_kind in ("raise", "die"):
+            now = self.clock.now()
+            self.health.record_failure(hedge.worker_id, now)
+            tried.add(hedge.worker_id)
+            with self._lock:
+                self._metrics.worker_failures.inc()
+        else:
+            self._metrics.hedges_cancelled[shard_id].inc()
+        # The primary still owes the rest of its stall.
+        remaining = decision.seconds - threshold
+        if remaining > 0:
+            self.clock.sleep(remaining)
+        if decision.kind == "hang":
+            raise ReplicaHung(
+                f"worker {primary.worker_id} hung for {decision.seconds * 1e3:.1f} ms"
+            )
+        return self._attempt(primary, nodes, None, decision=None), primary
+
     def _attempt(
-        self, worker: ShardWorker, nodes: np.ndarray, fault_info: Optional[dict] = None
+        self,
+        worker: ShardWorker,
+        nodes: np.ndarray,
+        fault_info: Optional[dict] = None,
+        decision=_UNSET,
     ) -> np.ndarray:
         """One dispatch to one replica, with the fault plan consulted first.
 
         ``fault_info`` (when given) surfaces the injected-fault kind to the
         tracer: it gains a ``"kind"`` entry whenever the plan fired.
+        ``decision`` lets a caller that already consulted the plan (the
+        hedging path) pass the outcome in — the plan must be consulted
+        exactly once per dispatch or fault sequences lose determinism.
         """
-        if self.faults is not None:
-            decision = self.faults.decide(worker.worker_id, self.clock.now())
-            if decision is not None:
-                if fault_info is not None:
-                    fault_info["kind"] = decision.kind
-                if decision.kind == "raise":
-                    raise InjectedFault(
-                        f"injected failure on worker {worker.worker_id}"
-                    )
-                if decision.kind == "hang":
-                    # The hang burns clock time past any sane deadline before
-                    # the dispatch is declared dead (a timeout, simulated).
-                    self.clock.sleep(decision.seconds)
-                    raise ReplicaHung(
-                        f"worker {worker.worker_id} hung for "
-                        f"{decision.seconds * 1e3:.1f} ms"
-                    )
-                # "slow": extra latency, then a normal (correct) answer — the
-                # signal the health tracker's latency EWMA watches.
+        if decision is _UNSET:
+            decision = (
+                self.faults.decide(worker.worker_id, self.clock.now())
+                if self.faults is not None
+                else None
+            )
+        if decision is not None:
+            if fault_info is not None:
+                fault_info["kind"] = decision.kind
+            if decision.kind == "raise":
+                raise InjectedFault(
+                    f"injected failure on worker {worker.worker_id}"
+                )
+            if decision.kind == "die":
+                # Permanent: the plan keeps this worker dead until the
+                # supervisor rebuilds the replica (FaultPlan.revive).
+                raise ReplicaDead(
+                    f"worker {worker.worker_id} died (killed by the fault plan)"
+                )
+            if decision.kind == "hang":
+                # The hang burns clock time past any sane deadline before
+                # the dispatch is declared dead (a timeout, simulated).
                 self.clock.sleep(decision.seconds)
+                raise ReplicaHung(
+                    f"worker {worker.worker_id} hung for "
+                    f"{decision.seconds * 1e3:.1f} ms"
+                )
+            # "slow": extra latency, then a normal (correct) answer — the
+            # signal the health tracker's latency EWMA watches.
+            self.clock.sleep(decision.seconds)
         with self._serving_mode():
             return worker.predict(nodes)
 
@@ -976,6 +1324,7 @@ class InferenceServer:
                     failures=record.failures,
                     breaker_opens=record.opens,
                     latency_ewma=record.latency_ewma,
+                    epoch=worker.epoch,
                 )
             )
         loads = tuple(loads)
@@ -985,8 +1334,11 @@ class InferenceServer:
             duration = 0.0
         # ServerStats is a *view over the registry*: every ledger counter
         # below reads the metric children the serving paths incremented (all
-        # zero under telemetry="off").
+        # zero under telemetry="off").  Supervisor and retry-budget numbers
+        # come from their owning objects instead, so they survive
+        # telemetry="off" (the bench gates assert on them exactly).
         metrics = self._metrics
+        hedged, hedges_won, hedges_cancelled = metrics.hedge_totals()
         return ServerStats(
             mode=self.config.mode,
             hot_path=self.config.hot_path,
@@ -1022,6 +1374,25 @@ class InferenceServer:
             steal_rounds=self.scheduler.steal_rounds,
             ingress=self.config.ingress,
             work_stealing=self.scheduler.work_stealing,
+            supervisor_restarts=self.supervisor.restarts,
+            supervisor_quarantines=self.supervisor.quarantines,
+            prewarmed_rows=self.supervisor.prewarmed_rows,
+            hedged_batches=hedged,
+            hedges_won=hedges_won,
+            hedges_cancelled=hedges_cancelled,
+            retry_attempts=metrics.retry_attempts.value,
+            retry_budget_capacity=(
+                self.retry_budget.capacity if self.retry_budget is not None else None
+            ),
+            retry_budget_spent=(
+                self.retry_budget.spent if self.retry_budget is not None else 0
+            ),
+            retry_budget_exhausted=(
+                self.retry_budget.denied if self.retry_budget is not None else 0
+            ),
+            retry_budget_tokens=(
+                self.retry_budget.tokens if self.retry_budget is not None else 0.0
+            ),
         )
 
     def reset_stats(self) -> None:
@@ -1051,6 +1422,9 @@ class InferenceServer:
             worker.timings.reset()
         if self.halo_store is not None:
             self.halo_store.stats = CacheStats()
+        self.supervisor.reset_counters()
+        if self.retry_budget is not None:
+            self.retry_budget.reset_counters()
 
     def describe(self) -> str:
         depth = (

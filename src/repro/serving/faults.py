@@ -20,6 +20,11 @@ Failure modes (one decision per dispatch, first matching spec wins):
 ``slow``
     The dispatch succeeds but takes ``slow_seconds`` longer — the input the
     health tracker's latency EWMA exists to notice.
+``die``
+    Permanent crash: once drawn (``die_rate``), *every* later dispatch to
+    that replica fails too, regardless of spec windows — the replica is a
+    corpse until :meth:`FaultPlan.revive` (called by the supervisor when it
+    rebuilds the worker, modelling a fresh process).
 
 Specs can be windowed in clock time (``after``/``until``) and restricted to
 specific replicas (``workers``), so a test can script "replica 2 dies at
@@ -39,9 +44,17 @@ from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["FaultSpec", "FaultDecision", "FaultPlan", "InjectedFault", "ReplicaHung", "FAULT_KINDS"]
+__all__ = [
+    "FaultSpec",
+    "FaultDecision",
+    "FaultPlan",
+    "InjectedFault",
+    "ReplicaHung",
+    "ReplicaDead",
+    "FAULT_KINDS",
+]
 
-FAULT_KINDS = ("raise", "hang", "slow")
+FAULT_KINDS = ("raise", "hang", "slow", "die")
 
 
 class InjectedFault(RuntimeError):
@@ -50,6 +63,10 @@ class InjectedFault(RuntimeError):
 
 class ReplicaHung(RuntimeError):
     """A dispatch that consumed its hang budget without answering (timeout)."""
+
+
+class ReplicaDead(RuntimeError):
+    """A dispatch to a permanently crashed replica (``kind="die"`` fired)."""
 
 
 @dataclass(frozen=True)
@@ -68,6 +85,11 @@ class FaultSpec:
         dead — choose it larger than any request deadline under test.
     slow_seconds:
         Extra latency of a slow (but successful) dispatch.
+    die_rate:
+        Per-dispatch probability of a *permanent* crash: once it fires the
+        replica stays dead (every later dispatch fails with ``die``) until
+        the plan is told the worker was rebuilt via
+        :meth:`FaultPlan.revive`.
     flap_period, flap_down:
         Deterministic flapping: out of every ``flap_period`` dispatches to a
         replica, the first ``flap_down`` fail (``raise``).  ``0`` disables
@@ -81,6 +103,7 @@ class FaultSpec:
     fail_rate: float = 0.0
     hang_rate: float = 0.0
     slow_rate: float = 0.0
+    die_rate: float = 0.0
     hang_seconds: float = 0.05
     slow_seconds: float = 0.005
     flap_period: int = 0
@@ -89,12 +112,12 @@ class FaultSpec:
     until: Optional[float] = None
 
     def __post_init__(self) -> None:
-        for name in ("fail_rate", "hang_rate", "slow_rate"):
+        for name in ("fail_rate", "hang_rate", "slow_rate", "die_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be within [0, 1], got {rate}")
-        if self.fail_rate + self.hang_rate + self.slow_rate > 1.0 + 1e-12:
-            raise ValueError("fail_rate + hang_rate + slow_rate must not exceed 1")
+        if self.fail_rate + self.hang_rate + self.slow_rate + self.die_rate > 1.0 + 1e-12:
+            raise ValueError("fail_rate + hang_rate + slow_rate + die_rate must not exceed 1")
         if self.hang_seconds < 0 or self.slow_seconds < 0:
             raise ValueError("hang_seconds and slow_seconds must be non-negative")
         if self.flap_period < 0 or self.flap_down < 0:
@@ -144,6 +167,7 @@ class FaultPlan:
         self._lock = threading.Lock()
         self._rngs: Dict[int, np.random.Generator] = {}
         self._dispatches: Dict[int, int] = {}
+        self._dead: set = set()  # workers whose "die" fired and were not revived
         self.injected: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
         # Optional per-kind counter sinks (telemetry); a plan can be shared
         # with at most one instrumented server at a time (last bind wins).
@@ -173,11 +197,26 @@ class FaultPlan:
     def total_injected(self) -> int:
         return sum(self.injected.values())
 
+    def dead_workers(self) -> Tuple[int, ...]:
+        """Worker ids currently held dead by a fired ``die`` fault."""
+        with self._lock:
+            return tuple(sorted(self._dead))
+
+    def revive(self, worker_id: int) -> None:
+        """Clear a worker's permanent-crash flag (its process was rebuilt).
+
+        Only the dead flag is dropped — RNG streams and dispatch counters are
+        kept, so the rest of the schedule stays deterministic across revivals.
+        """
+        with self._lock:
+            self._dead.discard(int(worker_id))
+
     def reset(self) -> None:
         """Forget dispatch counters and RNG state (fresh, replayable plan)."""
         with self._lock:
             self._rngs.clear()
             self._dispatches.clear()
+            self._dead.clear()
             self.injected = {kind: 0 for kind in FAULT_KINDS}
 
     def decide(self, worker_id: int, now: float) -> Optional[FaultDecision]:
@@ -190,6 +229,10 @@ class FaultPlan:
             if rng is None:
                 rng = np.random.default_rng([self.seed, worker_id])
                 self._rngs[worker_id] = rng
+            if worker_id in self._dead:
+                # A corpse fails every dispatch, regardless of spec windows.
+                self._record("die")
+                return FaultDecision("die")
             for spec in self.specs:
                 if not spec.applies_to(worker_id) or not spec.active_at(now):
                     continue
@@ -197,13 +240,17 @@ class FaultPlan:
                     self._record("raise")
                     return FaultDecision("raise")
                 draw = float(rng.random())
-                if draw < spec.fail_rate:
+                if draw < spec.die_rate:
+                    self._dead.add(worker_id)
+                    self._record("die")
+                    return FaultDecision("die")
+                if draw < spec.die_rate + spec.fail_rate:
                     self._record("raise")
                     return FaultDecision("raise")
-                if draw < spec.fail_rate + spec.hang_rate:
+                if draw < spec.die_rate + spec.fail_rate + spec.hang_rate:
                     self._record("hang")
                     return FaultDecision("hang", seconds=spec.hang_seconds)
-                if draw < spec.fail_rate + spec.hang_rate + spec.slow_rate:
+                if draw < spec.die_rate + spec.fail_rate + spec.hang_rate + spec.slow_rate:
                     self._record("slow")
                     return FaultDecision("slow", seconds=spec.slow_seconds)
             return None
@@ -218,9 +265,10 @@ class FaultPlan:
             flap = (
                 f", flap {spec.flap_down}/{spec.flap_period}" if spec.flap_period else ""
             )
+            die = f", die {spec.die_rate:.0%}" if spec.die_rate else ""
             parts.append(
                 f"{scope}: raise {spec.fail_rate:.0%}, hang {spec.hang_rate:.0%}"
                 f" ({spec.hang_seconds * 1e3:g} ms), slow {spec.slow_rate:.0%}"
-                f" (+{spec.slow_seconds * 1e3:g} ms){flap}{window}"
+                f" (+{spec.slow_seconds * 1e3:g} ms){die}{flap}{window}"
             )
         return f"FaultPlan(seed={self.seed}): " + "; ".join(parts)

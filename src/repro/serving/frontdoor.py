@@ -323,6 +323,11 @@ class FrontDoor:
     re-polls every ``poll_interval`` wall seconds (delay-triggered flushes
     need a heartbeat); with empty queues it parks on the wake event and
     costs nothing.
+
+    Each poll also ticks the :class:`~repro.serving.supervisor.
+    ReplicaSupervisor` (via ``InferenceServer.poll``), so under background
+    ingress a replica over its failure budget is rebuilt by the pump thread
+    between rounds — self-healing needs no extra thread of its own.
     """
 
     def __init__(self, server: "InferenceServer", poll_interval: float = 0.001) -> None:

@@ -20,6 +20,17 @@ State machine (the classic three states):
     Cooldown elapsed: ``available`` returns ``True`` again so exactly the
     next dispatch acts as a probe.  Success closes the breaker; failure
     re-opens it and restarts the cooldown.
+``quarantined``
+    Pulled from dispatch entirely by the
+    :class:`~repro.serving.supervisor.ReplicaSupervisor` (or an operator
+    restart): no cooldown re-admits it.  Only ``reinstate`` — called when a
+    rebuilt worker re-registers — returns the slot to service, with a fresh
+    record so the replacement starts with a clean breaker.
+
+Every breaker-open *event* (first trip and each failed-probe re-open) is
+timestamped in ``open_times``; ``opens_in_window`` is the supervisor's
+quarantine trigger.  The ``opens`` counter keeps its original meaning —
+distinct closed→open trips — so dashboards don't double-count probe churn.
 
 All timing uses the serving plane's :class:`~repro.serving.clock.Clock`,
 so recovery schedules are exact under :class:`ManualClock`.  The tracker
@@ -42,7 +53,7 @@ class ReplicaHealth:
     """Mutable health record for one replica (guarded by the tracker's lock)."""
 
     worker_id: int
-    state: str = "closed"                 # closed | open (half-open is derived)
+    state: str = "closed"                 # closed | open | quarantined (half-open derived)
     consecutive_failures: int = 0
     failures: int = 0
     successes: int = 0
@@ -50,6 +61,7 @@ class ReplicaHealth:
     opened_at: float = field(default=0.0)
     opens: int = 0                        # how many times the breaker tripped
     probes: int = 0                       # half-open dispatches attempted
+    open_times: List[float] = field(default_factory=list)  # trips + re-opens
 
     def snapshot(self) -> "ReplicaHealth":
         return ReplicaHealth(
@@ -62,6 +74,7 @@ class ReplicaHealth:
             opened_at=self.opened_at,
             opens=self.opens,
             probes=self.probes,
+            open_times=list(self.open_times),
         )
 
 
@@ -88,6 +101,11 @@ class HealthTracker:
         self._replicas: Dict[int, ReplicaHealth] = {
             int(worker_id): ReplicaHealth(worker_id=int(worker_id)) for worker_id in worker_ids
         }
+        #: Monotone count of every breaker-open event (trips and failed-probe
+        #: re-opens) across all replicas.  ``reinstate`` does not roll it
+        #: back, so the supervisor can use it as a cheap did-anything-change
+        #: gate between ticks.
+        self.total_opens = 0
         # Optional per-replica counter sinks (telemetry); resolved once so
         # record paths never pay a label lookup.
         self._failure_counters: Dict[int, object] = {}
@@ -113,13 +131,15 @@ class HealthTracker:
     def _state_locked(self, replica: ReplicaHealth, now: float) -> str:
         if replica.state == "closed":
             return "closed"
+        if replica.state == "quarantined":
+            return "quarantined"
         if now - replica.opened_at >= self.cooldown:
             return "half_open"
         return "open"
 
     def available(self, worker_id: int, now: float) -> bool:
         """May dispatch route to this replica right now (closed or probing)?"""
-        return self.state(worker_id, now) != "open"
+        return self.state(worker_id, now) in ("closed", "half_open")
 
     def healthy(self, worker_id: int, now: float) -> bool:
         """Strictly healthy — closed breaker, no probe credit needed."""
@@ -140,6 +160,15 @@ class HealthTracker:
 
     # ---------------------------------------------------------------- records
 
+    _OPEN_HISTORY = 64  # per-replica bound on remembered open events
+
+    def _open_event(self, replica: ReplicaHealth, now: float) -> None:
+        """Timestamp one breaker-open event (caller holds the lock)."""
+        replica.open_times.append(now)
+        if len(replica.open_times) > self._OPEN_HISTORY:
+            del replica.open_times[: -self._OPEN_HISTORY]
+        self.total_opens += 1
+
     def record_success(self, worker_id: int, now: float, latency: float = 0.0) -> None:
         with self._lock:
             replica = self._replicas[worker_id]
@@ -151,6 +180,10 @@ class HealthTracker:
                 replica.latency_ewma = (
                     _EWMA_ALPHA * latency + (1.0 - _EWMA_ALPHA) * replica.latency_ewma
                 )
+            if replica.state == "quarantined":
+                # An in-flight attempt against the corpse finished: count the
+                # sample but do not resurrect the slot — only reinstate() does.
+                return
             if self._state_locked(replica, now) == "half_open":
                 replica.probes += 1
             if (
@@ -164,6 +197,7 @@ class HealthTracker:
                     counter = self._open_counters.get(worker_id)
                     if counter is not None:
                         counter.inc()
+                    self._open_event(replica, now)
                 replica.state = "open"
                 replica.opened_at = now
             else:
@@ -178,10 +212,13 @@ class HealthTracker:
             counter = self._failure_counters.get(worker_id)
             if counter is not None:
                 counter.inc()
+            if replica.state == "quarantined":
+                return
             if was_half_open:
                 # Failed probe: re-open and restart the cooldown.
                 replica.probes += 1
                 replica.opened_at = now
+                self._open_event(replica, now)
             elif replica.state == "closed" and (
                 replica.consecutive_failures >= self.failure_threshold
             ):
@@ -191,6 +228,25 @@ class HealthTracker:
                 counter = self._open_counters.get(worker_id)
                 if counter is not None:
                     counter.inc()
+                self._open_event(replica, now)
+
+    # ------------------------------------------------------------- supervision
+
+    def opens_in_window(self, worker_id: int, since: float) -> int:
+        """Breaker-open events (trips + re-opens) at or after clock ``since``."""
+        with self._lock:
+            replica = self._replicas[worker_id]
+            return sum(1 for stamp in replica.open_times if stamp >= since)
+
+    def quarantine(self, worker_id: int) -> None:
+        """Pull a replica from dispatch until it is explicitly reinstated."""
+        with self._lock:
+            self._replicas[worker_id].state = "quarantined"
+
+    def reinstate(self, worker_id: int) -> None:
+        """Re-register a rebuilt replica under a clean breaker record."""
+        with self._lock:
+            self._replicas[worker_id] = ReplicaHealth(worker_id=int(worker_id))
 
     # --------------------------------------------------------------- plumbing
 
@@ -199,6 +255,17 @@ class HealthTracker:
             return self._replicas[worker_id].snapshot()
 
     def reset(self) -> None:
+        """Back to pristine: records, the open ledger *and* bound metrics.
+
+        The bound per-replica counters are part of the breaker's externally
+        visible state — leaving them standing after a reset would skew
+        post-restart dashboards against a tracker that claims zero failures.
+        """
         with self._lock:
             for worker_id in list(self._replicas):
                 self._replicas[worker_id] = ReplicaHealth(worker_id=worker_id)
+            self.total_opens = 0
+            for counter in self._failure_counters.values():
+                counter.reset()
+            for counter in self._open_counters.values():
+                counter.reset()

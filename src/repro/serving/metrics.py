@@ -128,6 +128,51 @@ class ServingMetrics:
         )
         self.degraded = [degraded.labels(shard) for shard in shards]
 
+        hedges = registry.counter(
+            "serving_hedges_total",
+            "Hedged dispatches fired (primary stalled past the hedge threshold)",
+            labels=("shard",),
+        )
+        self.hedges = [hedges.labels(shard) for shard in shards]
+
+        hedges_won = registry.counter(
+            "serving_hedges_won_total",
+            "Hedged dispatches where the hedge finished before the primary",
+            labels=("shard",),
+        )
+        self.hedges_won = [hedges_won.labels(shard) for shard in shards]
+
+        hedges_cancelled = registry.counter(
+            "serving_hedges_cancelled_total",
+            "Losing attempts of hedged dispatches cancelled before completion",
+            labels=("shard",),
+        )
+        self.hedges_cancelled = [hedges_cancelled.labels(shard) for shard in shards]
+
+        retry_attempts = registry.counter(
+            "serving_retry_attempts_total",
+            "Batch retry attempts actually performed, engine-wide",
+        )
+        self.retry_attempts = retry_attempts.labels()
+
+        budget_exhausted = registry.counter(
+            "serving_retry_budget_exhausted_total",
+            "Failed batches denied a retry by the empty process-wide budget",
+        )
+        self.retry_budget_exhausted = budget_exhausted.labels()
+
+        #: per-replica supervisor actions (ReplicaSupervisor sinks).
+        self.supervisor_restarts = registry.counter(
+            "serving_supervisor_restarts_total",
+            "Replica rebuilds performed by the supervisor, per replica slot",
+            labels=("replica",),
+        )
+        self.supervisor_quarantines = registry.counter(
+            "serving_supervisor_quarantines_total",
+            "Replicas pulled from dispatch by the supervisor, per replica slot",
+            labels=("replica",),
+        )
+
         #: per-replica dispatch failures + breaker opens (HealthTracker sinks).
         self.replica_failures = registry.counter(
             "serving_replica_failures_total",
@@ -231,3 +276,11 @@ class ServingMetrics:
 
     def degraded_total(self) -> int:
         return sum(child.value for child in self.degraded)
+
+    def hedge_totals(self) -> "tuple[int, int, int]":
+        """Engine-wide ``(fired, won, cancelled)`` hedge counts."""
+        return (
+            sum(child.value for child in self.hedges),
+            sum(child.value for child in self.hedges_won),
+            sum(child.value for child in self.hedges_cancelled),
+        )

@@ -25,13 +25,28 @@ backstop, not the contract.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, List, Optional
 
 from .batcher import MicroBatcher
 from .clock import Clock
 from .executor import FlushExecutor
 
-__all__ = ["Scheduler"]
+__all__ = ["Scheduler", "DrainTimeout"]
+
+
+class DrainTimeout(TimeoutError):
+    """``drain(timeout=...)`` expired with requests still pending.
+
+    Carries a ``snapshot`` dict (queue depths, in-flight flushes, terminal
+    counts — filled in by the engine) so the caller can see exactly what was
+    still wedged instead of a bare timeout.  The server remains usable: the
+    pending requests stay queued and a later ``drain()`` can finish them.
+    """
+
+    def __init__(self, message: str, snapshot: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.snapshot = dict(snapshot or {})
 
 
 class Scheduler:
@@ -56,6 +71,7 @@ class Scheduler:
         work_stealing: bool = False,
         steal_source: Optional[Callable[[], Optional[int]]] = None,
         expire_overdue: Optional[Callable[[], int]] = None,
+        supervise: Optional[Callable[[], int]] = None,
     ) -> None:
         self.batcher = batcher
         self.clock = clock
@@ -65,6 +81,7 @@ class Scheduler:
         self.work_stealing = bool(work_stealing) and steal_source is not None
         self._steal_source = steal_source
         self._expire_overdue = expire_overdue
+        self._supervise = supervise
         self.rounds = 0
         self.stolen_batches = 0   # batches flushed by steal passes
         self.steal_rounds = 0     # rounds in which at least one steal landed
@@ -84,10 +101,21 @@ class Scheduler:
         due = self.batcher.due_shards(self.clock.now())
         return self._run_round(due, forced=False)
 
-    def drain(self) -> int:
-        """Force-flush rounds until no request is pending (stream shutdown)."""
+    def drain(self, deadline: Optional[float] = None) -> int:
+        """Force-flush rounds until no request is pending (stream shutdown).
+
+        ``deadline`` is an absolute ``time.monotonic()`` stamp: a pathological
+        fault plan (every replica hanging, retries re-queueing work) can
+        otherwise spin this loop forever.  Past the deadline a
+        :class:`DrainTimeout` is raised with the work left standing — the
+        engine enriches it with a full ledger snapshot.
+        """
         flushed = 0
         while self.batcher.pending:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise DrainTimeout(
+                    f"drain deadline passed with {self.batcher.pending} request(s) pending"
+                )
             flushed += self._run_round(self.batcher.nonempty_shards(), forced=True)
         return flushed
 
@@ -106,7 +134,14 @@ class Scheduler:
             return self._flush(shard_id, forced)
 
         if not self.work_stealing:
-            return sum(self.executor.map(task, shard_ids))
+            flushed = sum(self.executor.map(task, shard_ids))
+            if self._supervise is not None:
+                # Supervision ticks at round barriers: the round's flush tasks
+                # have all settled, so a replica rebuilt here can never have a
+                # same-round attempt racing its swap (off-round attempts hit
+                # the retired corpse and fail into the retry path).
+                self._supervise()
+            return flushed
 
         stolen_this_round = [0]
 
@@ -132,6 +167,8 @@ class Scheduler:
             # here keeps expiry decisions at round granularity — the next
             # round can never pop an already-expired request as live.
             self._expire_overdue()
+        if self._supervise is not None:
+            self._supervise()
         return flushed
 
     # -- lifecycle ---------------------------------------------------------------

@@ -44,6 +44,7 @@ class WorkerLoad:
     failures: int = 0            # dispatch attempts that failed on this replica
     breaker_opens: int = 0       # times the replica's breaker tripped
     latency_ewma: Optional[float] = None  # smoothed dispatch latency (seconds)
+    epoch: int = 0               # replica incarnation (bumped per supervisor rebuild)
 
 
 @dataclass(frozen=True)
@@ -88,6 +89,17 @@ class ServerStats:
     steal_rounds: int = 0            # rounds in which at least one steal landed
     ingress: str = "sync"            # arrival path ("sync" or "thread")
     work_stealing: bool = False      # was round-barrier stealing enabled?
+    supervisor_restarts: int = 0     # replica rebuilds (auto + operator)
+    supervisor_quarantines: int = 0  # replicas pulled from dispatch pending rebuild
+    prewarmed_rows: int = 0          # cache rows pre-warmed from the halo tier on rebuild
+    hedged_batches: int = 0          # hedged dispatches fired
+    hedges_won: int = 0              # hedges that finished before their primary
+    hedges_cancelled: int = 0        # losing attempts cancelled before completion
+    retry_attempts: int = 0          # batch retries actually performed
+    retry_budget_capacity: Optional[int] = None  # token-bucket capacity (None = unbudgeted)
+    retry_budget_spent: int = 0      # tokens spent on retries
+    retry_budget_exhausted: int = 0  # failed batches denied a retry (bucket empty)
+    retry_budget_tokens: float = 0.0  # tokens left at snapshot time
 
     # -- accounting --------------------------------------------------------------
 
@@ -231,6 +243,25 @@ class ServerStats:
                 f"({self.injected_faults} injected), {self.retried_requests} retried, "
                 f"{self.failovers} failovers, {self.degraded_requests} served stale"
             )
+        if self.supervisor_restarts or self.supervisor_quarantines:
+            lines.append(
+                f"  self-healing: {self.supervisor_restarts} replica rebuilds "
+                f"({self.supervisor_quarantines} quarantined), "
+                f"{self.prewarmed_rows} cache rows pre-warmed from the halo tier"
+            )
+        if self.hedged_batches:
+            lines.append(
+                f"  hedging: {self.hedged_batches} fired, {self.hedges_won} won "
+                f"({self._rate(self.hedges_won, self.hedged_batches)}), "
+                f"{self.hedges_cancelled} losers cancelled"
+            )
+        if self.retry_budget_capacity is not None:
+            lines.append(
+                f"  retry budget: {self.retry_budget_spent}/{self.retry_budget_capacity} "
+                f"tokens spent ({self.retry_budget_tokens:.1f} left), "
+                f"{self.retry_budget_exhausted} retries denied "
+                f"({self._rate(self.retry_budget_exhausted, self.retry_attempts + self.retry_budget_exhausted)} of attempts)"
+            )
         if self.block_waits or self.block_self_flushes:
             lines.append(
                 f"  backpressure: {self.block_waits} waits, "
@@ -288,11 +319,12 @@ class ServerStats:
                     f", {worker.health}: {worker.failures} failures, "
                     f"{worker.breaker_opens} opens{ewma}"
                 )
+            epoch = f", epoch {worker.epoch}" if worker.epoch else ""
             lines.append(
                 f"  worker {worker.worker_id} (shard {worker.shard_id}): "
                 f"{worker.nodes} nodes in {worker.batches} batches "
                 f"[{worker.core_nodes} core + {worker.halo_nodes} halo, "
-                f"peak {worker.peak_concurrency} in flight{health}]"
+                f"peak {worker.peak_concurrency} in flight{health}{epoch}]"
             )
         return "\n".join(lines)
 

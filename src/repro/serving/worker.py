@@ -54,7 +54,17 @@ from .config import HOT_PATHS
 from .shard import GraphShard, expand_neighborhood
 from .timing import StageTimer
 
-__all__ = ["ShardWorker"]
+__all__ = ["ShardWorker", "WorkerRetired"]
+
+
+class WorkerRetired(RuntimeError):
+    """Dispatch against a worker the supervisor already replaced.
+
+    Raised by :meth:`ShardWorker.predict` once :meth:`ShardWorker.retire` has
+    run: an in-flight attempt that still holds a reference to the corpse
+    fails cleanly into the engine's normal retry path instead of computing on
+    (and publishing from) a replica that is no longer registered.
+    """
 
 
 class ShardWorker:
@@ -73,6 +83,7 @@ class ShardWorker:
         halo_store=None,
         halo_publish_mask: Optional[np.ndarray] = None,
         plan_cache_size: int = 0,
+        epoch: int = 0,
     ) -> None:
         if mode not in ("exact", "sampled"):
             raise ValueError(f"mode must be 'exact' or 'sampled', got {mode!r}")
@@ -87,6 +98,10 @@ class ShardWorker:
         self.cache = cache
         self.mode = mode
         self.hot_path = hot_path
+        #: Replica incarnation: 0 at server build, bumped by every supervisor
+        #: rebuild of this worker slot.
+        self.epoch = int(epoch)
+        self.retired = False
         compiled_exact = mode == "exact" and hot_path == "compiled"
         # Cross-shard halo tier and the per-worker restriction-plan cache are
         # compiled-exact-path features; the legacy reference path must keep
@@ -133,8 +148,27 @@ class ShardWorker:
 
     # -- public API ------------------------------------------------------------
 
+    @property
+    def inflight(self) -> int:
+        """Batches currently inside ``predict`` (rolling-restart drain gate)."""
+        with self._gauge_lock:
+            return self._inflight
+
+    def retire(self) -> None:
+        """Mark this incarnation dead: every later ``predict`` raises.
+
+        Called by the supervisor right before the replacement is registered,
+        so attempts racing the swap cannot serve from (or warm the caches of)
+        the corpse.
+        """
+        self.retired = True
+
     def predict(self, global_nodes: np.ndarray) -> np.ndarray:
         """Class predictions for a batch of (shard-core) global node ids."""
+        if self.retired:
+            raise WorkerRetired(
+                f"worker {self.worker_id} epoch {self.epoch} was retired by the supervisor"
+            )
         local = self.shard.to_local(np.asarray(global_nodes, dtype=np.int64))
         with self._gauge_lock:
             self._inflight += 1
@@ -167,6 +201,36 @@ class ShardWorker:
             with self._gauge_lock:
                 self._inflight -= 1
         return logits.argmax(axis=-1)
+
+    def prewarm_from_halo(self) -> int:
+        """Seed the private embedding cache from the shared halo tier.
+
+        A rebuilt replica starts cold; the halo store still holds every exact
+        boundary row the fleet computed, under the weight signature it was
+        computed with.  Copying the in-shard subset over means the
+        replacement's first flushes hit instead of recomputing the whole
+        receptive field.  Returns the number of rows pre-warmed.
+        """
+        halo = self.halo_store
+        cache = self.cache
+        if halo is None or not getattr(cache, "enabled", False):
+            return 0
+        signature = halo.signature
+        if signature is None:
+            return 0  # nothing was ever published: cold start is all there is
+        cache.ensure_signature(signature)
+        warmed = 0
+        shard_nodes = self.shard.nodes
+        for layer in halo.layers():
+            nodes, values = halo.resident(layer)
+            if not len(nodes):
+                continue
+            held = np.isin(nodes, shard_nodes, assume_unique=True)
+            if not held.any():
+                continue
+            cache.put(layer, nodes[held], values[held])
+            warmed += int(held.sum())
+        return warmed
 
     def degraded_logits(self, global_nodes: np.ndarray):
         """Last-resort read path for a shard with zero healthy replicas.

@@ -20,6 +20,8 @@ from repro.graph.datasets import synthetic_graph
 from repro.models import create_model
 from repro.serving import (
     DEFAULT_REQUEST_CLASSES,
+    FaultPlan,
+    FaultSpec,
     InferenceServer,
     ManualClock,
     MicroBatcher,
@@ -586,5 +588,120 @@ class TestFrontDoorPump:
         try:
             assert server.stats().ingress == "sync"
             assert "ingress" in server.describe()
+        finally:
+            server.shutdown()
+
+
+class TestHandlesUnderFaults:
+    """RequestHandle waits under ``ingress="thread"`` while fault plans fire.
+
+    The pump thread drives failover/degraded paths concurrently with the
+    waiting caller, so these assert the handle contract (``result(timeout=)``,
+    typed exceptions, awaitability) is unchanged by the fault layer.
+    """
+
+    def test_result_timeout_survives_failover_with_exact_predictions(self):
+        # Replica 0 of shard 0 always raises; its sibling absorbs the work.
+        plan = FaultPlan(FaultSpec(workers=(0,), fail_rate=1.0), seed=3)
+        server = _server(
+            clock=SystemClock(),
+            ingress="thread",
+            num_replicas=2,
+            max_delay=0.005,
+            fault_plan=plan,
+            health_failure_threshold=1,
+            health_cooldown=30.0,
+        )
+        try:
+            nodes = list(range(GRAPH.num_nodes))
+            handles = server.submit_many(nodes)
+            got = [h.result(timeout=10.0) for h in handles]
+            assert got == [int(REFERENCE[n]) for n in nodes]
+            stats = server.stats()
+            assert stats.completed_requests == len(nodes)
+            # The breaker opened once and every batch landed on the sibling.
+            assert stats.worker_failures >= 1
+        finally:
+            server.shutdown()
+
+    def test_request_failed_raises_through_result_and_exception(self):
+        # Every replica always raises and there is nothing to fail over to:
+        # the pump marks the request failed and the waiting caller gets the
+        # typed exception instead of a hang.
+        plan = FaultPlan(FaultSpec(fail_rate=1.0), seed=0)
+        server = _server(
+            clock=SystemClock(),
+            ingress="thread",
+            max_delay=0.005,
+            fault_plan=plan,
+            max_retries=1,
+        )
+        try:
+            handle = server.submit(0)
+            with pytest.raises(RequestFailed, match="failed"):
+                handle.result(timeout=10.0)
+            assert handle.done()
+            assert handle.status == "failed"
+            exc = handle.exception(timeout=10.0)
+            assert isinstance(exc, RequestFailed)
+            assert exc.request_id == handle.request_id
+        finally:
+            server.shutdown()
+
+    def test_die_fault_degrades_to_stale_completions_through_handles(self):
+        # Warm the caches fault-free, then kill every replica permanently:
+        # with stale_ok the pump serves resident rows as stale completions
+        # and result(timeout=) still returns the exact prediction.  Fault
+        # windows are absolute clock time, so anchor `after` to the live
+        # SystemClock reading.
+        clock = SystemClock()
+        plan = FaultPlan(FaultSpec(die_rate=1.0, after=clock.now() + 0.3), seed=0)
+        server = _server(
+            clock=clock,
+            ingress="thread",
+            max_delay=0.005,
+            fault_plan=plan,
+            max_retries=1,
+            health_failure_threshold=1,
+            health_cooldown=30.0,
+            degraded_policy="stale_ok",
+        )
+        try:
+            nodes = _shard_nodes(server, 0, 4)
+            warm = [h.result(timeout=10.0) for h in server.submit_many(nodes)]
+            import time as _time
+
+            _time.sleep(0.35)  # move past the fault window's `after`
+            handles = server.submit_many(nodes)
+            got = [h.result(timeout=10.0) for h in handles]
+            assert got == warm == [int(REFERENCE[n]) for n in nodes]
+            assert all(h.stale for h in handles)
+        finally:
+            server.shutdown()
+
+    def test_await_from_asyncio_while_a_replica_flaps(self):
+        # Deterministic flapping on every replica; awaited handles resolve to
+        # the exact predictions because failover hides the flaps.
+        plan = FaultPlan(
+            FaultSpec(flap_period=3, flap_down=1), seed=1
+        )
+        server = _server(
+            clock=SystemClock(),
+            ingress="thread",
+            num_replicas=2,
+            max_delay=0.005,
+            fault_plan=plan,
+            health_failure_threshold=2,
+            health_cooldown=0.01,
+        )
+        try:
+
+            async def main():
+                return await asyncio.gather(
+                    *(server.submit(n) for n in range(8))
+                )
+
+            results = asyncio.run(main())
+            assert results == [int(REFERENCE[n]) for n in range(8)]
         finally:
             server.shutdown()

@@ -103,6 +103,75 @@ class TestPartition:
         assert tracker.state(0, now=0.0) == "closed"
         assert tracker.snapshot(0).failures == 0
 
+    def test_reset_clears_bound_metric_counters_and_open_ledger(self):
+        # Regression: reset() used to leave the bound registry counters (and
+        # the monotone open ledger) standing, so a post-reset tracker claimed
+        # zero failures while its exported metrics said otherwise.
+        class Counter:
+            def __init__(self):
+                self.value = 0
+
+            def inc(self, amount=1):
+                self.value += amount
+
+            def reset(self):
+                self.value = 0
+
+            def labels(self, *values):
+                return self
+
+        failures, opens = Counter(), Counter()
+        tracker = _tracker(failure_threshold=1, cooldown=1.0)
+        tracker.bind_metrics(failures, opens)
+        tracker.record_failure(0, now=0.0)
+        tracker.record_failure(1, now=0.0)
+        assert failures.value == 2 and opens.value == 2
+        assert tracker.total_opens == 2
+        tracker.reset()
+        assert failures.value == 0 and opens.value == 0
+        assert tracker.total_opens == 0
+        assert tracker.snapshot(0).open_times == []
+
+
+class TestQuarantine:
+    def test_quarantined_replicas_never_dispatch(self):
+        tracker = _tracker(failure_threshold=1, cooldown=0.0)
+        tracker.quarantine(0)
+        assert tracker.state(0, now=100.0) == "quarantined"
+        assert not tracker.available(0, now=100.0)  # no cooldown re-admission
+        assert tracker.partition([0, 1], now=100.0) == ([1], [])
+        # Late signals from in-flight attempts against the corpse are counted
+        # as samples but never change state: only reinstate() resurrects.
+        tracker.record_success(0, now=100.0, latency=0.001)
+        assert tracker.state(0, now=100.0) == "quarantined"
+        tracker.record_failure(0, now=100.0)
+        assert tracker.state(0, now=100.0) == "quarantined"
+        assert tracker.snapshot(0).open_times == []  # no open events either
+
+    def test_reinstate_gives_a_clean_record(self):
+        tracker = _tracker(failure_threshold=1, cooldown=1.0)
+        tracker.record_failure(0, now=0.0)
+        tracker.quarantine(0)
+        tracker.reinstate(0)
+        assert tracker.state(0, now=0.0) == "closed"
+        record = tracker.snapshot(0)
+        assert record.failures == 0 and record.opens == 0 and record.open_times == []
+        # The tracker-level open ledger is monotone: reinstate never rolls
+        # it back (it gates the supervisor's cheap tick).
+        assert tracker.total_opens == 1
+
+    def test_opens_in_window_counts_trips_and_reopens(self):
+        tracker = _tracker(failure_threshold=1, cooldown=1.0)
+        tracker.record_failure(0, now=0.0)   # trip (open #1)
+        tracker.record_failure(0, now=1.0)   # failed probe (re-open #2)
+        tracker.record_failure(0, now=2.0)   # failed probe (re-open #3)
+        assert tracker.opens_in_window(0, since=0.0) == 3
+        assert tracker.opens_in_window(0, since=0.5) == 2
+        assert tracker.opens_in_window(0, since=2.5) == 0
+        # .opens keeps its original meaning: closed->open trips only.
+        assert tracker.snapshot(0).opens == 1
+        assert tracker.total_opens == 3
+
 
 class TestValidation:
     def test_rejects_bad_parameters(self):

@@ -20,7 +20,14 @@ from hypothesis import strategies as st
 from repro.compression import CompressionConfig
 from repro.graph.datasets import synthetic_graph
 from repro.models import create_model
-from repro.serving import TERMINAL_STATUSES, InferenceServer, ManualClock, ServingConfig
+from repro.serving import (
+    TERMINAL_STATUSES,
+    FaultPlan,
+    FaultSpec,
+    InferenceServer,
+    ManualClock,
+    ServingConfig,
+)
 
 GRAPH = synthetic_graph(
     num_nodes=48, num_edges=180, num_features=8, num_classes=3, seed=11, name="overload-graph"
@@ -133,6 +140,122 @@ def test_every_request_terminates_exactly_once(
     assert len(by_request) == len(requests)
     for request in requests:
         assert by_request[request.request_id]["status"] == request.status
+
+
+# -- the ledger with the self-healing layer armed -------------------------------
+#
+# PR 9 arms everything at once: permanent ``die`` faults, the replica
+# supervisor (rebuilds fire mid-run from the scheduler tick), hedged dispatch
+# and a finite retry budget.  None of it may bend the exactly-once ledger or
+# the bitwise-exactness of completed answers.
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    operations=_operations(),
+    fail_rate=st.floats(0.0, 0.4),
+    die_rate=st.floats(0.0, 0.3),
+    slow_rate=st.floats(0.0, 0.2),
+    fault_seed=st.integers(0, 5),
+    supervisor_failure_budget=st.integers(1, 2),
+    hedge_after=st.one_of(st.none(), st.floats(0.005, 0.1)),
+    retry_budget=st.one_of(st.none(), st.integers(0, 4)),
+    degraded_policy=st.sampled_from(["fail", "stale_ok"]),
+    max_retries=st.integers(0, 2),
+)
+def test_ledger_holds_with_supervisor_hedging_and_die_faults(
+    operations,
+    fail_rate,
+    die_rate,
+    slow_rate,
+    fault_seed,
+    supervisor_failure_budget,
+    hedge_after,
+    retry_budget,
+    degraded_policy,
+    max_retries,
+):
+    plan = FaultPlan(
+        FaultSpec(
+            fail_rate=fail_rate,
+            die_rate=die_rate,
+            slow_rate=slow_rate,
+            slow_seconds=0.05,
+        ),
+        seed=fault_seed,
+    )
+    clock = ManualClock()
+    server = InferenceServer(
+        MODEL,
+        GRAPH,
+        ServingConfig(
+            num_shards=2,
+            num_replicas=2,  # hedging needs a sibling to duplicate onto
+            max_batch_size=4,
+            max_delay=0.2,
+            cache_capacity=64,
+            fault_plan=plan,
+            max_retries=max_retries,
+            degraded_policy=degraded_policy,
+            health_failure_threshold=1,
+            health_cooldown=0.05,
+            supervisor=True,
+            supervisor_failure_budget=supervisor_failure_budget,
+            supervisor_window=5.0,
+            hedge_after=hedge_after,
+            retry_budget=retry_budget,
+            retry_budget_refill=0.5,
+            seed=0,
+        ),
+        clock=clock,
+    )
+
+    requests = []
+    for operation, value in operations:
+        if operation == "submit":
+            requests.append(server.submit(value))
+        elif operation == "advance":
+            clock.advance(value)
+        elif operation == "poll":
+            server.poll()
+        else:
+            server.drain()
+    server.shutdown()  # final drain: nothing may stay pending
+
+    # Exactly-once termination, bitwise-exact completions — restarts,
+    # hedge races and budget denials included.
+    assert all(request.status in TERMINAL_STATUSES for request in requests)
+    assert all(request.done for request in requests)
+    for request in requests:
+        if request.status == "completed":
+            assert request.prediction == REFERENCE[request.node]
+        else:
+            assert request.prediction is None
+            assert not request.stale
+
+    stats = server.stats()
+    assert stats.submitted_requests == len(requests)
+    assert stats.completed_requests == sum(r.status == "completed" for r in requests)
+    assert stats.failed_requests == sum(r.status == "failed" for r in requests)
+    assert stats.expired_requests == sum(r.status == "expired" for r in requests)
+    assert stats.degraded_requests == sum(r.stale for r in requests)
+    assert server.batcher.pending == 0
+
+    # The dispatch pool never holds a corpse: every replica the server could
+    # still dispatch to is live (rebuilds swapped retired workers out), and
+    # each rebuild was recorded by the supervisor.
+    assert all(
+        not worker.retired for row in server._replicas for worker in row
+    )
+    rebuilds = [e for e in server.supervisor.event_log() if e["event"] != "quarantine"]
+    assert stats.supervisor_restarts == len(rebuilds)
+    # A hedge race has one winner and one loser: wins never exceed fires,
+    # and each fire cancels at most one loser (the other side may instead be
+    # recorded as a real failure when the hedge drew raise/die).
+    assert stats.hedges_won <= stats.hedged_batches
+    assert stats.hedges_cancelled <= stats.hedged_batches
+    if hedge_after is None:
+        assert stats.hedged_batches == 0
 
 
 # -- three request classes under overload ---------------------------------------
