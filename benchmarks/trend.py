@@ -21,6 +21,7 @@ Refreshing baselines after an intentional change::
         benchmarks/bench_serving_hotpath.py benchmarks/bench_serving_halo.py \
         benchmarks/bench_serving_faults.py \
         benchmarks/bench_serving_supervisor.py \
+        benchmarks/bench_serving_multiprocess.py \
         benchmarks/bench_serving_telemetry.py \
         benchmarks/bench_serving_frontdoor.py \
         -q --benchmark-disable
@@ -46,6 +47,7 @@ FLOOR_METRICS: Dict[str, List[str]] = {
     "serving_faults": ["throughput_ratio"],
     "serving_supervisor": ["steady_state_ratio"],
     "serving_supervisor_hedge": ["hedged_p99_speedup"],
+    "serving_multiprocess": ["healed_steady_state_ratio"],
     "serving_telemetry": ["metrics_ratio", "trace_ratio"],
     "serving_frontdoor": ["backfill_shed_share"],
     "serving_frontdoor_stealing": ["steal_round_ratio"],

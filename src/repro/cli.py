@@ -166,15 +166,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--fanouts", type=int, nargs="+", default=[10, 5], help="sampled mode only")
     serve.add_argument(
         "--executor",
-        choices=["serial", "concurrent"],
+        choices=["serial", "concurrent", "process"],
         default="serial",
-        help="flush execution: inline (deterministic) or thread-pool (parallel shards)",
+        help="flush execution: inline (deterministic), thread-pool (parallel "
+        "shards), or crash-isolated worker processes over shared-memory slabs",
     )
     serve.add_argument(
         "--executor-workers",
         type=int,
         default=None,
-        help="thread-pool size for --executor concurrent (default: one per shard replica)",
+        help="pool size for --executor concurrent/process (default: one per shard replica)",
+    )
+    serve.add_argument(
+        "--num-processes",
+        type=int,
+        default=None,
+        help="alias for --executor-workers with --executor process",
     )
     serve.add_argument(
         "--max-queue-depth",
@@ -238,6 +245,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="per-dispatch probability that a replica dies permanently "
         "(stays dead until a supervisor rebuild revives the slot)",
+    )
+    serve.add_argument(
+        "--fault-kill-rate",
+        type=float,
+        default=0.0,
+        help="per-dispatch probability that the replica's worker *process* is "
+        "SIGKILLed (--executor process; in-process replicas degrade to die)",
     )
     serve.add_argument("--fault-hang-ms", type=float, default=50.0)
     serve.add_argument("--fault-slow-ms", type=float, default=5.0)
@@ -551,6 +565,9 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
     fanouts = tuple(args.fanouts)
     Trainer(model, graph, TrainingConfig(epochs=args.epochs, fanouts=fanouts, seed=args.seed)).fit()
 
+    if args.num_processes is not None:
+        args.executor_workers = args.num_processes
+
     rng = np.random.default_rng(args.seed)
     nodes = rng.choice(graph.num_nodes, size=args.requests, replace=True)
 
@@ -572,6 +589,7 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
             and args.fault_hang_rate <= 0
             and args.fault_slow_rate <= 0
             and args.fault_die_rate <= 0
+            and args.fault_kill_rate <= 0
         ):
             return None
         spec = FaultSpec(
@@ -580,6 +598,7 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
             hang_rate=args.fault_hang_rate,
             slow_rate=args.fault_slow_rate,
             die_rate=args.fault_die_rate,
+            kill_rate=args.fault_kill_rate,
             hang_seconds=args.fault_hang_ms / 1e3,
             slow_seconds=args.fault_slow_ms / 1e3,
         )
@@ -711,10 +730,15 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
         )
     server.shutdown()
 
-    # Concurrent-vs-serial: replay the cold stream under both executors (no
-    # cache, so the comparison is pure flush execution).
+    # Serial vs thread-pool vs worker-process executors: replay the cold
+    # stream under each (no cache, so the comparison is pure flush
+    # execution).  The process plane serves only the compiled exact hot
+    # path, so it drops out of the comparison under other modes.
+    executor_names = ["serial", "concurrent"]
+    if args.mode == "exact" and args.hot_path == "compiled":
+        executor_names.append("process")
     executor_lines = []
-    for executor in ("serial", "concurrent"):
+    for executor in executor_names:
         comparison = build_server(args.batch_size, 0, executor)
         seconds = timed_stream(comparison)
         peak = comparison.stats().peak_concurrency
@@ -728,8 +752,11 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
     # implementation, cold and warm caches (exact mode only).
     hotpath_lines = []
     if args.mode == "exact":
+        # The process plane only serves the compiled hot path; compare the
+        # hot paths on the serial executor in that case.
+        hotpath_executor = "serial" if args.executor == "process" else args.executor
         for hot_path in ("legacy", "compiled"):
-            comparison = build_server(args.batch_size, args.cache, args.executor, hot_path=hot_path)
+            comparison = build_server(args.batch_size, args.cache, hotpath_executor, hot_path=hot_path)
             cold_hp = timed_stream(comparison)
             warm_hp = timed_stream(comparison)
             comparison.shutdown()

@@ -102,6 +102,15 @@ from .frontdoor import (
 )
 from .health import HealthTracker, ReplicaHealth
 from .metrics import ServingMetrics
+from .procplane import (
+    ProcessDead,
+    ProcessExecutor,
+    ProcessPlane,
+    ProcessTimeout,
+    ProcessWorkerHandle,
+    SharedHaloStore,
+    SharedSlabArena,
+)
 from .scheduler import DrainTimeout, Scheduler
 from .shard import GraphShard, build_shards, expand_neighborhood
 from .stats import ServerStats, WorkerLoad, estimate_shard_request_cycles
@@ -157,6 +166,13 @@ __all__ = [
     "WorkerRetired",
     "HealthTracker",
     "ReplicaHealth",
+    "ProcessDead",
+    "ProcessTimeout",
+    "ProcessExecutor",
+    "ProcessPlane",
+    "ProcessWorkerHandle",
+    "SharedSlabArena",
+    "SharedHaloStore",
     "ReplicaSupervisor",
     "RetryBudget",
     "DrainTimeout",

@@ -56,7 +56,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -118,13 +118,30 @@ class _LayerSlab:
 
     __slots__ = ("dim", "strict", "slab", "slot_nodes", "stamps", "slot_of", "_free", "_free_top")
 
-    def __init__(self, capacity: int, dim: int, num_nodes: int, strict: bool = False) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        dim: int,
+        num_nodes: int,
+        strict: bool = False,
+        slab: Optional[np.ndarray] = None,
+    ) -> None:
         self.dim = dim
         # ``strict`` callers (the engine, which sizes num_nodes to the graph)
         # promise every looked-up id is < num_nodes, so lookup can be a bare
         # gather with no clipping.
         self.strict = strict
-        self.slab = np.empty((capacity, dim), dtype=np.float64)
+        if slab is not None:
+            # Caller-provided storage (e.g. a shared-memory view); only the
+            # value slab moves — the index maps stay process-private.
+            if slab.shape != (capacity, dim) or slab.dtype != np.float64:
+                raise ValueError(
+                    f"pre-built slab must be float64 ({capacity}, {dim}), "
+                    f"got {slab.dtype} {slab.shape}"
+                )
+            self.slab = slab
+        else:
+            self.slab = np.empty((capacity, dim), dtype=np.float64)
         self.slot_nodes = np.full(capacity, -1, dtype=np.int64)
         self.stamps = np.zeros(capacity, dtype=np.int64)
         self.slot_of = np.full(num_nodes, -1, dtype=np.int64)
@@ -200,6 +217,7 @@ class EmbeddingCache:
         pinned_nodes: Optional[np.ndarray] = None,
         initial_pin_count: Optional[int] = None,
         auto_tune_interval: int = 1024,
+        allocator: Optional[Callable[[int, Tuple[int, int]], np.ndarray]] = None,
     ) -> None:
         if capacity < 0:
             raise ValueError("cache capacity must be non-negative")
@@ -212,6 +230,10 @@ class EmbeddingCache:
         self.stats = CacheStats()
         self._lock = threading.RLock()
         self._layers: Dict[int, _LayerSlab] = {}
+        # Optional hook: ``allocator(layer, shape) -> float64 ndarray`` backs
+        # a layer's value slab with caller-owned storage (the multi-process
+        # plane hands out shared-memory views here).
+        self._allocator = allocator
         self._signature: Optional[Hashable] = None
         # With a known node-id universe the per-layer lookup is a bare gather
         # and inserts skip the grow-on-demand bound check.
@@ -395,8 +417,13 @@ class EmbeddingCache:
         with self._lock:
             store = self._layers.get(layer)
             if store is None:
+                slab = (
+                    self._allocator(layer, (self.capacity, values.shape[1]))
+                    if self._allocator is not None
+                    else None
+                )
                 store = _LayerSlab(
-                    self.capacity, values.shape[1], self._num_nodes, strict=self._strict
+                    self.capacity, values.shape[1], self._num_nodes, strict=self._strict, slab=slab
                 )
                 self._layers[layer] = store
             elif store.dim != values.shape[1]:
@@ -574,7 +601,13 @@ class HaloStore:
     def epoch(self) -> int:
         """Fault epoch; publishes captured before a bump are discarded."""
         with self._lock:
-            return self._epoch
+            return self._current_epoch()
+
+    def _current_epoch(self) -> int:
+        """Epoch storage hook (held under ``self._lock``); subclasses that
+        keep the epoch elsewhere — e.g. a shared-memory cell visible to every
+        worker process — override this and :meth:`bump_epoch` together."""
+        return self._epoch
 
     def bump_epoch(self) -> int:
         """Invalidate in-flight publishes (the engine calls this on failure)."""
@@ -649,7 +682,7 @@ class HaloStore:
         if values.ndim != 2 or len(values) != len(nodes):
             raise ValueError("values must be a (len(nodes), dim) array")
         with self._lock:
-            if epoch is not None and epoch != self._epoch:
+            if epoch is not None and epoch != self._current_epoch():
                 self.stats.discarded += len(nodes)
                 return
             slots = self._slot_of[nodes]

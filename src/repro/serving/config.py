@@ -229,6 +229,8 @@ class ServingConfig:
     halo_hops: Optional[int] = None
     executor: str = "serial"
     executor_workers: Optional[int] = None
+    process_call_timeout: float = 30.0
+    process_heartbeat_interval: float = 1.0
     max_queue_depth: Optional[int] = None
     overload_policy: str = "reject"
     request_classes: ClassSpec = DEFAULT_REQUEST_CLASSES
@@ -310,12 +312,22 @@ class ServingConfig:
             raise ValueError("fft_workers must be >= 1 (or None to leave the default)")
         if self.halo_hops is not None and self.halo_hops < 1:
             raise ValueError("halo_hops must be at least 1 (the direct neighbourhood)")
-        if self.executor not in ("serial", "concurrent"):
+        if self.executor not in ("serial", "concurrent", "process"):
             raise ValueError(
-                f"executor must be 'serial' or 'concurrent', got {self.executor!r}"
+                f"executor must be 'serial', 'concurrent' or 'process', got {self.executor!r}"
             )
         if self.executor_workers is not None and self.executor_workers <= 0:
             raise ValueError("executor_workers must be positive (or None for one per worker)")
+        if self.process_call_timeout <= 0:
+            raise ValueError("process_call_timeout must be positive")
+        if self.process_heartbeat_interval <= 0:
+            raise ValueError("process_heartbeat_interval must be positive")
+        if self.executor == "process" and (self.mode != "exact" or self.hot_path != "compiled"):
+            raise ValueError(
+                "executor='process' serves the compiled exact hot path only "
+                "(mode='exact', hot_path='compiled'): worker processes share "
+                "slab-backed shard state that the legacy paths do not use"
+            )
         if self.max_queue_depth is not None and self.max_queue_depth <= 0:
             raise ValueError("max_queue_depth must be positive (or None for unbounded)")
         if self.overload_policy not in ("reject", "shed_oldest", "block"):

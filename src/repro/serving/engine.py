@@ -77,6 +77,7 @@ from .faults import InjectedFault, ReplicaDead, ReplicaHung
 from .frontdoor import FrontDoor, RequestHandle
 from .health import HealthTracker
 from .metrics import ServingMetrics
+from .procplane import ProcessDead, ProcessPlane, ProcessWorkerHandle
 from .scheduler import DrainTimeout, Scheduler
 from .shard import GraphShard, build_shards
 from .stats import ServerStats, WorkerLoad
@@ -139,6 +140,20 @@ class InferenceServer:
         self._owner = np.full(graph.num_nodes, -1, dtype=np.int64)
         for shard in self.shards:
             self._owner[shard.core_nodes] = shard.part_id
+
+        # Multi-process plane (executor="process"): shard slabs move into
+        # shared memory and replicas become worker *processes*.  Built before
+        # the halo store (whose slabs the plane must own) and the workers
+        # (which it spawns).
+        self._procplane: Optional[ProcessPlane] = None
+        if self.config.executor == "process":
+            self._procplane = ProcessPlane(
+                graph,
+                self.shards,
+                model,
+                call_timeout=self.config.process_call_timeout,
+                heartbeat_interval=self.config.process_heartbeat_interval,
+            )
 
         self.halo_store = self._build_halo_store()
         full_degrees = graph.degrees() if self.halo_store is not None else None
@@ -274,6 +289,10 @@ class InferenceServer:
                 worker.timings.bind_histograms(
                     self._metrics.stage_seconds, worker.worker_id
                 )
+                if isinstance(worker, ProcessWorkerHandle):
+                    # Child registries ship deltas over the control channel
+                    # and merge by addition into the fleet registry.
+                    worker.fleet_registry = self.telemetry.registry
             self.telemetry.add_collector(self._collect_gauges)
 
         # Background ingress pump (ingress="thread"): started last so it can
@@ -309,6 +328,10 @@ class InferenceServer:
         shared = np.where(counts >= threshold)[0]
         if not len(shared):
             return None
+        if self._procplane is not None:
+            # Shared-memory tier: parent and every worker process see the
+            # same slabs, and the fault epoch is a shared cell.
+            return self._procplane.build_halo_store(shared)
         return HaloStore(self.graph.num_nodes, shared)
 
     def _build_cache(self, shard: GraphShard):
@@ -329,6 +352,23 @@ class InferenceServer:
         capacity = self.config.cache_capacity
         if self.config.hot_path == "legacy":
             return LegacyEmbeddingCache(capacity)
+        pinned, initial = self._cache_pin_spec(shard)
+        return EmbeddingCache(
+            capacity,
+            num_nodes=self.graph.num_nodes,
+            policy=self.config.cache_policy,
+            pinned_nodes=pinned,
+            initial_pin_count=initial,
+        )
+
+    def _cache_pin_spec(self, shard: GraphShard):
+        """``(pinned hub nodes, initial pin count)`` for the slab cache.
+
+        Shared by in-process cache construction and the process plane (a
+        spawned worker builds its own cache from this spec, so pinning is
+        identical either side of the process boundary).
+        """
+        capacity = self.config.cache_capacity
         pinned = None
         initial = None
         depth = max(self.model.num_layers, 1)
@@ -345,13 +385,7 @@ class InferenceServer:
                 pinned = shard.nodes[order[:limit]]
                 if self.config.cache_policy == "degree-auto":
                     initial = max(budget, 1)
-        return EmbeddingCache(
-            capacity,
-            num_nodes=self.graph.num_nodes,
-            policy=self.config.cache_policy,
-            pinned_nodes=pinned,
-            initial_pin_count=initial,
-        )
+        return pinned, initial
 
     def _build_worker(
         self, shard_id: int, worker_id: int, epoch: int = 0
@@ -361,6 +395,23 @@ class InferenceServer:
         like its corpse was — same seed, same publish mask — plus a bumped
         epoch)."""
         shard = self.shards[shard_id]
+        if self._procplane is not None:
+            pinned, initial = self._cache_pin_spec(shard)
+            return self._procplane.spawn_worker(
+                shard_id=shard_id,
+                worker_id=worker_id,
+                epoch=epoch,
+                seed=self.config.seed + 9176 * worker_id,
+                mode=self.config.mode,
+                hot_path=self.config.hot_path,
+                plan_cache_size=self.config.plan_cache_size,
+                fanouts=self.config.fanouts,
+                halo_publish_mask=self._publish_masks[shard_id],
+                cache_capacity=self.config.cache_capacity,
+                cache_policy=self.config.cache_policy,
+                cache_pinned=pinned,
+                cache_initial_pins=initial,
+            )
         return ShardWorker(
             worker_id=worker_id,
             shard=shard,
@@ -384,7 +435,15 @@ class InferenceServer:
         Wired into :meth:`poll` (and hence the front-door pump and every
         ``drain`` round), so supervision advances with the flush loop and
         needs no extra thread.  Inert unless ``config.supervisor`` is on.
+        Process-backed replicas also get their heartbeat here: liveness is
+        probed on the control channel, throttled to the configured interval,
+        so a crashed process is discovered even between dispatches.
         """
+        if self._procplane is not None:
+            for worker in self.workers:
+                beat = getattr(worker, "maybe_heartbeat", None)
+                if beat is not None:
+                    beat()
         return self.supervisor.tick(self.clock.now())
 
     def _rebuild_replica(self, shard_id: int, slot: int):
@@ -417,6 +476,8 @@ class InferenceServer:
                 worker.timings.bind_histograms(
                     self._metrics.stage_seconds, worker.worker_id
                 )
+                if isinstance(worker, ProcessWorkerHandle):
+                    worker.fleet_registry = self.telemetry.registry
             return worker, prewarmed
 
     def restart_replica(self, shard_id: int, replica: int = 0) -> ShardWorker:
@@ -748,6 +809,15 @@ class InferenceServer:
                 self._capacity.wait(timeout=self._BLOCK_WAIT_TIMEOUT)
         self.drain()
         self.scheduler.shutdown()
+        if self._procplane is not None:
+            # Bounded teardown: each close escalates shutdown-message →
+            # SIGTERM → SIGKILL, so a wedged child can never hang shutdown;
+            # final stats are pulled first while the pipes still work.
+            for worker in self.workers:
+                if isinstance(worker, ProcessWorkerHandle):
+                    worker.sync(timeout=1.0)
+                    worker.close(timeout=5.0)
+            self._procplane.shutdown()
         if self.config.fft_workers is not None:
             from ..compression.spectral import set_fft_workers
 
@@ -1113,7 +1183,11 @@ class InferenceServer:
         # The hedge lost.  A fast failure (raise/die) is a real dispatch
         # failure: the breaker sees it and the batch's retry loop must not
         # re-pick this replica.  A hung or slower hedge is simply cancelled.
-        if hedge_kind in ("raise", "die"):
+        if hedge_kind in ("raise", "die", "kill"):
+            if hedge_kind == "kill":
+                kill = getattr(hedge, "kill", None)
+                if kill is not None:
+                    kill()
             now = self.clock.now()
             self.health.record_failure(hedge.worker_id, now)
             tried.add(hedge.worker_id)
@@ -1164,6 +1238,19 @@ class InferenceServer:
                 # supervisor rebuilds the replica (FaultPlan.revive).
                 raise ReplicaDead(
                     f"worker {worker.worker_id} died (killed by the fault plan)"
+                )
+            if decision.kind == "kill":
+                # A *process* kill: deliver a real SIGKILL when the replica
+                # is a worker process; in-process workers degrade to die
+                # semantics so kill_rate plans run under any executor.
+                kill = getattr(worker, "kill", None)
+                if kill is not None:
+                    kill()
+                    raise ProcessDead(
+                        f"worker {worker.worker_id} killed (SIGKILL by the fault plan)"
+                    )
+                raise ReplicaDead(
+                    f"worker {worker.worker_id} died (kill fault, in-process replica)"
                 )
             if decision.kind == "hang":
                 # The hang burns clock time past any sane deadline before
@@ -1278,6 +1365,7 @@ class InferenceServer:
         instead of paying per-event metric increments.
         """
         metrics = self._metrics
+        self._sync_process_workers()
         cache = CacheStats()
         plans = PlanCacheStats()
         for worker in self.workers:
@@ -1297,7 +1385,26 @@ class InferenceServer:
                 self.batcher.queue_depth(shard_id)
             )
 
+    @property
+    def swept_segments(self) -> tuple:
+        """Stale shared-memory segments reclaimed at this server's startup
+        (names of segments whose creator process was dead; empty unless
+        ``executor="process"``)."""
+        if self._procplane is None:
+            return ()
+        return tuple(self._procplane.swept_stale)
+
+    def _sync_process_workers(self) -> None:
+        """Pull stats/registry deltas from live worker processes (no-op
+        otherwise; dead or retired handles keep their last synced view)."""
+        if self._procplane is None:
+            return
+        for worker in self.workers:
+            if isinstance(worker, ProcessWorkerHandle):
+                worker.sync(timeout=1.0)
+
     def stats(self) -> ServerStats:
+        self._sync_process_workers()
         cache = CacheStats()
         plans = PlanCacheStats()
         for worker in self.workers:
@@ -1307,6 +1414,12 @@ class InferenceServer:
         halo = CacheStats()
         if self.halo_store is not None:
             halo = halo.merge(self.halo_store.stats)
+            # Worker processes keep their own halo hit/miss counters; each
+            # handle mirrors its child's on sync.
+            for worker in self.workers:
+                child_halo = getattr(worker, "halo_stats", None)
+                if child_halo is not None:
+                    halo = halo.merge(child_halo)
         now = self.clock.now()
         loads = []
         for worker in self.workers:
@@ -1325,6 +1438,9 @@ class InferenceServer:
                     breaker_opens=record.opens,
                     latency_ewma=record.latency_ewma,
                     epoch=worker.epoch,
+                    pid=getattr(worker, "pid", None),
+                    heartbeat_age=getattr(worker, "heartbeat_age", None),
+                    rss_bytes=getattr(worker, "rss_bytes", None),
                 )
             )
         loads = tuple(loads)
@@ -1413,6 +1529,12 @@ class InferenceServer:
         self.scheduler.steal_rounds = 0
         self.executor.reset_peak()
         for worker in self.workers:
+            reset = getattr(worker, "reset_stats", None)
+            if reset is not None:
+                # Process-backed replicas zero parent mirrors and ship a
+                # reset to the child over the control channel.
+                reset()
+                continue
             worker.batches_served = 0
             worker.nodes_served = 0
             worker.peak_inflight = 0

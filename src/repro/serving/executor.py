@@ -243,4 +243,9 @@ def make_executor(name: str, max_workers: int) -> FlushExecutor:
         return SerialExecutor()
     if name == "concurrent":
         return ConcurrentExecutor(max_workers)
-    raise ValueError(f"executor must be 'serial' or 'concurrent', got {name!r}")
+    if name == "process":
+        # Imported lazily: procplane imports this module for ConcurrentExecutor.
+        from .procplane import ProcessExecutor
+
+        return ProcessExecutor(max_workers)
+    raise ValueError(f"executor must be 'serial', 'concurrent' or 'process', got {name!r}")

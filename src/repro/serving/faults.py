@@ -54,7 +54,7 @@ __all__ = [
     "FAULT_KINDS",
 ]
 
-FAULT_KINDS = ("raise", "hang", "slow", "die")
+FAULT_KINDS = ("raise", "hang", "slow", "die", "kill")
 
 
 class InjectedFault(RuntimeError):
@@ -90,6 +90,12 @@ class FaultSpec:
         replica stays dead (every later dispatch fails with ``die``) until
         the plan is told the worker was rebuilt via
         :meth:`FaultPlan.revive`.
+    kill_rate:
+        Per-dispatch probability of a *process* kill: the engine delivers a
+        real ``SIGKILL`` to the worker's pid when the replica is a process
+        (``executor="process"``), and degrades to ``die`` semantics for
+        in-process workers.  Like ``die``, the replica stays dead until
+        revived by a supervisor rebuild.
     flap_period, flap_down:
         Deterministic flapping: out of every ``flap_period`` dispatches to a
         replica, the first ``flap_down`` fail (``raise``).  ``0`` disables
@@ -104,6 +110,7 @@ class FaultSpec:
     hang_rate: float = 0.0
     slow_rate: float = 0.0
     die_rate: float = 0.0
+    kill_rate: float = 0.0
     hang_seconds: float = 0.05
     slow_seconds: float = 0.005
     flap_period: int = 0
@@ -112,12 +119,15 @@ class FaultSpec:
     until: Optional[float] = None
 
     def __post_init__(self) -> None:
-        for name in ("fail_rate", "hang_rate", "slow_rate", "die_rate"):
+        for name in ("fail_rate", "hang_rate", "slow_rate", "die_rate", "kill_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be within [0, 1], got {rate}")
-        if self.fail_rate + self.hang_rate + self.slow_rate + self.die_rate > 1.0 + 1e-12:
-            raise ValueError("fail_rate + hang_rate + slow_rate + die_rate must not exceed 1")
+        total = self.fail_rate + self.hang_rate + self.slow_rate + self.die_rate + self.kill_rate
+        if total > 1.0 + 1e-12:
+            raise ValueError(
+                "fail_rate + hang_rate + slow_rate + die_rate + kill_rate must not exceed 1"
+            )
         if self.hang_seconds < 0 or self.slow_seconds < 0:
             raise ValueError("hang_seconds and slow_seconds must be non-negative")
         if self.flap_period < 0 or self.flap_down < 0:
@@ -253,6 +263,18 @@ class FaultPlan:
                 if draw < spec.die_rate + spec.fail_rate + spec.hang_rate + spec.slow_rate:
                     self._record("slow")
                     return FaultDecision("slow", seconds=spec.slow_seconds)
+                # kill draws last so adding kill_rate never perturbs which
+                # dispatches an existing seeded plan fails with other kinds.
+                if draw < (
+                    spec.die_rate
+                    + spec.fail_rate
+                    + spec.hang_rate
+                    + spec.slow_rate
+                    + spec.kill_rate
+                ):
+                    self._dead.add(worker_id)
+                    self._record("kill")
+                    return FaultDecision("kill")
             return None
 
     def describe(self) -> str:
@@ -266,9 +288,10 @@ class FaultPlan:
                 f", flap {spec.flap_down}/{spec.flap_period}" if spec.flap_period else ""
             )
             die = f", die {spec.die_rate:.0%}" if spec.die_rate else ""
+            kill = f", kill {spec.kill_rate:.0%}" if spec.kill_rate else ""
             parts.append(
                 f"{scope}: raise {spec.fail_rate:.0%}, hang {spec.hang_rate:.0%}"
                 f" ({spec.hang_seconds * 1e3:g} ms), slow {spec.slow_rate:.0%}"
-                f" (+{spec.slow_seconds * 1e3:g} ms){die}{flap}{window}"
+                f" (+{spec.slow_seconds * 1e3:g} ms){die}{kill}{flap}{window}"
             )
         return f"FaultPlan(seed={self.seed}): " + "; ".join(parts)

@@ -45,6 +45,9 @@ class WorkerLoad:
     breaker_opens: int = 0       # times the replica's breaker tripped
     latency_ewma: Optional[float] = None  # smoothed dispatch latency (seconds)
     epoch: int = 0               # replica incarnation (bumped per supervisor rebuild)
+    pid: Optional[int] = None    # worker process id (executor="process" only)
+    heartbeat_age: Optional[float] = None  # seconds since last control-channel beat
+    rss_bytes: Optional[int] = None        # worker-process resident set size
 
 
 @dataclass(frozen=True)
@@ -326,6 +329,26 @@ class ServerStats:
                 f"[{worker.core_nodes} core + {worker.halo_nodes} halo, "
                 f"peak {worker.peak_concurrency} in flight{health}{epoch}]"
             )
+        if any(worker.pid is not None for worker in self.workers):
+            lines.append("  worker processes:")
+            lines.append("    worker     pid   epoch   heartbeat       rss")
+            for worker in self.workers:
+                if worker.pid is None:
+                    continue
+                beat = (
+                    f"{worker.heartbeat_age * 1e3:.0f} ms ago"
+                    if worker.heartbeat_age is not None
+                    else "n/a"
+                )
+                rss = (
+                    f"{worker.rss_bytes / (1024 * 1024):.1f} MiB"
+                    if worker.rss_bytes is not None
+                    else "n/a"
+                )
+                lines.append(
+                    f"    {worker.worker_id:>6} {worker.pid:>7} {worker.epoch:>7} "
+                    f"{beat:>11} {rss:>9}"
+                )
         return "\n".join(lines)
 
 

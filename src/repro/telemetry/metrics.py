@@ -418,6 +418,45 @@ class MetricsRegistry:
             mine.merge_from(family)
         return self
 
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> "MetricsRegistry":
+        """Fold a :meth:`snapshot`-shaped dict into this registry by addition.
+
+        The wire-format twin of :meth:`merge` for registries that live in
+        another *process*: a worker ships ``registry.snapshot()`` (a plain
+        JSON-safe dict) over its control channel, then resets, and the parent
+        folds the delta in here — same addition semantics, no pickled locks.
+        Returns ``self`` for chaining.
+        """
+        for name, family_snap in snapshot.items():
+            kind = family_snap["kind"]
+            samples = family_snap.get("samples", ())
+            edges = None
+            if kind == "histogram":
+                for sample in samples:
+                    edges = np.asarray(sample["value"]["edges"], dtype=np.float64)
+                    break
+            mine = self._register(
+                name,
+                family_snap.get("help", ""),
+                kind,
+                tuple(family_snap.get("labels", ())),
+                edges=edges,
+            )
+            for sample in samples:
+                child = mine.labels(*sample["labels"])
+                value = sample["value"]
+                if kind == "histogram":
+                    other = LogHistogram(np.asarray(value["edges"], dtype=np.float64))
+                    other.counts[:] = np.asarray(value["counts"], dtype=np.int64)
+                    other.sum = float(value["sum"])
+                    other.count = int(value["count"])
+                    child.merge_from(other)
+                elif kind == "counter":
+                    child.inc(int(value))
+                else:  # gauge
+                    child.inc(float(value))
+        return self
+
     def reset(self) -> None:
         """Zero every sample (bucket counts, sums, values); keep the schema."""
         for family in self.collect():
@@ -520,6 +559,9 @@ class NullRegistry:
         return {}
 
     def merge(self, other) -> "NullRegistry":
+        return self
+
+    def merge_snapshot(self, snapshot) -> "NullRegistry":
         return self
 
     def reset(self) -> None:

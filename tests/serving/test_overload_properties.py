@@ -258,6 +258,100 @@ def test_ledger_holds_with_supervisor_hedging_and_die_faults(
         assert stats.hedged_batches == 0
 
 
+# -- the ledger under process-kill faults ---------------------------------------
+#
+# PR 10 adds ``kill_rate``: a real SIGKILL to the worker pid when replicas
+# are processes, degrading to ``die`` semantics in-process — which is what
+# lets hypothesis explore kill schedules without paying a spawn per example.
+# Either way a fired kill is permanent until a supervisor rebuild, and the
+# exactly-once ledger (``submitted = completed + rejected + shed + expired +
+# failed``) must balance with bitwise-equal completions.
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    operations=_operations(),
+    kill_rate=st.floats(0.05, 0.4),
+    fail_rate=st.floats(0.0, 0.2),
+    fault_seed=st.integers(0, 5),
+    degraded_policy=st.sampled_from(["fail", "stale_ok"]),
+    max_retries=st.integers(0, 2),
+)
+def test_ledger_holds_with_kill_faults_mid_flush(
+    operations,
+    kill_rate,
+    fail_rate,
+    fault_seed,
+    degraded_policy,
+    max_retries,
+):
+    plan = FaultPlan(
+        FaultSpec(kill_rate=kill_rate, fail_rate=fail_rate),
+        seed=fault_seed,
+    )
+    clock = ManualClock()
+    server = InferenceServer(
+        MODEL,
+        GRAPH,
+        ServingConfig(
+            num_shards=2,
+            num_replicas=2,
+            max_batch_size=4,
+            max_delay=0.2,
+            cache_capacity=64,
+            fault_plan=plan,
+            max_retries=max_retries,
+            degraded_policy=degraded_policy,
+            health_failure_threshold=1,
+            health_cooldown=0.05,
+            supervisor=True,
+            supervisor_failure_budget=1,
+            supervisor_window=5.0,
+            seed=0,
+        ),
+        clock=clock,
+    )
+
+    requests = []
+    for operation, value in operations:
+        if operation == "submit":
+            requests.append(server.submit(value))
+        elif operation == "advance":
+            clock.advance(value)
+        elif operation == "poll":
+            server.poll()
+        else:
+            server.drain()
+    server.shutdown()
+
+    assert all(request.status in TERMINAL_STATUSES for request in requests)
+    assert all(request.done for request in requests)
+    for request in requests:
+        if request.status == "completed":
+            assert request.prediction == REFERENCE[request.node]
+        else:
+            assert request.prediction is None
+            assert not request.stale
+
+    stats = server.stats()
+    assert stats.submitted_requests == len(requests)
+    terminal_sum = (
+        stats.completed_requests
+        + stats.rejected_requests
+        + stats.shed_requests
+        + stats.expired_requests
+        + stats.failed_requests
+    )
+    assert terminal_sum == len(requests)
+    assert server.batcher.pending == 0
+    # Fired kills are permanent until healed: no corpse may remain in the
+    # dispatch pool after the final supervisor ticks.
+    assert all(not worker.retired for row in server._replicas for worker in row)
+    if plan.injected["kill"]:
+        assert stats.supervisor_restarts >= 0  # rebuilds recorded, never negative
+        assert stats.worker_failures > 0
+
+
 # -- three request classes under overload ---------------------------------------
 #
 # PR 8 extends the ledger invariant across weighted admission classes: per

@@ -1,0 +1,303 @@
+"""Crash-isolated multi-process serving: shared slabs, real kills, respawns.
+
+The contract under test:
+
+* shared-memory segments carry a magic+epoch header, attach zero-copy, and
+  never outlive their creator: ``unlink_all`` is idempotent, ``sweep_stale``
+  reclaims segments whose creator pid is dead (a SIGKILL'd run cannot leak
+  into the next one), and a server teardown leaves ``/dev/shm`` clean;
+* ``executor="process"`` serves bitwise-identically to the serial reference
+  behind the unchanged ``submit()`` surface;
+* a worker process killed with a real ``SIGKILL`` mid-stream surfaces as a
+  typed :class:`ProcessDead`, fails over to a sibling replica with zero lost
+  requests, and is respawned by the supervisor under a bumped epoch;
+* a wedged (``SIGSTOP``'d) child can neither hang a predict past its
+  per-call timeout nor hang ``shutdown()`` — teardown escalates
+  terminate → kill and stays bounded;
+* killing a server's processes and building a fresh server in the same
+  interpreter works (the startup sweep + atexit guards make it safe).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressionConfig
+from repro.graph.datasets import synthetic_graph
+from repro.models import create_model
+from repro.serving import (
+    InferenceServer,
+    ProcessDead,
+    ProcessTimeout,
+    ProcessWorkerHandle,
+    ReplicaDead,
+    ReplicaHung,
+    ServingConfig,
+    SharedSlabArena,
+)
+from repro.serving.procplane import (
+    _attach_segment,
+    _create_segment,
+    list_segments,
+    segment_epoch,
+)
+
+GRAPH = synthetic_graph(
+    num_nodes=60, num_edges=240, num_features=8, num_classes=3, seed=7, name="procplane-graph"
+)
+MODEL = create_model(
+    "GCN",
+    in_features=GRAPH.num_features,
+    hidden_features=8,
+    num_classes=GRAPH.num_classes,
+    compression=CompressionConfig(block_size=4),
+    seed=0,
+)
+
+
+def _reference_predictions():
+    server = InferenceServer(
+        MODEL, GRAPH, ServingConfig(num_shards=2, max_batch_size=8, max_delay=0.0)
+    )
+    try:
+        return server.predict(range(GRAPH.num_nodes))
+    finally:
+        server.shutdown()
+
+
+def _process_server(**overrides):
+    defaults = dict(
+        num_shards=2,
+        executor="process",
+        max_batch_size=8,
+        max_delay=0.0,
+        cache_capacity=1024,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return InferenceServer(MODEL, GRAPH, ServingConfig(**defaults))
+
+
+def _handles(server):
+    return [worker for worker in server.workers if isinstance(worker, ProcessWorkerHandle)]
+
+
+def _dead_pid():
+    """A pid guaranteed dead: fork a child that exits immediately."""
+    pid = os.fork()
+    if pid == 0:
+        os._exit(0)
+    os.waitpid(pid, 0)
+    return pid
+
+
+class TestSegments:
+    def test_header_roundtrip_and_attach(self):
+        arena = SharedSlabArena(token="t0")
+        try:
+            name, view = arena.create("unit", (4, 3), np.float64, epoch=7)
+            view[...] = np.arange(12, dtype=np.float64).reshape(4, 3)
+            shm, attached = SharedSlabArena.attach(name, (4, 3), np.float64)
+            assert segment_epoch(shm) == 7
+            np.testing.assert_array_equal(attached, view)
+            attached[0, 0] = -1.0  # shared bytes: the creator's view sees it
+            assert view[0, 0] == -1.0
+            del attached
+            shm.close()
+        finally:
+            arena.unlink_all()
+        assert not list_segments(arena.base)
+
+    def test_attach_rejects_headerless_segment(self):
+        from multiprocessing.shared_memory import SharedMemory
+
+        shm = SharedMemory(name="bgnn-header-test", create=True, size=64)
+        try:
+            with pytest.raises(ValueError, match="header"):
+                _attach_segment("bgnn-header-test", (2,), np.float64)
+        finally:
+            shm.unlink()
+            shm.close()
+
+    def test_unlink_all_is_idempotent(self):
+        arena = SharedSlabArena(token="t1")
+        arena.create("once", (2,), np.int64)
+        arena.unlink_all()
+        arena.unlink_all()
+        assert not list_segments(arena.base)
+
+    def test_sweep_stale_reclaims_dead_creators_only(self):
+        dead = _dead_pid()
+        stale_name = f"bgnn-{dead}-deadbeef-slab"
+        shm, _ = _create_segment(stale_name, (2,), np.int64)
+        shm.close()
+        arena = SharedSlabArena(token="t2")  # a *live* creator
+        live_name, _ = arena.create("live", (2,), np.int64)
+        try:
+            removed = SharedSlabArena.sweep_stale()
+            assert stale_name in removed
+            assert live_name not in removed
+            assert stale_name not in list_segments()
+            assert live_name in list_segments()
+        finally:
+            arena.unlink_all()
+
+
+class TestProcessServing:
+    def test_config_requires_compiled_exact(self):
+        with pytest.raises(ValueError, match="process"):
+            ServingConfig(executor="process", hot_path="legacy")
+        with pytest.raises(ValueError, match="process"):
+            ServingConfig(executor="process", mode="sampled", fanouts=(4, 3))
+        with pytest.raises(ValueError, match="process_call_timeout"):
+            ServingConfig(executor="process", process_call_timeout=0.0)
+
+    def test_matches_serial_bitwise_and_sweeps_segments(self):
+        expected = _reference_predictions()
+        server = _process_server()
+        base = server._procplane.arena.base
+        try:
+            got = server.predict(range(GRAPH.num_nodes))
+            np.testing.assert_array_equal(got, expected)
+            stats = server.stats()
+            # Per-process mirrors made it back over the control channel.
+            assert all(load.pid is not None for load in stats.workers)
+            assert all(load.rss_bytes is not None for load in stats.workers)
+            assert "worker processes:" in stats.render()
+            assert stats.cache.lookups > 0  # child cache stats synced
+        finally:
+            server.shutdown()
+        assert not list_segments(base)
+        for handle in _handles(server):
+            assert not handle._proc.is_alive()
+
+    def test_sigkill_mid_stream_is_typed_failed_over_and_healed(self):
+        expected = _reference_predictions()
+        server = _process_server(
+            num_replicas=2,
+            supervisor=True,
+            supervisor_failure_budget=1,
+            supervisor_window=60.0,
+            health_failure_threshold=1,
+            health_cooldown=30.0,
+            max_retries=3,
+        )
+        base = server._procplane.arena.base
+        try:
+            nodes = list(range(GRAPH.num_nodes))
+            first = server.predict(nodes)
+            np.testing.assert_array_equal(first, expected)
+            victim = _handles(server)[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim._proc.join(5.0)
+            # Stream on: the dead process surfaces as ProcessDead, fails over
+            # to the sibling replica, and the supervisor respawns it.
+            second = server.predict(nodes)
+            np.testing.assert_array_equal(second, expected)
+            stats = server.stats()
+            assert stats.failed_requests == 0
+            assert stats.supervisor_restarts >= 1
+            replacement = server.workers[victim.worker_id]
+            assert isinstance(replacement, ProcessWorkerHandle)
+            assert replacement is not victim
+            assert replacement.epoch == victim.epoch + 1
+            assert replacement._proc.is_alive()
+            third = server.predict(nodes)
+            np.testing.assert_array_equal(third, expected)
+        finally:
+            server.shutdown()
+        assert not list_segments(base)
+
+    def test_process_dead_is_replica_dead_and_timeout_is_hung(self):
+        assert issubclass(ProcessDead, ReplicaDead)
+        assert issubclass(ProcessTimeout, ReplicaHung)
+
+    def test_wedged_child_times_out_and_is_killed(self):
+        server = _process_server(process_call_timeout=1.0)
+        base = server._procplane.arena.base
+        try:
+            handle = _handles(server)[0]
+            # Prime the READY handshake, then wedge the child completely.
+            server.predict([int(handle.shard.core_nodes[0])])
+            os.kill(handle.pid, signal.SIGSTOP)
+            node = int(handle.shard.core_nodes[0])
+            with pytest.raises(ProcessTimeout):
+                handle.predict(np.array([node], dtype=np.int64))
+            # The timed-out child was SIGKILLed, not left to desync the pipe.
+            handle._proc.join(5.0)
+            assert not handle._proc.is_alive()
+        finally:
+            server.shutdown()
+        assert not list_segments(base)
+
+    def test_shutdown_escalates_past_a_stopped_child(self):
+        server = _process_server(process_call_timeout=1.0)
+        base = server._procplane.arena.base
+        handle = _handles(server)[0]
+        server.predict([int(handle.shard.core_nodes[0])])  # complete READY
+        os.kill(handle.pid, signal.SIGSTOP)
+        start = time.monotonic()
+        server.shutdown()
+        elapsed = time.monotonic() - start
+        # Graceful join (bounded) + terminate (ignored while stopped) + kill.
+        assert elapsed < 30.0
+        for worker in _handles(server):
+            worker._proc.join(5.0)
+            assert not worker._proc.is_alive()
+        assert not list_segments(base)
+
+    def test_kill_everything_and_recreate_server_in_process(self):
+        expected = _reference_predictions()
+        first = _process_server()
+        base_one = first._procplane.arena.base
+        for handle in _handles(first):
+            os.kill(handle.pid, signal.SIGKILL)
+            handle._proc.join(5.0)
+        # Shutdown after the massacre must not raise and must still sweep.
+        first.shutdown()
+        assert not list_segments(base_one)
+        # Simulate a segment leaked by a SIGKILL'd *parent* (dead creator pid):
+        # the next server's startup sweep reclaims it.
+        stale = f"bgnn-{_dead_pid()}-feedface-features"
+        shm, _ = _create_segment(stale, (4,), np.float64)
+        shm.close()
+        second = _process_server()
+        try:
+            assert stale in second.swept_segments
+            assert stale not in list_segments()
+            np.testing.assert_array_equal(
+                second.predict(range(GRAPH.num_nodes)), expected
+            )
+        finally:
+            second.shutdown()
+
+
+class TestFleetStats:
+    def test_registry_deltas_merge_into_fleet_view(self):
+        server = _process_server(telemetry="metrics")
+        try:
+            server.predict(range(GRAPH.num_nodes))
+            server.stats()  # forces a sync
+            family = server.telemetry.registry.get("serving_stage_seconds")
+            assert family is not None
+            total = sum(child.count for _, child in family.samples())
+            assert total > 0  # child-side stage histograms reached the parent
+        finally:
+            server.shutdown()
+
+    def test_reset_stats_zeroes_parent_and_child(self):
+        server = _process_server()
+        try:
+            server.predict(range(GRAPH.num_nodes))
+            assert server.stats().cache.lookups > 0
+            server.reset_stats()
+            stats = server.stats()
+            assert stats.cache.lookups == 0
+            assert all(load.batches == 0 for load in stats.workers)
+        finally:
+            server.shutdown()
